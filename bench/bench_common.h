@@ -1,0 +1,55 @@
+// Shared harness for the system-level benches (Fig. 6(a)/(b), Fig. 7,
+// pool-size ablation): builds the scaled drive, the per-mode BER models,
+// and runs (workload, scheme, P/E) combinations.
+//
+// Scaling note (documented in EXPERIMENTS.md): the paper simulates a
+// 256 GB drive; we keep Table 6's page/block geometry and timing but shrink
+// the chip count so a full 7-workload x 4-scheme sweep runs in seconds.
+// Over-provisioning (27%), the ReducedCell pool share (64 GB / 256 GB =
+// 25% of capacity) and all latency parameters are preserved as ratios.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reliability/ber_model.h"
+#include "ssd/simulator.h"
+#include "trace/workloads.h"
+
+namespace flex::bench {
+
+class ExperimentHarness {
+ public:
+  /// Builds the BER models (one-off Monte-Carlo inside).
+  ExperimentHarness();
+
+  /// Runs one workload under one scheme at the given pre-aged P/E count.
+  /// `requests_override` (0 = use the workload default) trims runtime for
+  /// sweeps. `age_model` selects between the paper's static
+  /// per-LBA storage-time axis (its Fig. 6 setting) and physically
+  /// tracked per-page ages.
+  ssd::SsdResults run(trace::Workload workload, ssd::Scheme scheme,
+                      int pe_cycles, std::uint64_t requests_override = 0,
+                      ssd::AgeModel age_model = ssd::AgeModel::kStaticPerLba,
+                      std::uint64_t pool_override_pages = 0);
+
+  /// Runs an arbitrary SsdConfig under the harness methodology (scaled
+  /// arrival rate, standing population, preconditioning, warmup pass).
+  ssd::SsdResults run_with(ssd::SsdConfig config, trace::Workload workload,
+                           std::uint64_t requests_override = 0);
+
+  const reliability::BerModel& normal_model() const { return *normal_; }
+  const reliability::BerModel& reduced_model() const { return *reduced_; }
+
+  /// Drive geometry shared by every scheme run.
+  static ssd::SsdConfig drive_config(ssd::Scheme scheme, int pe_cycles);
+
+ private:
+  // unique_ptrs because BerModel is neither copyable nor default-
+  // constructible (it owns a one-off Monte-Carlo calibration).
+  std::unique_ptr<reliability::BerModel> normal_;
+  std::unique_ptr<reliability::BerModel> reduced_;
+};
+
+}  // namespace flex::bench

@@ -1,0 +1,49 @@
+// Microbenchmarks of the BCH baseline codec — the hard-decision ECC whose
+// insufficiency at 2Xnm BERs motivates LDPC (paper §1).
+#include <benchmark/benchmark.h>
+
+#include "bch/bch.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace flex;
+
+void BM_BchEncode(benchmark::State& state) {
+  const bch::BchCode code(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  Rng rng(1);
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(code.k()));
+  for (auto& b : message) b = static_cast<std::uint8_t>(rng.below(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(message));
+  }
+  state.counters["n"] = code.n();
+  state.counters["t"] = code.t();
+}
+BENCHMARK(BM_BchEncode)->Args({10, 8})->Args({12, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BchDecode(benchmark::State& state) {
+  const bch::BchCode code(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  const int errors = static_cast<int>(state.range(2));
+  Rng rng(2);
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(code.k()));
+  for (auto& b : message) b = static_cast<std::uint8_t>(rng.below(2));
+  const auto clean = code.encode(message);
+  auto noisy = clean;
+  for (int e = 0; e < errors; ++e) {
+    noisy[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(code.n())))] ^= 1;
+  }
+  for (auto _ : state) {
+    auto work = noisy;
+    benchmark::DoNotOptimize(code.decode(work));
+  }
+  state.counters["errors"] = errors;
+}
+BENCHMARK(BM_BchDecode)->Args({10, 8, 0})->Args({10, 8, 4})->Args({10, 8, 8})
+    ->Args({12, 16, 16})->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Microbenchmarks of the FTL hot paths: mapped writes under GC pressure,
+// lookups, and the write buffer.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ftl/page_mapping.h"
+#include "ftl/write_buffer.h"
+
+namespace {
+
+using namespace flex;
+
+ftl::FtlConfig bench_config() {
+  ftl::FtlConfig cfg;
+  cfg.spec.page_size_bytes = 16 * 1024;
+  cfg.spec.pages_per_block = 64;
+  cfg.spec.blocks_per_chip = 512;
+  cfg.spec.chips = 4;
+  cfg.over_provisioning = 0.27;
+  cfg.gc_low_watermark = 8;
+  return cfg;
+}
+
+void BM_FtlWriteChurn(benchmark::State& state) {
+  ftl::PageMappingFtl ftl(bench_config());
+  Rng rng(1);
+  const std::uint64_t hot_set = ftl.logical_pages() / 4;
+  // Warm up: fill the drive so GC is active during measurement.
+  for (std::uint64_t lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    ftl.write(lpn, ftl::PageMode::kNormal, 0);
+  }
+  SimTime now = 1;
+  for (auto _ : state) {
+    ftl.write(rng.below(hot_set), ftl::PageMode::kNormal, now++);
+  }
+  state.counters["waf"] = ftl.stats().write_amplification();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlWriteChurn)->Unit(benchmark::kNanosecond);
+
+void BM_FtlLookup(benchmark::State& state) {
+  ftl::PageMappingFtl ftl(bench_config());
+  Rng rng(2);
+  for (std::uint64_t lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    ftl.write(lpn, ftl::PageMode::kNormal, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.lookup(rng.below(ftl.logical_pages())));
+  }
+}
+BENCHMARK(BM_FtlLookup);
+
+void BM_FtlMigrate(benchmark::State& state) {
+  ftl::PageMappingFtl ftl(bench_config());
+  Rng rng(3);
+  for (std::uint64_t lpn = 0; lpn < ftl.logical_pages() / 2; ++lpn) {
+    ftl.write(lpn, ftl::PageMode::kNormal, 0);
+  }
+  SimTime now = 1;
+  bool to_reduced = true;
+  for (auto _ : state) {
+    const std::uint64_t lpn = rng.below(ftl.logical_pages() / 2);
+    ftl.migrate(lpn,
+                to_reduced ? ftl::PageMode::kReduced : ftl::PageMode::kNormal,
+                now++);
+    to_reduced = !to_reduced;
+  }
+}
+BENCHMARK(BM_FtlMigrate)->Unit(benchmark::kNanosecond);
+
+void BM_WriteBuffer(benchmark::State& state) {
+  ftl::WriteBuffer buffer(4096, 64);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.write(rng.below(100'000)));
+  }
+}
+BENCHMARK(BM_WriteBuffer);
+
+}  // namespace

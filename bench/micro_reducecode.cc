@@ -1,0 +1,63 @@
+// Microbenchmarks of the ReduceCode encode/decode path (paper §4.3 claims
+// the circuit adds one clock cycle; in software the mapping must be
+// table-lookup cheap) and of the two-step program state machine.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "flexlevel/reduce_code.h"
+#include "flexlevel/reduced_program.h"
+
+namespace {
+
+using namespace flex;
+
+void BM_ReduceEncode(benchmark::State& state) {
+  int value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flexlevel::reduce_encode(value));
+    value = (value + 1) & 7;
+  }
+}
+BENCHMARK(BM_ReduceEncode);
+
+void BM_ReduceDecode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<flexlevel::CellPairLevels> inputs(256);
+  for (auto& in : inputs) {
+    in = {.first = static_cast<int>(rng.below(3)),
+          .second = static_cast<int>(rng.below(3))};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flexlevel::reduce_decode(inputs[i]));
+    i = (i + 1) & 255;
+  }
+}
+BENCHMARK(BM_ReduceDecode);
+
+void BM_TwoStepProgram(benchmark::State& state) {
+  int value = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flexlevel::program_value(value));
+    value = (value + 1) & 7;
+  }
+}
+BENCHMARK(BM_TwoStepProgram);
+
+// Page-scale throughput: encode 16 KB of data into cell-level pairs
+// (43'691 pairs), the software analogue of the paper's per-page path.
+void BM_ReduceEncodePage(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<int> values(16 * 1024 * 8 / 3 + 1);
+  for (auto& v : values) v = static_cast<int>(rng.below(8));
+  for (auto _ : state) {
+    for (const int v : values) {
+      benchmark::DoNotOptimize(flexlevel::reduce_encode(v));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          1024);
+}
+BENCHMARK(BM_ReduceEncodePage)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// ECC explorer: why 2Xnm NAND needs soft-decision LDPC (paper §1).
+//
+// Sweeps the raw BER and pits three codes of comparable rate against each
+// other on real encode/decode runs:
+//   * BCH(1023, ~rate 8/9)          — the 3Xnm workhorse, hard decision;
+//   * QC-LDPC rate 8/9, hard input  — LDPC with 0 extra sensing levels;
+//   * QC-LDPC rate 8/9, 6 levels    — deep soft sensing.
+#include <cstdio>
+#include <vector>
+
+#include "bch/bch.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "ldpc/channel.h"
+#include "ldpc/decoder.h"
+#include "ldpc/encoder.h"
+#include "ldpc/qc_code.h"
+
+namespace {
+
+using namespace flex;
+
+double bch_success_rate(const bch::BchCode& code, double ber, int trials,
+                        Rng& rng) {
+  int ok = 0;
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(code.k()));
+  for (int t = 0; t < trials; ++t) {
+    for (auto& b : message) b = static_cast<std::uint8_t>(rng.below(2));
+    const auto clean = code.encode(message);
+    auto noisy = clean;
+    for (auto& bit : noisy) {
+      if (rng.chance(ber)) bit ^= 1;
+    }
+    const auto result = code.decode(noisy);
+    if (result.success && noisy == clean) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+double ldpc_success_rate(const ldpc::QcLdpcCode& code,
+                         const ldpc::Encoder& encoder,
+                         const ldpc::Decoder& decoder, double ber, int levels,
+                         int trials, Rng& rng) {
+  const ldpc::SensingChannel channel(ber, levels);
+  int ok = 0;
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(code.k()));
+  for (int t = 0; t < trials; ++t) {
+    for (auto& b : message) b = static_cast<std::uint8_t>(rng.below(2));
+    const auto cw = encoder.encode(message);
+    const auto llrs = channel.transmit(cw, rng);
+    const auto result = decoder.decode(llrs);
+    if (result.success && result.bits == cw) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(1);
+  // BCH over GF(2^10): n = 1023, t = 12 -> k = 903, rate ~0.88.
+  const bch::BchCode bch_code(10, 12);
+  std::printf("BCH(%d, %d) t=%d rate %.3f   vs   QC-LDPC(%d, %d) rate %.3f\n\n",
+              bch_code.n(), bch_code.k(), bch_code.t(), bch_code.rate(),
+              36864, 32768, 8.0 / 9.0);
+
+  const ldpc::QcLdpcCode ldpc_code = ldpc::QcLdpcCode::paper_code();
+  const ldpc::Encoder encoder(ldpc_code);
+  const ldpc::Decoder decoder(ldpc_code);
+
+  TablePrinter table({"raw BER", "BCH t=12", "LDPC hard", "LDPC 6-level"});
+  for (const double ber : {1e-3, 3e-3, 5e-3, 8e-3, 1.2e-2, 1.8e-2}) {
+    table.add_row(
+        {TablePrinter::num(ber),
+         TablePrinter::num(bch_success_rate(bch_code, ber, 40, rng), 2),
+         TablePrinter::num(
+             ldpc_success_rate(ldpc_code, encoder, decoder, ber, 0, 8, rng),
+             2),
+         TablePrinter::num(
+             ldpc_success_rate(ldpc_code, encoder, decoder, ber, 6, 8, rng),
+             2)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: 1.0 = every block decoded. BCH dies first; hard LDPC "
+      "survives to ~4e-3;\nsoft sensing extends LDPC well past 1e-2 — at "
+      "the price of the extra sensing levels\nwhose latency FlexLevel "
+      "attacks.\n");
+  return 0;
+}

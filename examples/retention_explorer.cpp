@@ -1,0 +1,65 @@
+// Retention explorer: how wear and data age push a drive into soft sensing,
+// and what the reduced state buys — a command-line view of Tables 4 and 5.
+//
+// Usage: retention_explorer [pe_cycles...]   (default: 3000 4500 6000)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "flexlevel/nunma.h"
+#include "flexlevel/reduce_mapper.h"
+#include "nand/level_config.h"
+#include "reliability/ber_model.h"
+#include "reliability/sensing_solver.h"
+#include "ssd/latency_model.h"
+
+int main(int argc, char** argv) {
+  using namespace flex;
+
+  std::vector<int> pe_points;
+  for (int i = 1; i < argc; ++i) pe_points.push_back(std::atoi(argv[i]));
+  if (pe_points.empty()) pe_points = {3000, 4500, 6000};
+
+  Rng rng(3);
+  const reliability::BerEngine::Config mc{
+      .wordlines = 64, .bitlines = 256, .rounds = 4, .coupling = {}};
+  const reliability::GrayMapper gray;
+  const flexlevel::ReduceCodeMapper reduce;
+  const reliability::BerModel normal(nand::LevelConfig::baseline_mlc(), gray,
+                                     reliability::RetentionModel{}, mc, rng);
+  const reliability::BerModel reduced(
+      flexlevel::nunma_config(flexlevel::NunmaScheme::kNunma3), reduce,
+      reliability::RetentionModel{}, mc, rng);
+  const reliability::SensingRequirement ladder;
+  const ssd::LatencyModel latency;
+
+  const std::vector<std::pair<const char*, Hours>> ages = {
+      {"fresh", 0.0},     {"1 day", kDay},    {"2 days", 2 * kDay},
+      {"1 week", kWeek},  {"2 weeks", 2 * kWeek}, {"1 month", kMonth}};
+
+  for (const int pe : pe_points) {
+    std::printf("=== P/E %d ===\n", pe);
+    TablePrinter table({"age", "normal BER", "levels", "read us",
+                        "reduced BER", "levels", "read us", "speedup"});
+    for (const auto& [label, age] : ages) {
+      const double nb = normal.total_ber(pe, age);
+      const double rb = reduced.total_ber(pe, age);
+      const int nl = ladder.required_levels(nb);
+      const int rl = ladder.required_levels(rb);
+      const double nt = to_micros(latency.read_progressive(nl, ladder));
+      const double rt = to_micros(latency.read_progressive(rl, ladder));
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", nt / rt);
+      table.add_row({label, TablePrinter::num(nb), std::to_string(nl),
+                     TablePrinter::num(nt, 3), TablePrinter::num(rb),
+                     std::to_string(rl), TablePrinter::num(rt, 3), speedup});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("The reduced state holds the sensing requirement at zero "
+              "across the whole sweep —\nthe device-level effect AccessEval "
+              "rations out to the data that needs it.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Anatomy of a reduced-state wordline (paper Fig. 3, Tables 1 & 2).
+//
+// Walks one 16-bitline wordline through the two-step program algorithm,
+// prints the resulting cell levels next to their ReduceCode pairs, then
+// injects single-level distortions and shows which page bits they damage.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "flexlevel/page_layout.h"
+#include "flexlevel/reduce_code.h"
+
+using namespace flex;
+using flexlevel::ReducedPageKind;
+
+namespace {
+
+void print_bits(const char* label, const std::vector<std::uint8_t>& bits) {
+  std::printf("%-12s", label);
+  for (const auto b : bits) std::printf(" %d", b);
+  std::printf("\n");
+}
+
+void print_levels(const flexlevel::ReducedWordline& wl) {
+  std::printf("bitline     ");
+  for (int b = 0; b < wl.bitlines(); ++b) std::printf(" %d", b % 10);
+  std::printf("\ncell level  ");
+  for (int b = 0; b < wl.bitlines(); ++b) {
+    std::printf(" %d", wl.cell_level(b));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2015);
+  flexlevel::ReducedWordline wl(16);
+  std::printf("A reduced-state wordline: %d bitlines -> %d ReduceCode pairs "
+              "-> 3 pages x %d bits\n",
+              wl.bitlines(), wl.pairs(), wl.page_bits());
+  std::printf("(even pairs carry the lower page's LSBs, odd pairs the middle "
+              "page's,\n and every pair contributes one MSB to the upper "
+              "page)\n\n");
+
+  auto random_page = [&] {
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(wl.page_bits()));
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+    return bits;
+  };
+  const auto lower = random_page();
+  const auto middle = random_page();
+  const auto upper = random_page();
+
+  std::printf("-- step 1: program the LSB pages (V_th 0 -> 0/1) --\n");
+  wl.program_lower(lower);
+  wl.program_middle(middle);
+  print_bits("lower bits", lower);
+  print_bits("middle bits", middle);
+  print_levels(wl);
+
+  std::printf("\n-- step 2: program the upper page (Table 2 transitions, "
+              "all bitlines selected) --\n");
+  wl.program_upper(upper);
+  print_bits("upper bits", upper);
+  print_levels(wl);
+
+  std::printf("\n-- read-back check --\n");
+  print_bits("lower", wl.read(ReducedPageKind::kLower));
+  print_bits("middle", wl.read(ReducedPageKind::kMiddle));
+  print_bits("upper", wl.read(ReducedPageKind::kUpper));
+
+  std::printf("\n-- single-level distortions (ReduceCode damage control) --\n");
+  for (const int victim : {0, 5, 10}) {
+    flexlevel::ReducedWordline copy = wl;
+    const int level = copy.cell_level(victim);
+    const int moved = level > 0 ? level - 1 : level + 1;
+    copy.set_cell_level(victim, moved);
+    int damaged = 0;
+    for (const auto page : {ReducedPageKind::kLower, ReducedPageKind::kMiddle,
+                            ReducedPageKind::kUpper}) {
+      const auto original = wl.read(page);
+      const auto noisy = copy.read(page);
+      for (std::size_t i = 0; i < original.size(); ++i) {
+        if (original[i] != noisy[i]) ++damaged;
+      }
+    }
+    std::printf("  bitline %2d: level %d -> %d  =>  %d bit flip(s) across "
+                "all three pages\n",
+                victim, level, moved, damaged);
+  }
+  std::printf("\nTable 1's mapping keeps almost every single-level distortion "
+              "at one bit flip\n(the exceptions are pinned down in "
+              "tests/flexlevel/reduce_code_test.cc).\n");
+  return 0;
+}

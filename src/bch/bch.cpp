@@ -1,0 +1,171 @@
+#include "bch/bch.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.h"
+
+namespace flex::bch {
+
+using gf::Field;
+using gf::Poly;
+
+namespace {
+
+// Generator polynomial: lcm of the minimal polynomials of alpha^1..alpha^2t.
+// Minimal polynomials are products over cyclotomic cosets {i, 2i, 4i, ...}
+// mod (2^m - 1); their coefficients always land in GF(2).
+Poly build_generator(const Field& f, int t) {
+  const std::uint32_t n = f.order();
+  std::set<std::uint32_t> covered;
+  Poly gen = Poly::one();
+  for (std::uint32_t i = 1; i <= 2u * static_cast<std::uint32_t>(t); ++i) {
+    if (covered.contains(i % n)) continue;
+    Poly min_poly = Poly::one();
+    std::uint32_t j = i % n;
+    do {
+      covered.insert(j);
+      // multiply by (x + alpha^j)
+      const Poly factor(
+          std::vector<Field::Element>{f.alpha_pow(j), 1});
+      min_poly = Poly::mul(f, min_poly, factor);
+      j = (2 * j) % n;
+    } while (j != i % n);
+    for (const auto c : min_poly.coeffs()) {
+      FLEX_ASSERT(c == 0 || c == 1);  // minimal polys are binary
+    }
+    gen = Poly::mul(f, gen, min_poly);
+  }
+  return gen;
+}
+
+}  // namespace
+
+BchCode::BchCode(int m, int t, int shorten)
+    : field_(m), t_(t), shorten_(shorten) {
+  FLEX_EXPECTS(t >= 1);
+  FLEX_EXPECTS(shorten >= 0);
+  n_full_ = static_cast<int>(field_.order());
+  generator_ = build_generator(field_, t);
+  k_full_ = n_full_ - generator_.degree();
+  FLEX_EXPECTS(k_full_ - shorten_ > 0);
+}
+
+std::vector<std::uint8_t> BchCode::encode(
+    std::span<const std::uint8_t> message) const {
+  FLEX_EXPECTS(static_cast<int>(message.size()) == k());
+  const int p = parity_bits();
+  // Systematic LFSR division: remainder of x^p * m(x) by g(x), processing
+  // message coefficients from the highest power down.
+  std::vector<std::uint8_t> reg(static_cast<std::size_t>(p), 0);
+  const auto& g = generator_.coeffs();
+  for (int i = k() - 1; i >= 0; --i) {
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>((message[static_cast<std::size_t>(i)] & 1) ^
+                                  reg[static_cast<std::size_t>(p - 1)]);
+    for (int j = p - 1; j >= 1; --j) {
+      reg[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+          reg[static_cast<std::size_t>(j - 1)] ^
+          (feedback & static_cast<std::uint8_t>(g[static_cast<std::size_t>(j)])));
+    }
+    reg[0] = static_cast<std::uint8_t>(feedback &
+                                       static_cast<std::uint8_t>(g[0]));
+  }
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(n()));
+  std::copy(message.begin(), message.end(), out.begin());
+  std::copy(reg.begin(), reg.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(k()));
+  return out;
+}
+
+std::vector<Field::Element> BchCode::syndromes(
+    std::span<const std::uint8_t> word) const {
+  // Layout: word[0..k-1] = message at poly positions p..p+k-1,
+  //         word[k..n-1] = parity at poly positions 0..p-1.
+  const int p = parity_bits();
+  std::vector<Field::Element> s(static_cast<std::size_t>(2 * t_), 0);
+  for (int idx = 0; idx < n(); ++idx) {
+    if (!(word[static_cast<std::size_t>(idx)] & 1)) continue;
+    const int pos = idx < k() ? p + idx : idx - k();
+    for (int i = 0; i < 2 * t_; ++i) {
+      s[static_cast<std::size_t>(i)] = Field::add(
+          s[static_cast<std::size_t>(i)],
+          field_.alpha_pow(static_cast<std::int64_t>(i + 1) * pos));
+    }
+  }
+  return s;
+}
+
+bool BchCode::is_codeword(std::span<const std::uint8_t> word) const {
+  FLEX_EXPECTS(static_cast<int>(word.size()) == n());
+  const auto s = syndromes(word);
+  return std::all_of(s.begin(), s.end(), [](auto x) { return x == 0; });
+}
+
+DecodeResult BchCode::decode(std::span<std::uint8_t> word) const {
+  FLEX_EXPECTS(static_cast<int>(word.size()) == n());
+  const auto s = syndromes(word);
+  if (std::all_of(s.begin(), s.end(), [](auto x) { return x == 0; })) {
+    return {.success = true, .corrected_bits = 0};
+  }
+
+  // Berlekamp-Massey: find the shortest LFSR (error locator sigma) that
+  // generates the syndrome sequence.
+  Poly sigma = Poly::one();
+  Poly prev = Poly::one();
+  int len = 0;
+  Field::Element prev_discrepancy = 1;
+  int shift = 1;
+  for (int iter = 0; iter < 2 * t_; ++iter) {
+    Field::Element d = s[static_cast<std::size_t>(iter)];
+    for (int i = 1; i <= len; ++i) {
+      d = Field::add(d, field_.mul(sigma.coeff(static_cast<std::size_t>(i)),
+                                   s[static_cast<std::size_t>(iter - i)]));
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const Poly correction = Poly::mul(
+        field_,
+        Poly::monomial(field_.div(d, prev_discrepancy),
+                       static_cast<std::size_t>(shift)),
+        prev);
+    const Poly next = Poly::add(sigma, correction);
+    if (2 * len <= iter) {
+      prev = sigma;
+      prev_discrepancy = d;
+      len = iter + 1 - len;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = next;
+  }
+  if (sigma.degree() > t_ || sigma.degree() != len) {
+    return {};  // more errors than the design distance supports
+  }
+
+  // Chien search over all polynomial positions of the *full* code; roots in
+  // the shortened (removed) region mean the error pattern is uncorrectable.
+  const int p = parity_bits();
+  std::vector<int> error_positions;
+  for (int pos = 0; pos < n_full_; ++pos) {
+    const Field::Element x = field_.alpha_pow(-pos);
+    if (sigma.eval(field_, x) == 0) error_positions.push_back(pos);
+  }
+  if (static_cast<int>(error_positions.size()) != sigma.degree()) {
+    return {};
+  }
+  for (const int pos : error_positions) {
+    if (pos >= p + k()) return {};  // falls in the shortened region
+  }
+  for (const int pos : error_positions) {
+    const int idx = pos >= p ? pos - p : pos + k();
+    word[static_cast<std::size_t>(idx)] ^= 1;
+  }
+  return {.success = true,
+          .corrected_bits = static_cast<int>(error_positions.size())};
+}
+
+}  // namespace flex::bch

@@ -1,0 +1,68 @@
+// Binary narrow-sense BCH codec.
+//
+// This is the hard-decision ECC that guarded 3Xnm NAND (paper §1); the
+// benches use it as the latency/correction-capability reference point that
+// motivates LDPC — and therefore FlexLevel — at 2Xnm error rates.
+//
+// Construction: GF(2^m), generator = lcm of the minimal polynomials of
+// alpha^1 .. alpha^2t. Encoding is systematic. Decoding is
+// syndromes -> Berlekamp-Massey -> Chien search.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/gf2m.h"
+#include "gf/poly.h"
+
+namespace flex::bch {
+
+/// Outcome of a decode attempt. `success == false` means the decoder
+/// detected more errors than it can correct (the word is left unchanged).
+struct DecodeResult {
+  bool success = false;
+  int corrected_bits = 0;
+};
+
+class BchCode {
+ public:
+  /// Narrow-sense binary BCH over GF(2^m) correcting `t` errors, shortened
+  /// by `shorten` information bits. Requires 3 <= m <= 16, t >= 1 and the
+  /// resulting k() > 0.
+  BchCode(int m, int t, int shorten = 0);
+
+  /// Codeword length after shortening.
+  int n() const { return n_full_ - shorten_; }
+  /// Message length after shortening.
+  int k() const { return k_full_ - shorten_; }
+  int parity_bits() const { return n_full_ - k_full_; }
+  int t() const { return t_; }
+  /// Code rate k/n.
+  double rate() const { return static_cast<double>(k()) / n(); }
+  const gf::Poly& generator() const { return generator_; }
+
+  /// Systematic encode: returns [message | parity], one bit per byte.
+  /// `message.size()` must equal k().
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> message) const;
+
+  /// Corrects `word` in place (size n()). Returns failure and leaves the
+  /// word unchanged when more than t errors are detected.
+  DecodeResult decode(std::span<std::uint8_t> word) const;
+
+  /// True iff `word` is a codeword (all syndromes zero).
+  bool is_codeword(std::span<const std::uint8_t> word) const;
+
+ private:
+  std::vector<gf::Field::Element> syndromes(
+      std::span<const std::uint8_t> word) const;
+
+  gf::Field field_;
+  int t_;
+  int shorten_;
+  int n_full_;
+  int k_full_;
+  gf::Poly generator_;
+};
+
+}  // namespace flex::bch

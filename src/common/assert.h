@@ -1,0 +1,35 @@
+// Precondition / postcondition / invariant checking helpers.
+//
+// Follows the Core Guidelines I.6/I.8 spirit (Expects/Ensures) without
+// depending on the GSL. Violations are programming errors, so they abort
+// with a diagnostic rather than throwing: callers are not expected to
+// recover from a broken contract.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flex::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace flex::detail
+
+#define FLEX_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::flex::detail::contract_failure("precondition", #cond,        \
+                                             __FILE__, __LINE__))
+
+#define FLEX_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::flex::detail::contract_failure("postcondition", #cond,       \
+                                             __FILE__, __LINE__))
+
+#define FLEX_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::flex::detail::contract_failure("invariant", #cond, __FILE__, \
+                                             __LINE__))

@@ -1,0 +1,18 @@
+// Standard-normal CDF/quantile helpers shared by the LDPC channel model
+// (BER -> noise sigma) and the reliability engine (analytic BER checks).
+#pragma once
+
+namespace flex {
+
+/// Phi(x): standard normal CDF.
+double normal_cdf(double x);
+
+/// Q(x) = 1 - Phi(x), computed via erfc for far-tail accuracy (needed for
+/// UBER-scale probabilities around 1e-15).
+double q_function(double x);
+
+/// Phi^-1(p) for p in (0,1). Acklam's rational approximation refined with
+/// one Halley step; accurate to ~1e-15 over the full open interval.
+double normal_quantile(double p);
+
+}  // namespace flex

@@ -1,0 +1,77 @@
+// Streaming statistics and histograms used by the BER engine, the SSD
+// response-time accounting, and the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flex {
+
+/// Numerically stable (Welford) accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< population variance; 0 for < 2 samples
+  double stddev() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in
+/// saturated edge bins so no sample is ever silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// Linear-interpolated quantile in [0,1]; returns lo when empty.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ratio counter used for bit-error-rate estimation: `events / trials` with
+/// a Wilson interval so benches can report Monte-Carlo confidence.
+class RateEstimator {
+ public:
+  void add(bool event) { add_many(event ? 1 : 0, 1); }
+  void add_many(std::uint64_t events, std::uint64_t trials);
+
+  std::uint64_t events() const { return events_; }
+  std::uint64_t trials() const { return trials_; }
+  double rate() const;
+  /// Half-width of the 95% Wilson score interval.
+  double margin95() const;
+
+ private:
+  std::uint64_t events_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+}  // namespace flex

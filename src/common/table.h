@@ -1,0 +1,29 @@
+// Minimal fixed-width ASCII table printer for the benchmark harnesses, so
+// every bench emits the paper's tables/figures in a uniform, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flex {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing; includes a header separator row.
+  std::string to_string() const;
+
+  /// Convenience: formats a double with `digits` significant digits.
+  static std::string num(double value, int digits = 3);
+  /// Convenience: percentage with sign, e.g. "+15.2%".
+  static std::string percent(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flex

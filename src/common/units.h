@@ -1,0 +1,39 @@
+// Simulation units.
+//
+// Time is kept as integral nanoseconds (SimTime) everywhere: the SSD
+// simulator adds many small latencies and floating-point time would drift.
+// Storage-time for retention modelling, by contrast, spans hours-to-months
+// and enters only through ln(1 + t/t0), so it is carried as double hours.
+#pragma once
+
+#include <cstdint>
+
+namespace flex {
+
+/// Simulated wall-clock time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Durations, also in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr double to_micros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/// Retention (data-age) time in hours; t0 in the paper's Eq. 3 is one hour.
+using Hours = double;
+
+constexpr Hours kDay = 24.0;
+constexpr Hours kWeek = 7.0 * kDay;
+constexpr Hours kMonth = 30.0 * kDay;
+
+/// Threshold voltages are plain volts; the models operate on sub-100 mV
+/// margins so double precision is ample.
+using Volt = double;
+
+}  // namespace flex

@@ -1,0 +1,54 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace flex {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  FLEX_EXPECTS(n >= 1);
+  FLEX_EXPECTS(theta >= 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+// h(x) = x^-theta, with the theta == 1 singular case handled via exp/log
+// so the same code path covers all exponents.
+double ZipfSampler::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+// Integral of h: x^(1-theta)/(1-theta), or log(x) when theta == 1.
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  if (theta_ == 1.0) return log_x;
+  // expm1 keeps precision when theta is close to 1.
+  return std::expm1((1.0 - theta_) * log_x) / (1.0 - theta_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // numeric guard near the distribution head
+  return std::exp(std::log1p(t) / (1.0 - theta_));
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (theta_ == 0.0) return rng.below(n_);
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // external interface is 0-based rank
+    }
+  }
+}
+
+}  // namespace flex

@@ -1,0 +1,43 @@
+// Zipf-distributed integer sampling for workload skew modelling.
+//
+// Block-trace studies consistently show power-law access popularity; the
+// synthetic workload generators use this sampler to concentrate reads on a
+// hot set, which is what makes AccessEval's hot-data identification
+// meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flex {
+
+/// Samples ranks in [0, n) with P(k) proportional to 1 / (k+1)^theta.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is
+/// O(1) per sample and needs no O(n) table, so footprints of millions of
+/// pages cost nothing to set up.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (0 degenerates to uniform).
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t size() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace flex

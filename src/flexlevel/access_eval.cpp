@@ -1,0 +1,101 @@
+#include "flexlevel/access_eval.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace flex::flexlevel {
+
+AccessEval::AccessEval(Config config)
+    : config_(config), hotness_(config.hotness) {
+  FLEX_EXPECTS(config_.freq_levels >= 1);
+  FLEX_EXPECTS(config_.sensing_buckets >= 1);
+  FLEX_EXPECTS(config_.pool_capacity_pages >= 1);
+}
+
+int AccessEval::freq_level(int hotness_count) const {
+  FLEX_EXPECTS(hotness_count >= 0);
+  // Map [0, filter_count] onto [1, N] proportionally: appearing in half the
+  // window filters reaches the top level when N == 2 (Park & Du [13] treat
+  // presence in multiple filters as hot).
+  const int filters = hotness_.filter_count();
+  const int scaled = hotness_count * config_.freq_levels / filters;
+  return 1 + std::min(scaled, config_.freq_levels - 1);
+}
+
+int AccessEval::sensing_level_bucket(int extra_sensing_levels) const {
+  FLEX_EXPECTS(extra_sensing_levels >= 0);
+  if (extra_sensing_levels == 0) return 1;
+  // Nonzero soft levels spread across the remaining buckets; with M == 2
+  // any soft read lands in the top bucket, matching the paper's setup.
+  const int bucket = 2 + (extra_sensing_levels - 1) / 2;
+  return std::min(bucket, config_.sensing_buckets);
+}
+
+AccessDecision AccessEval::on_read(std::uint64_t lpn,
+                                   int extra_sensing_levels) {
+  const int count = hotness_.record(lpn);
+  AccessDecision decision;
+  if (is_reduced(lpn)) {
+    touch(lpn);
+    return decision;
+  }
+  const int overhead =
+      freq_level(count) * sensing_level_bucket(extra_sensing_levels);
+  bool qualifies = overhead > config_.overhead_threshold;
+  if (qualifies) {
+    // Graduated hysteresis: migrations cost writes (Fig. 7), so admission
+    // tightens as the pool fills — half-full pools demand presence in most
+    // window filters, and a full pool (where admission also evicts) only
+    // churns for data hot in every filter. Without this, a hot set larger
+    // than the pool causes continuous migration thrash.
+    const int filters = hotness_.filter_count();
+    const double fill = static_cast<double>(lru_map_.size()) /
+                        static_cast<double>(config_.pool_capacity_pages);
+    if (fill >= 0.95) {
+      qualifies = count >= filters;
+    } else if (fill >= 0.5) {
+      qualifies = count >= filters / 2 + 1;
+    }
+  }
+  if (qualifies) {
+    decision.migrate_to_reduced = true;
+    decision.evicted = insert(lpn);
+  }
+  return decision;
+}
+
+void AccessEval::on_invalidate(std::uint64_t lpn) {
+  const auto it = lru_map_.find(lpn);
+  if (it == lru_map_.end()) return;
+  lru_list_.erase(it->second);
+  lru_map_.erase(it);
+}
+
+bool AccessEval::is_reduced(std::uint64_t lpn) const {
+  return lru_map_.contains(lpn);
+}
+
+void AccessEval::touch(std::uint64_t lpn) {
+  const auto it = lru_map_.find(lpn);
+  FLEX_EXPECTS(it != lru_map_.end());
+  lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+}
+
+std::optional<std::uint64_t> AccessEval::insert(std::uint64_t lpn) {
+  FLEX_EXPECTS(!is_reduced(lpn));
+  std::optional<std::uint64_t> evicted;
+  if (lru_map_.size() >= config_.pool_capacity_pages) {
+    // Convert the least-recently-read reduced page back to normal state.
+    const std::uint64_t victim = lru_list_.back();
+    lru_list_.pop_back();
+    lru_map_.erase(victim);
+    evicted = victim;
+  }
+  lru_list_.push_front(lpn);
+  lru_map_[lpn] = lru_list_.begin();
+  FLEX_ENSURES(lru_map_.size() <= config_.pool_capacity_pages);
+  return evicted;
+}
+
+}  // namespace flex::flexlevel

@@ -1,0 +1,74 @@
+#include "flexlevel/bloom.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+
+namespace flex::flexlevel {
+
+BloomFilter::BloomFilter(std::size_t bits, int hashes) : hashes_(hashes) {
+  FLEX_EXPECTS(bits >= 64);
+  FLEX_EXPECTS(hashes >= 1);
+  const std::size_t words = std::bit_ceil(bits) / 64;
+  bits_.assign(words, 0);
+  mask_ = static_cast<std::uint64_t>(words) * 64 - 1;
+}
+
+std::uint64_t BloomFilter::hash(std::uint64_t key, int i) const {
+  // Double hashing: h1 + i*h2, both derived from a splitmix-style mix.
+  std::uint64_t x = key + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  const std::uint64_t h1 = x ^ (x >> 31);
+  std::uint64_t y = key ^ 0xC2B2AE3D27D4EB4FULL;
+  y = (y ^ (y >> 33)) * 0xFF51AFD7ED558CCDULL;
+  const std::uint64_t h2 = (y ^ (y >> 33)) | 1;  // odd stride
+  return (h1 + static_cast<std::uint64_t>(i) * h2) & mask_;
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = hash(key, i);
+    bits_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::contains(std::uint64_t key) const {
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = hash(key, i);
+    if (!(bits_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+MultiBloomHotness::MultiBloomHotness(Config config) : config_(config) {
+  FLEX_EXPECTS(config_.filter_count >= 2);
+  FLEX_EXPECTS(config_.window_accesses >= 1);
+  filters_.reserve(static_cast<std::size_t>(config_.filter_count));
+  for (int i = 0; i < config_.filter_count; ++i) {
+    filters_.emplace_back(config_.bits_per_filter, config_.hashes);
+  }
+}
+
+int MultiBloomHotness::record(std::uint64_t key) {
+  filters_[current_].insert(key);
+  if (++accesses_in_window_ >= config_.window_accesses) {
+    accesses_in_window_ = 0;
+    current_ = (current_ + 1) % filters_.size();
+    filters_[current_].clear();  // the oldest filter becomes current
+  }
+  return hotness(key);
+}
+
+int MultiBloomHotness::hotness(std::uint64_t key) const {
+  int count = 0;
+  for (const auto& filter : filters_) {
+    if (filter.contains(key)) ++count;
+  }
+  return count;
+}
+
+}  // namespace flex::flexlevel

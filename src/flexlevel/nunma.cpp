@@ -1,0 +1,31 @@
+#include "flexlevel/nunma.h"
+
+#include "common/assert.h"
+
+namespace flex::flexlevel {
+
+nand::LevelConfig nunma_config(NunmaScheme scheme) {
+  const std::vector<Volt> read_refs = {2.65, 3.55};
+  const Volt vpp = 0.15;
+  switch (scheme) {
+    case NunmaScheme::kBasic:
+      // Basic LevelAdjust: verify close to the read reference at both
+      // levels (Fig. 4(a) placement), before NUNMA shifts anything.
+      return nand::LevelConfig("LevelAdjust-basic", read_refs, {2.70, 3.60},
+                               vpp);
+    case NunmaScheme::kNunma1:
+      return nand::LevelConfig("NUNMA 1", read_refs, {2.71, 3.61}, vpp);
+    case NunmaScheme::kNunma2:
+      return nand::LevelConfig("NUNMA 2", read_refs, {2.70, 3.65}, vpp);
+    case NunmaScheme::kNunma3:
+      return nand::LevelConfig("NUNMA 3", read_refs, {2.75, 3.70}, vpp);
+  }
+  FLEX_ASSERT(false && "unreachable: all schemes handled");
+  return nand::LevelConfig("invalid", read_refs, {2.70, 3.60}, vpp);
+}
+
+std::string nunma_name(NunmaScheme scheme) {
+  return nunma_config(scheme).name();
+}
+
+}  // namespace flex::flexlevel

@@ -1,0 +1,33 @@
+// NUNMA (non-uniform noise margin adjustment) configurations — paper
+// Table 3 — expressed as reduced-state (3-level) LevelConfigs.
+//
+// All three share read references {2.65, 3.55} and V_pp = 0.15; they differ
+// in how far each program-verify voltage is pushed above its lower read
+// reference: higher verify = more retention margin but less C2C margin,
+// and NUNMA deliberately gives the fragile level 2 the bigger push.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "nand/level_config.h"
+
+namespace flex::flexlevel {
+
+enum class NunmaScheme {
+  kBasic,   ///< uniform margins (basic LevelAdjust, pre-NUNMA)
+  kNunma1,  ///< verify {2.71, 3.61}
+  kNunma2,  ///< verify {2.70, 3.65}
+  kNunma3,  ///< verify {2.75, 3.70}  (the configuration AccessEval deploys)
+};
+
+/// The reduced-state level configuration for a scheme.
+nand::LevelConfig nunma_config(NunmaScheme scheme);
+
+std::string nunma_name(NunmaScheme scheme);
+
+/// All Table 3 schemes in presentation order (without kBasic).
+constexpr std::array<NunmaScheme, 3> kNunmaSchemes = {
+    NunmaScheme::kNunma1, NunmaScheme::kNunma2, NunmaScheme::kNunma3};
+
+}  // namespace flex::flexlevel

@@ -1,0 +1,38 @@
+#include "flexlevel/reduce_code.h"
+
+#include "common/assert.h"
+
+namespace flex::flexlevel {
+namespace {
+
+// Table 1, indexed by the 3-bit value.
+constexpr CellPairLevels kEncode[8] = {
+    {.first = 0, .second = 0},  // 000
+    {.first = 0, .second = 1},  // 001
+    {.first = 1, .second = 0},  // 010
+    {.first = 1, .second = 1},  // 011
+    {.first = 2, .second = 2},  // 100
+    {.first = 0, .second = 2},  // 101
+    {.first = 2, .second = 0},  // 110
+    {.first = 2, .second = 1},  // 111
+};
+
+}  // namespace
+
+CellPairLevels reduce_encode(int value) {
+  FLEX_EXPECTS(value >= 0 && value < 8);
+  return kEncode[value];
+}
+
+int reduce_decode(CellPairLevels levels) {
+  FLEX_EXPECTS(levels.first >= 0 && levels.first <= 2);
+  FLEX_EXPECTS(levels.second >= 0 && levels.second <= 2);
+  for (int value = 0; value < 8; ++value) {
+    if (kEncode[value] == levels) return value;
+  }
+  // The unused ninth combination (1, 2): attribute it to retention loss on
+  // the first cell of a (2, 2) pair (level-2 cells lose charge fastest).
+  return 4;
+}
+
+}  // namespace flex::flexlevel

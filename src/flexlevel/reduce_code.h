@@ -1,0 +1,38 @@
+// ReduceCode: the paper's Table 1 mapping between a 3-bit value and the
+// V_th levels of two reduced-state (3-level) cells.
+//
+// Eight of the nine level combinations are used; like Gray code, the
+// mapping keeps the bit damage of a single-level distortion low (the paper
+// calls it one bit; the lone exception in Table 1 as printed is
+// (2,2) <-> (2,1), which differ in two bits — we reproduce the table
+// verbatim and the tests pin down the exact distortion profile).
+#pragma once
+
+#include <cstdint>
+
+namespace flex::flexlevel {
+
+/// Levels of the two cells of a ReduceCode pair; each in {0, 1, 2}.
+struct CellPairLevels {
+  int first = 0;   ///< V_th I
+  int second = 0;  ///< V_th II
+
+  bool operator==(const CellPairLevels&) const = default;
+};
+
+/// Encodes a 3-bit value (0..7, MSB-first per the paper: value = MSB,
+/// LSB1, LSB0) into the level pair of Table 1.
+CellPairLevels reduce_encode(int value);
+
+/// Decodes a level pair back to the 3-bit value. The unused combination
+/// (1, 2) decodes to 4 (levels (2,2)): a single retention drop of the
+/// first cell — by far the likeliest single-step distortion reaching
+/// (1,2) — restores the right data.
+int reduce_decode(CellPairLevels levels);
+
+/// The MSB of the pair's value (drives the two-step program algorithm).
+inline int reduce_msb(int value) { return (value >> 2) & 1; }
+/// The two LSBs (value of the lower/middle page contribution).
+inline int reduce_lsbs(int value) { return value & 3; }
+
+}  // namespace flex::flexlevel

@@ -1,0 +1,32 @@
+#include "flexlevel/reduce_mapper.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "flexlevel/reduce_code.h"
+
+namespace flex::flexlevel {
+
+void ReduceCodeMapper::to_bits(std::span<const int> levels,
+                               std::span<std::uint8_t> bits) const {
+  FLEX_EXPECTS(levels.size() == 2 && bits.size() == 3);
+  // Reads can momentarily see out-of-range decisions only if the caller
+  // used a config with more levels; clamp defensively to the 3-level grid.
+  const CellPairLevels pair{.first = std::clamp(levels[0], 0, 2),
+                            .second = std::clamp(levels[1], 0, 2)};
+  const int value = reduce_decode(pair);
+  bits[0] = static_cast<std::uint8_t>((value >> 2) & 1);
+  bits[1] = static_cast<std::uint8_t>((value >> 1) & 1);
+  bits[2] = static_cast<std::uint8_t>(value & 1);
+}
+
+void ReduceCodeMapper::to_levels(std::span<const std::uint8_t> bits,
+                                 std::span<int> levels) const {
+  FLEX_EXPECTS(levels.size() == 2 && bits.size() == 3);
+  const int value = ((bits[0] & 1) << 2) | ((bits[1] & 1) << 1) | (bits[2] & 1);
+  const CellPairLevels pair = reduce_encode(value);
+  levels[0] = pair.first;
+  levels[1] = pair.second;
+}
+
+}  // namespace flex::flexlevel

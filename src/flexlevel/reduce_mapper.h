@@ -1,0 +1,20 @@
+// BitMapper adapter plugging ReduceCode into the reliability BER engine:
+// two reduced-state cells carry 3 bits (Fig. 3 pairing of equal-parity
+// bitline neighbours).
+#pragma once
+
+#include "reliability/ber_engine.h"
+
+namespace flex::flexlevel {
+
+class ReduceCodeMapper final : public reliability::BitMapper {
+ public:
+  int cells_per_group() const override { return 2; }
+  int bits_per_group() const override { return 3; }
+  void to_bits(std::span<const int> levels,
+               std::span<std::uint8_t> bits) const override;
+  void to_levels(std::span<const std::uint8_t> bits,
+                 std::span<int> levels) const override;
+};
+
+}  // namespace flex::flexlevel

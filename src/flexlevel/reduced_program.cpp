@@ -1,0 +1,49 @@
+#include "flexlevel/reduced_program.h"
+
+#include "common/assert.h"
+
+namespace flex::flexlevel {
+
+PairProgramState program_lsbs(int lsbs) {
+  FLEX_EXPECTS(lsbs >= 0 && lsbs < 4);
+  PairProgramState state;
+  // 1st program step: V_th rises to level 1 or stays at level 0 per bit
+  // (Table 2, "1st program" rows).
+  state.levels.first = (lsbs >> 1) & 1;
+  state.levels.second = lsbs & 1;
+  state.lsbs_programmed = true;
+  return state;
+}
+
+CellPairLevels second_step_target(int lsbs, int msb) {
+  FLEX_EXPECTS(lsbs >= 0 && lsbs < 4);
+  FLEX_EXPECTS(msb == 0 || msb == 1);
+  return reduce_encode((msb << 2) | lsbs);
+}
+
+PairProgramState program_msb(PairProgramState state, int msb) {
+  FLEX_EXPECTS(state.lsbs_programmed);
+  FLEX_EXPECTS(!state.msb_programmed);
+  FLEX_EXPECTS(msb == 0 || msb == 1);
+  if (msb == 1) {
+    const int lsbs = (state.levels.first << 1) | state.levels.second;
+    const CellPairLevels target = second_step_target(lsbs, 1);
+    // Table 2 transitions are monotone: V_th only ever increases (NAND
+    // cannot selectively lower a cell without erasing the block).
+    FLEX_ASSERT(target.first >= state.levels.first);
+    FLEX_ASSERT(target.second >= state.levels.second);
+    state.levels = target;
+  }
+  state.msb_programmed = true;
+  return state;
+}
+
+PairProgramState program_value(int value) {
+  FLEX_EXPECTS(value >= 0 && value < 8);
+  PairProgramState state = program_lsbs(reduce_lsbs(value));
+  state = program_msb(state, reduce_msb(value));
+  FLEX_ENSURES(state.levels == reduce_encode(value));
+  return state;
+}
+
+}  // namespace flex::flexlevel

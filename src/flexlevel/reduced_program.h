@@ -1,0 +1,38 @@
+// The two-step program algorithm for the ReduceCode bitline structure
+// (paper §4.1, Table 2).
+//
+// Step 1 programs the two LSBs of each pair (the lower page on even
+// bitlines, the middle page on odd bitlines): each cell moves from the
+// erased level 0 to level 1 iff its LSB is 1. Step 2 programs the MSB of
+// every pair on the wordline: MSB 0 freezes the pair; MSB 1 applies the
+// Table 2 transition that lands the pair on its Table 1 combination.
+#pragma once
+
+#include "flexlevel/reduce_code.h"
+
+namespace flex::flexlevel {
+
+/// State of one cell pair as it moves through the two program steps.
+struct PairProgramState {
+  CellPairLevels levels;  ///< current V_th levels
+  bool lsbs_programmed = false;
+  bool msb_programmed = false;
+};
+
+/// Step 1: program the two LSBs (values 0..3, bit1 -> first cell, bit0 ->
+/// second cell). Requires an erased pair.
+PairProgramState program_lsbs(int lsbs);
+
+/// Step 2: program the MSB onto a step-1 pair. Implements Table 2's
+/// transitions; MSB = 0 leaves the levels untouched.
+PairProgramState program_msb(PairProgramState state, int msb);
+
+/// Convenience: both steps for a 3-bit value; postcondition: the resulting
+/// levels equal reduce_encode(value).
+PairProgramState program_value(int value);
+
+/// The per-cell level transitions of the second step, for inspection /
+/// Table 2 verification: returns the targeted levels given the LSBs.
+CellPairLevels second_step_target(int lsbs, int msb);
+
+}  // namespace flex::flexlevel

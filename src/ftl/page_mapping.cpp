@@ -1,0 +1,277 @@
+#include "ftl/page_mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace flex::ftl {
+
+PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
+  FLEX_EXPECTS(config_.over_provisioning > 0.0 &&
+               config_.over_provisioning < 1.0);
+  FLEX_EXPECTS(config_.reduced_capacity_factor > 0.0 &&
+               config_.reduced_capacity_factor <= 1.0);
+  FLEX_EXPECTS(config_.gc_low_watermark >= 2);
+
+  const std::uint64_t total_blocks =
+      static_cast<std::uint64_t>(config_.spec.chips) *
+      config_.spec.blocks_per_chip;
+  FLEX_EXPECTS(total_blocks > config_.gc_low_watermark * 4);
+  blocks_.resize(total_blocks);
+  for (auto& block : blocks_) {
+    block.erase_count = config_.initial_pe_cycles;
+    block.pages.resize(config_.spec.pages_per_block);
+  }
+  for (std::uint64_t i = 0; i < total_blocks; ++i) {
+    free_list_.push_back(static_cast<std::uint32_t>(i));
+  }
+  free_count_ = static_cast<std::uint32_t>(total_blocks);
+
+  logical_pages_ = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(config_.spec.total_pages()) *
+                 (1.0 - config_.over_provisioning)));
+  map_.assign(logical_pages_, kInvalid);
+  gc_buckets_.resize(config_.spec.pages_per_block + 1);
+  gc_bucket_pos_.assign(total_blocks, 0);
+}
+
+void PageMappingFtl::candidate_insert(std::uint32_t block_id) {
+  auto& bucket = gc_buckets_[blocks_[block_id].valid_count];
+  gc_bucket_pos_[block_id] = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(block_id);
+}
+
+void PageMappingFtl::candidate_remove(std::uint32_t block_id,
+                                      std::uint32_t old_valid) {
+  auto& bucket = gc_buckets_[old_valid];
+  const std::uint32_t pos = gc_bucket_pos_[block_id];
+  FLEX_ASSERT(pos < bucket.size() && bucket[pos] == block_id);
+  bucket[pos] = bucket.back();
+  gc_bucket_pos_[bucket[pos]] = pos;
+  bucket.pop_back();
+}
+
+std::uint32_t PageMappingFtl::usable_pages(const BlockMeta& block) const {
+  if (block.mode == PageMode::kNormal) return config_.spec.pages_per_block;
+  return static_cast<std::uint32_t>(
+      std::floor(config_.spec.pages_per_block *
+                 config_.reduced_capacity_factor));
+}
+
+std::uint64_t PageMappingFtl::make_ppn(std::uint32_t block,
+                                       std::uint32_t page) const {
+  return static_cast<std::uint64_t>(block) * config_.spec.pages_per_block +
+         page;
+}
+
+std::optional<PageInfo> PageMappingFtl::lookup(std::uint64_t lpn) const {
+  FLEX_EXPECTS(lpn < logical_pages_);
+  const std::uint64_t ppn = map_[lpn];
+  if (ppn == kInvalid) return std::nullopt;
+  const auto block_id =
+      static_cast<std::uint32_t>(ppn / config_.spec.pages_per_block);
+  const auto page_id =
+      static_cast<std::uint32_t>(ppn % config_.spec.pages_per_block);
+  const BlockMeta& block = blocks_[block_id];
+  const PageMeta& page = block.pages[page_id];
+  FLEX_ASSERT(page.valid && page.lpn == lpn);
+  return PageInfo{.ppn = ppn,
+                  .mode = block.mode,
+                  .write_time = page.write_time,
+                  .pe_cycles = block.erase_count};
+}
+
+void PageMappingFtl::invalidate(std::uint64_t lpn) {
+  const std::uint64_t ppn = map_[lpn];
+  if (ppn == kInvalid) return;
+  const auto block_id =
+      static_cast<std::uint32_t>(ppn / config_.spec.pages_per_block);
+  const auto page_id =
+      static_cast<std::uint32_t>(ppn % config_.spec.pages_per_block);
+  BlockMeta& block = blocks_[block_id];
+  PageMeta& page = block.pages[page_id];
+  FLEX_ASSERT(page.valid && page.lpn == lpn);
+  page.valid = false;
+  page.lpn = kInvalid;
+  FLEX_ASSERT(block.valid_count > 0);
+  const bool closed = !block.open && block.next_page > 0;
+  if (closed) candidate_remove(block_id, block.valid_count);
+  --block.valid_count;
+  if (closed) candidate_insert(block_id);
+  map_[lpn] = kInvalid;
+}
+
+std::uint32_t PageMappingFtl::allocate_block(PageMode mode) {
+  FLEX_ASSERT(free_count_ > 0 && "FTL out of free blocks: GC failed");
+  const std::uint32_t id = free_list_.front();
+  free_list_.pop_front();
+  --free_count_;
+  BlockMeta& block = blocks_[id];
+  FLEX_ASSERT(block.valid_count == 0 && block.next_page == 0);
+  block.mode = mode;
+  block.open = true;
+  return id;
+}
+
+std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
+                                     SimTime now, std::uint64_t* programs) {
+  const auto mode_index = static_cast<std::size_t>(mode);
+  std::uint32_t frontier = frontier_[mode_index];
+  if (frontier == kNoBlock ||
+      blocks_[frontier].next_page >= usable_pages(blocks_[frontier])) {
+    if (frontier != kNoBlock) {
+      blocks_[frontier].open = false;
+      candidate_insert(frontier);
+    }
+    frontier = allocate_block(mode);
+    frontier_[mode_index] = frontier;
+  }
+  BlockMeta& block = blocks_[frontier];
+  const std::uint32_t page_id = block.next_page++;
+  PageMeta& page = block.pages[page_id];
+  page.lpn = lpn;
+  page.write_time = now;
+  page.valid = true;
+  ++block.valid_count;
+  const std::uint64_t ppn = make_ppn(frontier, page_id);
+  map_[lpn] = ppn;
+  ++stats_.nand_writes;
+  ++*programs;
+  return ppn;
+}
+
+std::optional<std::uint32_t> PageMappingFtl::pick_gc_victim() const {
+  // Greedy: the closed block with the fewest valid pages. Within a bucket,
+  // the least-worn block is preferred, which doubles as wear leveling.
+  for (const auto& bucket : gc_buckets_) {
+    if (bucket.empty()) continue;
+    // Bounded wear-leveling tiebreak: inspecting a handful of candidates
+    // keeps victim selection O(1) while still steering GC toward less-worn
+    // blocks. Fully-valid blocks (possible for reduced blocks, whose
+    // usable slot count is lower) yield no space and are skipped.
+    std::optional<std::uint32_t> best;
+    const std::size_t scan = std::min<std::size_t>(bucket.size(), 32);
+    for (std::size_t i = 0; i < scan; ++i) {
+      const std::uint32_t id = bucket[i];
+      if (blocks_[id].valid_count >= usable_pages(blocks_[id])) continue;
+      if (!best || blocks_[id].erase_count < blocks_[*best].erase_count) {
+        best = id;
+      }
+    }
+    if (best) return best;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> PageMappingFtl::pick_wear_leveling_victim()
+    const {
+  // Least-worn closed block, whatever its valid count: its cold data is
+  // what pins the wear imbalance. Linear scan, amortised by the interval.
+  std::optional<std::uint32_t> best;
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    const BlockMeta& block = blocks_[id];
+    if (block.open || block.next_page == 0) continue;
+    if (!best || block.erase_count < blocks_[*best].erase_count) best = id;
+  }
+  return best;
+}
+
+void PageMappingFtl::maybe_garbage_collect(SimTime now,
+                                           std::uint64_t* programs,
+                                           std::uint64_t* erases) {
+  while (free_count_ < config_.gc_low_watermark) {
+    std::optional<std::uint32_t> victim_id;
+    if (config_.static_wl_interval > 0 &&
+        stats_.gc_runs % config_.static_wl_interval ==
+            config_.static_wl_interval - 1) {
+      victim_id = pick_wear_leveling_victim();
+    }
+    if (!victim_id) victim_id = pick_gc_victim();
+    FLEX_ASSERT(victim_id.has_value() &&
+                "no GC victim: drive is over-committed");
+    BlockMeta& victim = blocks_[*victim_id];
+    candidate_remove(*victim_id, victim.valid_count);
+    // Mark as open so relocation's invalidate path skips bucket updates.
+    victim.open = true;
+    ++stats_.gc_runs;
+    for (std::uint32_t p = 0; p < victim.next_page; ++p) {
+      PageMeta& page = victim.pages[p];
+      if (!page.valid) continue;
+      const std::uint64_t lpn = page.lpn;
+      // Relocation reprograms the data into fresh cells, so its retention
+      // clock restarts at `now`; only the logical identity is preserved.
+      page.valid = false;
+      page.lpn = kInvalid;
+      --victim.valid_count;
+      map_[lpn] = kInvalid;
+      append(lpn, victim.mode, now, programs);
+      ++stats_.gc_page_moves;
+    }
+    FLEX_ASSERT(victim.valid_count == 0);
+    for (auto& page : victim.pages) page = PageMeta{};
+    victim.next_page = 0;
+    victim.open = false;
+    ++victim.erase_count;
+    ++stats_.nand_erases;
+    ++*erases;
+    free_list_.push_back(*victim_id);
+    ++free_count_;
+  }
+}
+
+WriteResult PageMappingFtl::write(std::uint64_t lpn, PageMode mode,
+                                  SimTime now) {
+  FLEX_EXPECTS(lpn < logical_pages_);
+  WriteResult result;
+  result.page_programs = 0;
+  ++stats_.host_writes;
+  invalidate(lpn);
+  maybe_garbage_collect(now, &result.page_programs, &result.erases);
+  result.ppn = append(lpn, mode, now, &result.page_programs);
+  result.mode = mode;
+  return result;
+}
+
+WriteResult PageMappingFtl::migrate(std::uint64_t lpn, PageMode mode,
+                                    SimTime now) {
+  FLEX_EXPECTS(lpn < logical_pages_);
+  FLEX_EXPECTS(map_[lpn] != kInvalid);
+  WriteResult result;
+  result.page_programs = 0;
+  ++stats_.mode_migrations;
+  invalidate(lpn);
+  maybe_garbage_collect(now, &result.page_programs, &result.erases);
+  result.ppn = append(lpn, mode, now, &result.page_programs);
+  result.mode = mode;
+  return result;
+}
+
+std::uint32_t PageMappingFtl::min_erase_count() const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& block : blocks_) best = std::min(best, block.erase_count);
+  return best;
+}
+
+std::uint32_t PageMappingFtl::max_erase_count() const {
+  std::uint32_t best = 0;
+  for (const auto& block : blocks_) best = std::max(best, block.erase_count);
+  return best;
+}
+
+double PageMappingFtl::mean_erase_count() const {
+  double sum = 0.0;
+  for (const auto& block : blocks_) sum += block.erase_count;
+  return sum / static_cast<double>(blocks_.size());
+}
+
+std::uint32_t PageMappingFtl::reduced_blocks() const {
+  std::uint32_t count = 0;
+  for (const auto& block : blocks_) {
+    if (block.mode == PageMode::kReduced && block.next_page > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace flex::ftl

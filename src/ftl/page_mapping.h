@@ -1,0 +1,152 @@
+// Page-level-mapping flash translation layer with greedy garbage
+// collection, erase-count-aware victim selection, and dual write frontiers
+// (normal-state and reduced-state blocks).
+//
+// This is the FlashSim-equivalent substrate the paper modifies: AccessEval
+// asks it to place data in reduced-state blocks, which hold only 3/4 of the
+// logical pages of a normal block (ReduceCode's 3-bits-per-2-cells
+// density), shrinking the effective over-provisioning — the mechanism
+// behind LevelAdjust-only's GC penalty in Fig. 6(a).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "nand/geometry.h"
+
+namespace flex::ftl {
+
+/// Storage state of a physical block / page.
+enum class PageMode : std::uint8_t { kNormal, kReduced };
+
+struct FtlConfig {
+  nand::NandSpec spec;
+  /// Fraction of raw capacity reserved as over-provisioning (paper: 27%).
+  double over_provisioning = 0.27;
+  /// GC starts when the free-block count drops to this level.
+  std::uint32_t gc_low_watermark = 8;
+  /// Logical pages a reduced-state block can hold, as a fraction of
+  /// pages_per_block (ReduceCode: 3 bits per 2 cells = 0.75).
+  double reduced_capacity_factor = 0.75;
+  /// P/E cycles already on every block at simulation start (pre-aging).
+  std::uint32_t initial_pe_cycles = 0;
+  /// Static wear leveling: every this-many GC victims, the least-worn
+  /// closed block is reclaimed instead of the greedy choice, so blocks
+  /// pinned by cold data still circulate. 0 disables.
+  std::uint32_t static_wl_interval = 64;
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;   ///< logical page writes accepted
+  std::uint64_t nand_writes = 0;   ///< physical page programs (incl. GC)
+  std::uint64_t nand_erases = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_page_moves = 0;
+  std::uint64_t mode_migrations = 0;  ///< explicit normal<->reduced rewrites
+
+  double write_amplification() const {
+    return host_writes == 0
+               ? 1.0
+               : static_cast<double>(nand_writes) /
+                     static_cast<double>(host_writes);
+  }
+};
+
+/// Result of placing one logical page.
+struct WriteResult {
+  std::uint64_t ppn = 0;
+  PageMode mode = PageMode::kNormal;
+  /// Physical page programs this operation caused (1 + GC relocations).
+  std::uint64_t page_programs = 1;
+  std::uint64_t erases = 0;
+};
+
+/// What a read needs to know to model its latency/reliability.
+struct PageInfo {
+  std::uint64_t ppn = 0;
+  PageMode mode = PageMode::kNormal;
+  SimTime write_time = 0;
+  std::uint32_t pe_cycles = 0;  ///< erase count of the containing block
+};
+
+class PageMappingFtl {
+ public:
+  explicit PageMappingFtl(FtlConfig config);
+
+  std::uint64_t logical_pages() const { return logical_pages_; }
+  std::uint64_t physical_blocks() const { return blocks_.size(); }
+
+  /// Looks up a logical page; nullopt if never written.
+  std::optional<PageInfo> lookup(std::uint64_t lpn) const;
+
+  /// Writes (or overwrites) a logical page into a block of `mode`,
+  /// garbage-collecting first if free space is low.
+  WriteResult write(std::uint64_t lpn, PageMode mode, SimTime now);
+
+  /// Rewrites an existing page into the other mode, preserving its original
+  /// write time (migration moves old data, it does not refresh its age
+  /// relative to the retention clock — the program operation does reset the
+  /// cell charge, so the stored age restarts; we model the restart).
+  WriteResult migrate(std::uint64_t lpn, PageMode mode, SimTime now);
+
+  const FtlStats& stats() const { return stats_; }
+  std::uint32_t free_blocks() const { return free_count_; }
+  std::uint32_t min_erase_count() const;
+  std::uint32_t max_erase_count() const;
+  double mean_erase_count() const;
+  /// Blocks currently holding reduced-state data.
+  std::uint32_t reduced_blocks() const;
+
+ private:
+  struct PageMeta {
+    std::uint64_t lpn = kInvalid;
+    SimTime write_time = 0;
+    bool valid = false;
+  };
+  struct BlockMeta {
+    PageMode mode = PageMode::kNormal;
+    std::uint32_t erase_count = 0;
+    std::uint32_t next_page = 0;   ///< write pointer within the block
+    std::uint32_t valid_count = 0;
+    bool open = false;             ///< is a write frontier
+    std::vector<PageMeta> pages;
+  };
+
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+
+  std::uint32_t usable_pages(const BlockMeta& block) const;
+  std::uint64_t make_ppn(std::uint32_t block, std::uint32_t page) const;
+  void invalidate(std::uint64_t lpn);
+  std::uint32_t allocate_block(PageMode mode);
+  /// Appends to the frontier of `mode`; assumes space exists.
+  std::uint64_t append(std::uint64_t lpn, PageMode mode, SimTime now,
+                       std::uint64_t* programs);
+  void maybe_garbage_collect(SimTime now, std::uint64_t* programs,
+                             std::uint64_t* erases);
+  std::optional<std::uint32_t> pick_gc_victim() const;
+  std::optional<std::uint32_t> pick_wear_leveling_victim() const;
+  // GC-candidate bookkeeping: closed blocks bucketed by valid_count so the
+  // greedy victim lookup is O(1) instead of O(blocks).
+  void candidate_insert(std::uint32_t block_id);
+  void candidate_remove(std::uint32_t block_id, std::uint32_t old_valid);
+
+  FtlConfig config_;
+  std::uint64_t logical_pages_;
+  std::vector<BlockMeta> blocks_;
+  std::vector<std::uint64_t> map_;      // lpn -> ppn (kInvalid when unmapped)
+  // FIFO so every free block circulates (a LIFO stack would recycle the
+  // same few blocks and defeat wear leveling).
+  std::deque<std::uint32_t> free_list_;
+  std::uint32_t free_count_ = 0;
+  // Current frontier per mode; kNoBlock when none is open.
+  static constexpr std::uint32_t kNoBlock = ~0U;
+  std::uint32_t frontier_[2] = {kNoBlock, kNoBlock};
+  std::vector<std::vector<std::uint32_t>> gc_buckets_;  // by valid_count
+  std::vector<std::uint32_t> gc_bucket_pos_;  // block -> index in its bucket
+  FtlStats stats_;
+};
+
+}  // namespace flex::ftl

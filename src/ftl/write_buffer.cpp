@@ -1,0 +1,48 @@
+#include "ftl/write_buffer.h"
+
+#include "common/assert.h"
+
+namespace flex::ftl {
+
+WriteBuffer::WriteBuffer(std::uint64_t capacity_pages,
+                         std::uint64_t flush_batch)
+    : capacity_(capacity_pages), flush_batch_(flush_batch) {
+  FLEX_EXPECTS(capacity_pages >= 1);
+  FLEX_EXPECTS(flush_batch >= 1 && flush_batch <= capacity_pages);
+}
+
+std::vector<std::uint64_t> WriteBuffer::write(std::uint64_t lpn) {
+  if (const auto it = map_.find(lpn); it != map_.end()) {
+    // Overwrite in place: refresh recency, nothing to flush.
+    order_.splice(order_.begin(), order_, it->second);
+    return {};
+  }
+  order_.push_front(lpn);
+  map_[lpn] = order_.begin();
+  std::vector<std::uint64_t> flush;
+  if (map_.size() > capacity_) {
+    flush.reserve(flush_batch_);
+    while (!order_.empty() && flush.size() < flush_batch_) {
+      const std::uint64_t victim = order_.back();
+      order_.pop_back();
+      map_.erase(victim);
+      flush.push_back(victim);
+    }
+  }
+  FLEX_ENSURES(map_.size() <= capacity_);
+  return flush;
+}
+
+std::vector<std::uint64_t> WriteBuffer::drain() {
+  std::vector<std::uint64_t> flush;
+  flush.reserve(map_.size());
+  // Oldest first, matching the overflow eviction order.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    flush.push_back(*it);
+  }
+  order_.clear();
+  map_.clear();
+  return flush;
+}
+
+}  // namespace flex::ftl

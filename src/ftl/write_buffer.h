@@ -1,0 +1,43 @@
+// Write-back DRAM write buffer (the paper's modification to FlashSim:
+// "We modified the simulator by adding a write-back write buffer").
+//
+// Host writes land in the buffer and complete immediately; dirty pages are
+// flushed to the FTL when the buffer fills (batch eviction of the
+// least-recently-written pages). Reads must consult the buffer first.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace flex::ftl {
+
+class WriteBuffer {
+ public:
+  /// `capacity_pages` >= 1; `flush_batch` pages are evicted per overflow
+  /// (batching amortises the program cost the way real controllers do).
+  WriteBuffer(std::uint64_t capacity_pages, std::uint64_t flush_batch);
+
+  /// Buffers a host write. Returns the LPNs that must be flushed to NAND
+  /// now (empty unless the buffer overflowed).
+  std::vector<std::uint64_t> write(std::uint64_t lpn);
+
+  /// True when the page's newest data lives in the buffer.
+  bool contains(std::uint64_t lpn) const { return map_.contains(lpn); }
+
+  /// Drains every dirty page (simulation end / flush barrier).
+  std::vector<std::uint64_t> drain();
+
+  std::uint64_t size() const { return map_.size(); }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t flush_batch_;
+  // LRU by write order: most recently written at front.
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+}  // namespace flex::ftl

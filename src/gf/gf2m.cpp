@@ -1,0 +1,74 @@
+#include "gf/gf2m.h"
+
+#include "common/assert.h"
+
+namespace flex::gf {
+namespace {
+
+// Standard primitive polynomials (Lin & Costello, Appendix A), indexed by m.
+// Bit i set means the x^i term is present.
+constexpr std::uint32_t kPrimitivePoly[17] = {
+    0,      0,      0x7,    0xB,     0x13,   0x25,    0x43,   0x89,  0x11D,
+    0x211,  0x409,  0x805,  0x1053,  0x201B, 0x4443,  0x8003, 0x1100B,
+};
+
+}  // namespace
+
+Field::Field(int m) : m_(m) {
+  FLEX_EXPECTS(m >= 2 && m <= 16);
+  size_ = 1u << m;
+  prim_poly_ = kPrimitivePoly[m];
+  exp_.assign(2 * order(), 0);
+  log_.assign(size_, 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order(); ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & size_) x ^= prim_poly_;
+  }
+  FLEX_ENSURES(x == 1);  // alpha really is primitive: full cycle length
+  // Duplicate the exp table so mul can skip the modular reduction.
+  for (std::uint32_t i = 0; i < order(); ++i) exp_[order() + i] = exp_[i];
+}
+
+Field::Element Field::mul(Element a, Element b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+Field::Element Field::inverse(Element a) const {
+  FLEX_EXPECTS(a != 0);
+  return exp_[order() - log_[a]];
+}
+
+Field::Element Field::div(Element a, Element b) const {
+  FLEX_EXPECTS(b != 0);
+  if (a == 0) return 0;
+  return exp_[(log_[a] + order() - log_[b]) % order()];
+}
+
+Field::Element Field::pow(Element a, std::int64_t k) const {
+  if (a == 0) {
+    FLEX_EXPECTS(k >= 0);
+    return k == 0 ? 1 : 0;
+  }
+  const auto ord = static_cast<std::int64_t>(order());
+  std::int64_t e = (static_cast<std::int64_t>(log_[a]) * (k % ord)) % ord;
+  if (e < 0) e += ord;
+  return exp_[static_cast<std::uint32_t>(e)];
+}
+
+Field::Element Field::alpha_pow(std::int64_t k) const {
+  const auto ord = static_cast<std::int64_t>(order());
+  std::int64_t e = k % ord;
+  if (e < 0) e += ord;
+  return exp_[static_cast<std::uint32_t>(e)];
+}
+
+std::uint32_t Field::log(Element a) const {
+  FLEX_EXPECTS(a != 0);
+  return log_[a];
+}
+
+}  // namespace flex::gf

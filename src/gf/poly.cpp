@@ -1,0 +1,102 @@
+#include "gf/poly.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace flex::gf {
+
+Poly::Poly(std::vector<Field::Element> coeffs) : coeffs_(std::move(coeffs)) {
+  trim();
+}
+
+Poly Poly::monomial(Field::Element c, std::size_t k) {
+  if (c == 0) return Poly{};
+  std::vector<Field::Element> v(k + 1, 0);
+  v[k] = c;
+  return Poly(std::move(v));
+}
+
+Field::Element Poly::coeff(std::size_t i) const {
+  return i < coeffs_.size() ? coeffs_[i] : 0;
+}
+
+void Poly::trim() {
+  while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+}
+
+Poly Poly::add(const Poly& a, const Poly& b) {
+  std::vector<Field::Element> out(std::max(a.coeffs_.size(), b.coeffs_.size()),
+                                  0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = Field::add(a.coeff(i), b.coeff(i));
+  }
+  return Poly(std::move(out));
+}
+
+Poly Poly::mul(const Field& f, const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  std::vector<Field::Element> out(a.coeffs_.size() + b.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    if (a.coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      out[i + j] = Field::add(out[i + j], f.mul(a.coeffs_[i], b.coeffs_[j]));
+    }
+  }
+  return Poly(std::move(out));
+}
+
+Poly Poly::scale(const Field& f, const Poly& a, Field::Element c) {
+  if (c == 0) return Poly{};
+  std::vector<Field::Element> out(a.coeffs_);
+  for (auto& x : out) x = f.mul(x, c);
+  return Poly(std::move(out));
+}
+
+Poly Poly::mod(const Field& f, const Poly& a, const Poly& b) {
+  FLEX_EXPECTS(!b.is_zero());
+  std::vector<Field::Element> rem(a.coeffs_);
+  const auto db = static_cast<std::size_t>(b.degree());
+  const Field::Element lead_inv = f.inverse(b.coeffs_.back());
+  while (rem.size() > db) {
+    const Field::Element factor = f.mul(rem.back(), lead_inv);
+    if (factor != 0) {
+      const std::size_t shift = rem.size() - 1 - db;
+      for (std::size_t i = 0; i <= db; ++i) {
+        rem[shift + i] =
+            Field::add(rem[shift + i], f.mul(factor, b.coeffs_[i]));
+      }
+    }
+    rem.pop_back();
+    while (!rem.empty() && rem.back() == 0) rem.pop_back();
+  }
+  return Poly(std::move(rem));
+}
+
+Poly Poly::truncate(const Poly& a, std::size_t k) {
+  std::vector<Field::Element> out(
+      a.coeffs_.begin(),
+      a.coeffs_.begin() +
+          static_cast<std::ptrdiff_t>(std::min(a.coeffs_.size(), k)));
+  return Poly(std::move(out));
+}
+
+Field::Element Poly::eval(const Field& f, Field::Element x) const {
+  Field::Element acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = Field::add(f.mul(acc, x), coeffs_[i]);
+  }
+  return acc;
+}
+
+Poly Poly::derivative() const {
+  if (coeffs_.size() <= 1) return Poly{};
+  std::vector<Field::Element> out(coeffs_.size() - 1, 0);
+  // d/dx sum c_i x^i = sum (i mod 2) c_i x^(i-1) over GF(2^m).
+  for (std::size_t i = 1; i < coeffs_.size(); i += 2) {
+    out[i - 1] = coeffs_[i];
+  }
+  return Poly(std::move(out));
+}
+
+}  // namespace flex::gf

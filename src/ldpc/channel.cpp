@@ -1,0 +1,65 @@
+#include "ldpc/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/normal.h"
+
+namespace flex::ldpc {
+
+SensingChannel::SensingChannel(double raw_ber, int extra_levels)
+    : raw_ber_(raw_ber), extra_levels_(extra_levels) {
+  FLEX_EXPECTS(raw_ber > 0.0 && raw_ber < 0.5);
+  FLEX_EXPECTS(extra_levels >= 0);
+  // Hard-decision error rate of +/-1 signaling: p = Q(1/sigma).
+  sigma_ = -1.0 / normal_quantile(raw_ber);
+
+  // Sensing boundaries: the hard reference at 0 is always present; each
+  // extra level adds one more threshold bracketing it (+d, -d, +2d, -2d,
+  // ...), mirroring how flash soft sensing strobes offsets around the
+  // nominal read reference. The offsets tile (-T, T) with T = 1.5 sigma.
+  boundaries_.push_back(0.0);
+  const double t = 1.5 * sigma_;
+  const double step = 2.0 * t / (extra_levels + 2);
+  for (int i = 1; i <= extra_levels; ++i) {
+    const int k = (i + 1) / 2;
+    boundaries_.push_back(i % 2 == 1 ? k * step : -k * step);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+
+  // Region LLRs: log P(region | bit 0 -> +1) / P(region | bit 1 -> -1).
+  const auto prob = [&](double lo, double hi, double mean) {
+    return normal_cdf((hi - mean) / sigma_) - normal_cdf((lo - mean) / sigma_);
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r <= boundaries_.size(); ++r) {
+    const double lo = r == 0 ? -inf : boundaries_[r - 1];
+    const double hi = r == boundaries_.size() ? inf : boundaries_[r];
+    const double p_plus = std::max(prob(lo, hi, +1.0), 1e-300);
+    const double p_minus = std::max(prob(lo, hi, -1.0), 1e-300);
+    // Clamp so saturated regions stay finite for the min-sum arithmetic.
+    const double llr = std::clamp(std::log(p_plus / p_minus), -30.0, 30.0);
+    region_llr_.push_back(static_cast<float>(llr));
+  }
+  FLEX_ENSURES(std::is_sorted(region_llr_.begin(), region_llr_.end()));
+}
+
+int SensingChannel::region_of(double y) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), y);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+std::vector<float> SensingChannel::transmit(
+    std::span<const std::uint8_t> bits, Rng& rng) const {
+  std::vector<float> llr(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double mean = (bits[i] & 1) ? -1.0 : 1.0;
+    const double y = rng.normal(mean, sigma_);
+    llr[i] = region_llr_[static_cast<std::size_t>(region_of(y))];
+  }
+  return llr;
+}
+
+}  // namespace flex::ldpc

@@ -1,0 +1,59 @@
+// Soft-sensing channel model: raw BER + extra sensing levels -> LLRs.
+//
+// NAND soft sensing re-reads a page with additional reference voltages; each
+// extra level adds one quantization boundary around the nominal read
+// reference. We model the per-bit channel as binary-input AWGN whose
+// hard-decision error rate equals the cell raw BER (the standard equivalent-
+// channel abstraction used by LDPC-in-SSD [2] and Dong et al. [4]), then
+// quantize the observation with the sensing boundaries and hand the decoder
+// the exact LLR of each quantization region. Zero extra levels therefore
+// degrade to a binary symmetric channel, and each added level recovers part
+// of the soft information — which is precisely the latency/capability
+// trade-off FlexLevel manipulates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flex::ldpc {
+
+class SensingChannel {
+ public:
+  /// `raw_ber` in (0, 0.5); `extra_levels >= 0` additional sensing levels
+  /// beyond the single hard-decision reference.
+  SensingChannel(double raw_ber, int extra_levels);
+
+  double raw_ber() const { return raw_ber_; }
+  int extra_levels() const { return extra_levels_; }
+  /// Number of distinguishable output regions (= extra_levels + 2).
+  int regions() const { return static_cast<int>(region_llr_.size()); }
+  /// Equivalent AWGN noise sigma for the +/-1 signaling.
+  double sigma() const { return sigma_; }
+
+  /// LLR assigned to each region, ordered from most-negative observation.
+  const std::vector<float>& region_llrs() const { return region_llr_; }
+
+  /// Transmits `bits` (one per byte) and produces the quantized-region LLR
+  /// for each. Positive LLR favours bit 0.
+  std::vector<float> transmit(std::span<const std::uint8_t> bits,
+                              Rng& rng) const;
+
+  /// The region index an observation `y` falls into.
+  int region_of(double y) const;
+
+  /// Fraction of bits whose *hard* decision (sign of region LLR) is wrong —
+  /// equals raw_ber by construction; exposed for tests.
+  double hard_error_rate() const { return raw_ber_; }
+
+ private:
+  double raw_ber_;
+  int extra_levels_;
+  double sigma_;
+  std::vector<double> boundaries_;  // ascending quantization thresholds
+  std::vector<float> region_llr_;
+};
+
+}  // namespace flex::ldpc

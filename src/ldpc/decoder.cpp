@@ -1,0 +1,133 @@
+#include "ldpc/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace flex::ldpc {
+
+Decoder::Decoder(const QcLdpcCode& code) : Decoder(code, Options{}) {}
+
+Decoder::Decoder(const QcLdpcCode& code, Options options)
+    : code_(code), options_(options) {
+  FLEX_EXPECTS(options_.max_iterations >= 1);
+  FLEX_EXPECTS(options_.normalization > 0.0f && options_.normalization <= 1.0f);
+  const auto& rows = code_.row_adjacency();
+  row_offsets_.reserve(rows.size() + 1);
+  row_offsets_.push_back(0);
+  for (const auto& row : rows) {
+    for (const auto col : row) col_index_.push_back(col);
+    row_offsets_.push_back(static_cast<std::int32_t>(col_index_.size()));
+  }
+}
+
+DecodeResult Decoder::decode(std::span<const float> llr) const {
+  FLEX_EXPECTS(static_cast<int>(llr.size()) == code_.n());
+  const auto n = static_cast<std::size_t>(code_.n());
+  const auto m = static_cast<std::size_t>(code_.m());
+
+  std::vector<float> posterior(llr.begin(), llr.end());
+  std::vector<float> check_msg(col_index_.size(), 0.0f);
+
+  DecodeResult result;
+  result.bits.assign(n, 0);
+
+  auto satisfied = [&]() {
+    for (std::size_t r = 0; r < m; ++r) {
+      std::uint8_t parity = 0;
+      for (auto e = row_offsets_[r]; e < row_offsets_[r + 1]; ++e) {
+        parity ^= static_cast<std::uint8_t>(
+            posterior[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(e)])] < 0.0f);
+      }
+      if (parity) return false;
+    }
+    return true;
+  };
+
+  // phi(x) = -log(tanh(x/2)), its own inverse; the numerically robust form
+  // of the sum-product check update. Inputs are clamped away from 0 and
+  // infinity so the transform stays finite.
+  const auto phi = [](float x) {
+    const float clamped = std::clamp(x, 1e-6f, 30.0f);
+    return -std::log(std::tanh(clamped * 0.5f));
+  };
+
+  int iter = 0;
+  bool ok = satisfied();
+  while (!ok && iter < options_.max_iterations) {
+    ++iter;
+    // Layered (row-serial) schedule: each check row consumes the freshest
+    // posteriors, which roughly halves the iterations flooding would need.
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto begin = static_cast<std::size_t>(row_offsets_[r]);
+      const auto end = static_cast<std::size_t>(row_offsets_[r + 1]);
+      if (options_.algorithm == Algorithm::kSumProduct) {
+        // Exact belief propagation via the phi transform: the outgoing
+        // magnitude is phi(sum of phi over the other edges).
+        float phi_sum = 0.0f;
+        std::uint32_t sign_bits = 0;
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto col = static_cast<std::size_t>(col_index_[e]);
+          const float extrinsic = posterior[col] - check_msg[e];
+          check_msg[e] = extrinsic;  // stash for the second pass
+          if (extrinsic < 0.0f) sign_bits ^= 1u;
+          phi_sum += phi(std::fabs(extrinsic));
+        }
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto col = static_cast<std::size_t>(col_index_[e]);
+          const float extrinsic = check_msg[e];
+          const float mag = phi(phi_sum - phi(std::fabs(extrinsic)));
+          const bool negative =
+              ((sign_bits ^ (extrinsic < 0.0f ? 1u : 0u)) & 1u) != 0;
+          const float msg = negative ? -mag : mag;
+          check_msg[e] = msg;
+          posterior[col] = extrinsic + msg;
+        }
+      } else {
+        // Normalized min-sum.
+        float min1 = std::numeric_limits<float>::max();
+        float min2 = std::numeric_limits<float>::max();
+        std::size_t min1_edge = begin;
+        std::uint32_t sign_bits = 0;
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto col = static_cast<std::size_t>(col_index_[e]);
+          const float extrinsic = posterior[col] - check_msg[e];
+          // Stash the extrinsic in check_msg for the second pass.
+          check_msg[e] = extrinsic;
+          const float mag = std::fabs(extrinsic);
+          if (extrinsic < 0.0f) sign_bits ^= 1u;
+          if (mag < min1) {
+            min2 = min1;
+            min1 = mag;
+            min1_edge = e;
+          } else if (mag < min2) {
+            min2 = mag;
+          }
+        }
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto col = static_cast<std::size_t>(col_index_[e]);
+          const float extrinsic = check_msg[e];
+          const float mag = (e == min1_edge) ? min2 : min1;
+          const bool negative =
+              ((sign_bits ^ (extrinsic < 0.0f ? 1u : 0u)) & 1u) != 0;
+          const float msg =
+              options_.normalization * (negative ? -mag : mag);
+          check_msg[e] = msg;
+          posterior[col] = extrinsic + msg;
+        }
+      }
+    }
+    ok = satisfied();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.bits[i] = posterior[i] < 0.0f ? 1 : 0;
+  }
+  result.success = ok;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace flex::ldpc

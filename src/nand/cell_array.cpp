@@ -1,0 +1,102 @@
+#include "nand/cell_array.h"
+
+#include "common/assert.h"
+
+namespace flex::nand {
+
+CellArray::CellArray(int wordlines, int bitlines)
+    : wordlines_(wordlines), bitlines_(bitlines) {
+  FLEX_EXPECTS(wordlines >= 1);
+  FLEX_EXPECTS(bitlines >= 2);
+  const auto n = static_cast<std::size_t>(cells());
+  vth_.assign(n, 0.0);
+  programmed_vth_.assign(n, 0.0);
+  erased_vth_.assign(n, 0.0);
+  targets_.assign(n, 0);
+}
+
+std::size_t CellArray::index(int w, int b) const {
+  FLEX_EXPECTS(w >= 0 && w < wordlines_);
+  FLEX_EXPECTS(b >= 0 && b < bitlines_);
+  return static_cast<std::size_t>(w) * static_cast<std::size_t>(bitlines_) +
+         static_cast<std::size_t>(b);
+}
+
+void CellArray::program(const LevelConfig& config,
+                        std::span<const int> targets,
+                        const CouplingRatios& coupling, Rng& rng) {
+  FLEX_EXPECTS(static_cast<int>(targets.size()) == cells());
+  const auto n = static_cast<std::size_t>(cells());
+
+  // Program-order index per cell; erased cells are finalised at order -1.
+  std::vector<std::int32_t> order(n, -1);
+  std::int32_t next_order = 0;
+  for (int w = 0; w < wordlines_; ++w) {
+    for (const int parity : {0, 1}) {
+      for (int b = parity; b < bitlines_; b += 2) {
+        const std::size_t i = index(w, b);
+        targets_[i] = targets[i];
+        FLEX_EXPECTS(targets_[i] >= 0 && targets_[i] < config.levels());
+        if (targets_[i] > 0) order[i] = next_order++;
+      }
+    }
+  }
+
+  // Erase: every cell starts from its own erased-state sample.
+  for (std::size_t i = 0; i < n; ++i) {
+    erased_vth_[i] = rng.normal(config.erased_mean(), config.erased_sigma());
+    vth_[i] = erased_vth_[i];
+    programmed_vth_[i] = erased_vth_[i];
+  }
+
+  // Program in order, pushing coupling onto already-finalised neighbours.
+  for (int w = 0; w < wordlines_; ++w) {
+    for (const int parity : {0, 1}) {
+      for (int b = parity; b < bitlines_; b += 2) {
+        const std::size_t i = index(w, b);
+        if (targets_[i] == 0) continue;
+        const Volt fresh = config.sample_vth(targets_[i], rng);
+        const Volt delta_vp = fresh - vth_[i];
+        vth_[i] = fresh;
+        programmed_vth_[i] = fresh;
+        if (delta_vp <= 0.0) continue;
+        for (int dw = -1; dw <= 1; ++dw) {
+          for (int db = -1; db <= 1; ++db) {
+            if (dw == 0 && db == 0) continue;
+            const int nw = w + dw;
+            const int nb = b + db;
+            if (nw < 0 || nw >= wordlines_ || nb < 0 || nb >= bitlines_) {
+              continue;
+            }
+            const std::size_t j = index(nw, nb);
+            if (order[j] >= order[i]) continue;  // not finalised yet
+            const double gamma = (dw == 0)   ? coupling.gamma_x
+                                 : (db == 0) ? coupling.gamma_y
+                                             : coupling.gamma_xy;
+            vth_[j] += gamma * coupling.effective_delta_fraction * delta_vp;
+          }
+        }
+      }
+    }
+  }
+}
+
+Volt CellArray::vth(int w, int b) const { return vth_[index(w, b)]; }
+
+Volt CellArray::programmed_vth(int w, int b) const {
+  return programmed_vth_[index(w, b)];
+}
+
+Volt CellArray::erased_vth(int w, int b) const {
+  return erased_vth_[index(w, b)];
+}
+
+int CellArray::target_level(int w, int b) const {
+  return targets_[index(w, b)];
+}
+
+void CellArray::shift_vth(int w, int b, Volt delta) {
+  vth_[index(w, b)] += delta;
+}
+
+}  // namespace flex::nand

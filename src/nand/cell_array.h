@@ -1,0 +1,78 @@
+// A wordline x bitline grid of floating-gate cells with programming-order-
+// aware cell-to-cell interference (paper Eq. 2).
+//
+// Programming follows the even/odd bitline discipline of Fig. 1(a): within
+// each wordline, even bitlines are programmed before odd ones, and
+// wordlines are programmed in order. When an aggressor cell's V_th rises by
+// dVp, every neighbour that was already finalised receives gamma * dVp,
+// with gamma chosen per direction (bitline gamma_x, wordline gamma_y,
+// diagonal gamma_xy). Cells that are programmed later re-verify and absorb
+// earlier coupling, so they take no shift — which is exactly why victims
+// only ever see aggressors that come after them in program order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "nand/level_config.h"
+
+namespace flex::nand {
+
+/// Capacitive coupling ratios; defaults are the paper's values from [17].
+struct CouplingRatios {
+  double gamma_x = 0.07;   ///< adjacent bitline, same wordline
+  double gamma_y = 0.09;   ///< adjacent wordline, same bitline
+  double gamma_xy = 0.005; ///< diagonal
+  /// Fraction of an aggressor's total V_th swing that couples *after* the
+  /// victim's final program-verify. Real two-step MLC programming absorbs
+  /// the bulk of the interference during the victim's own later ISPP
+  /// verifies (Dong et al. [18] model the last-step shift only); modelling
+  /// the full 0 -> target swing would overstate C2C several-fold. The
+  /// default is calibrated so the baseline cell's C2C BER stays below the
+  /// hard-decision cap at 0 days, as the paper's Table 5 requires.
+  double effective_delta_fraction = 0.65;
+};
+
+class CellArray {
+ public:
+  CellArray(int wordlines, int bitlines);
+
+  int wordlines() const { return wordlines_; }
+  int bitlines() const { return bitlines_; }
+  int cells() const { return wordlines_ * bitlines_; }
+
+  /// Erases the array and programs every cell to `targets[w * bitlines + b]`
+  /// (target levels valid for `config`), applying C2C interference in
+  /// even/odd program order. Erased cells (target 0) are finalised from the
+  /// start and accumulate interference from every later aggressor.
+  void program(const LevelConfig& config, std::span<const int> targets,
+               const CouplingRatios& coupling, Rng& rng);
+
+  /// Current V_th including all applied noise.
+  Volt vth(int w, int b) const;
+  /// V_th right after the cell's own programming, before any interference —
+  /// the `x` that enters the retention model (Eq. 3).
+  Volt programmed_vth(int w, int b) const;
+  /// Per-cell erased-state sample; the retention model's x0.
+  Volt erased_vth(int w, int b) const;
+  int target_level(int w, int b) const;
+
+  /// Applies an additive V_th shift (used by the retention model; negative
+  /// values model charge loss).
+  void shift_vth(int w, int b, Volt delta);
+
+ private:
+  std::size_t index(int w, int b) const;
+
+  int wordlines_;
+  int bitlines_;
+  std::vector<Volt> vth_;
+  std::vector<Volt> programmed_vth_;
+  std::vector<Volt> erased_vth_;
+  std::vector<int> targets_;
+};
+
+}  // namespace flex::nand

@@ -1,0 +1,27 @@
+#include "nand/geometry.h"
+
+#include "common/assert.h"
+
+namespace flex::nand {
+
+PageAddress decompose(const NandSpec& spec, std::uint64_t flat_page) {
+  FLEX_EXPECTS(flat_page < spec.total_pages());
+  PageAddress addr;
+  addr.page = static_cast<std::uint32_t>(flat_page % spec.pages_per_block);
+  const std::uint64_t block_flat = flat_page / spec.pages_per_block;
+  addr.block = static_cast<std::uint32_t>(block_flat % spec.blocks_per_chip);
+  addr.chip = static_cast<std::uint32_t>(block_flat / spec.blocks_per_chip);
+  return addr;
+}
+
+std::uint64_t flatten(const NandSpec& spec, const PageAddress& addr) {
+  FLEX_EXPECTS(addr.chip < spec.chips);
+  FLEX_EXPECTS(addr.block < spec.blocks_per_chip);
+  FLEX_EXPECTS(addr.page < spec.pages_per_block);
+  return (static_cast<std::uint64_t>(addr.chip) * spec.blocks_per_chip +
+          addr.block) *
+             spec.pages_per_block +
+         addr.page;
+}
+
+}  // namespace flex::nand

@@ -1,0 +1,37 @@
+#include "nand/gray_code.h"
+
+#include "common/assert.h"
+
+namespace flex::nand {
+namespace {
+
+// (lsb, msb) per level: 11, 10, 00, 01.
+constexpr BitPair kMap[4] = {
+    {.lsb = 1, .msb = 1},
+    {.lsb = 1, .msb = 0},
+    {.lsb = 0, .msb = 0},
+    {.lsb = 0, .msb = 1},
+};
+
+}  // namespace
+
+BitPair mlc_gray_decode(int level) {
+  FLEX_EXPECTS(level >= 0 && level < 4);
+  return kMap[level];
+}
+
+int mlc_gray_encode(BitPair bits) {
+  for (int level = 0; level < 4; ++level) {
+    if (kMap[level] == bits) return level;
+  }
+  FLEX_ASSERT(false && "unreachable: all four bit pairs are mapped");
+  return -1;
+}
+
+int mlc_bit_distance(int level_a, int level_b) {
+  const BitPair a = mlc_gray_decode(level_a);
+  const BitPair b = mlc_gray_decode(level_b);
+  return (a.lsb != b.lsb ? 1 : 0) + (a.msb != b.msb ? 1 : 0);
+}
+
+}  // namespace flex::nand

@@ -1,0 +1,27 @@
+// Standard MLC Gray mapping (paper §2.1): bit pairs 11, 10, 00, 01 map to
+// V_th levels 0, 1, 2, 3, so any single-level distortion flips exactly one
+// bit. The LSB belongs to the lower page, the MSB to the upper page.
+#pragma once
+
+#include <cstdint>
+
+namespace flex::nand {
+
+struct BitPair {
+  std::uint8_t lsb = 0;  ///< lower-page bit
+  std::uint8_t msb = 0;  ///< upper-page bit
+
+  bool operator==(const BitPair&) const = default;
+};
+
+/// Level -> bits. `level` must be in [0, 3].
+BitPair mlc_gray_decode(int level);
+
+/// Bits -> level.
+int mlc_gray_encode(BitPair bits);
+
+/// Hamming distance between the bit pairs of two levels (used by tests to
+/// prove the Gray property: adjacent levels differ in exactly one bit).
+int mlc_bit_distance(int level_a, int level_b);
+
+}  // namespace flex::nand

@@ -1,0 +1,82 @@
+#include "nand/level_config.h"
+
+#include <limits>
+
+#include "common/assert.h"
+
+namespace flex::nand {
+
+LevelConfig::LevelConfig(std::string name, std::vector<Volt> read_refs,
+                         std::vector<Volt> verifies, Volt vpp,
+                         Volt erased_mean, Volt erased_sigma)
+    : name_(std::move(name)),
+      read_refs_(std::move(read_refs)),
+      verifies_(std::move(verifies)),
+      vpp_(vpp),
+      erased_mean_(erased_mean),
+      erased_sigma_(erased_sigma) {
+  FLEX_EXPECTS(!read_refs_.empty());
+  FLEX_EXPECTS(read_refs_.size() == verifies_.size());
+  FLEX_EXPECTS(vpp_ > 0.0);
+  FLEX_EXPECTS(erased_sigma_ > 0.0);
+  for (std::size_t i = 0; i < read_refs_.size(); ++i) {
+    // Each verify must sit at or above its lower read reference, and the
+    // boundaries must be strictly increasing.
+    FLEX_EXPECTS(verifies_[i] >= read_refs_[i]);
+    if (i > 0) {
+      FLEX_EXPECTS(read_refs_[i] > read_refs_[i - 1]);
+      FLEX_EXPECTS(verifies_[i] > verifies_[i - 1]);
+    }
+  }
+}
+
+LevelConfig LevelConfig::baseline_mlc() {
+  return LevelConfig("baseline", {2.25, 2.95, 3.65}, {2.30, 3.00, 3.70},
+                     0.15);
+}
+
+Volt LevelConfig::read_ref(int boundary) const {
+  FLEX_EXPECTS(boundary >= 0 && boundary < levels() - 1);
+  return read_refs_[static_cast<std::size_t>(boundary)];
+}
+
+Volt LevelConfig::verify(int level) const {
+  FLEX_EXPECTS(level >= 1 && level < levels());
+  return verifies_[static_cast<std::size_t>(level - 1)];
+}
+
+Volt LevelConfig::nominal(int level) const {
+  FLEX_EXPECTS(level >= 0 && level < levels());
+  if (level == 0) return erased_mean_;
+  return verify(level) + vpp_ / 2.0;
+}
+
+Volt LevelConfig::sample_vth(int level, Rng& rng) const {
+  FLEX_EXPECTS(level >= 0 && level < levels());
+  if (level == 0) return rng.normal(erased_mean_, erased_sigma_);
+  const Volt v = verify(level);
+  return rng.uniform(v, v + vpp_);
+}
+
+int LevelConfig::read_level(Volt vth) const {
+  int level = 0;
+  for (const Volt ref : read_refs_) {
+    if (vth >= ref) ++level;
+  }
+  return level;
+}
+
+Volt LevelConfig::retention_margin(int level) const {
+  FLEX_EXPECTS(level >= 1 && level < levels());
+  return verify(level) - read_ref(level - 1);
+}
+
+Volt LevelConfig::c2c_margin(int level) const {
+  FLEX_EXPECTS(level >= 0 && level < levels());
+  if (level == levels() - 1) return std::numeric_limits<Volt>::infinity();
+  const Volt top =
+      level == 0 ? erased_mean_ : verify(level) + vpp_;
+  return read_ref(level) - top;
+}
+
+}  // namespace flex::nand

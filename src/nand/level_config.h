@@ -1,0 +1,74 @@
+// V_th level configurations for MLC NAND cells.
+//
+// A LevelConfig captures everything the reliability models need about how a
+// cell's threshold-voltage window is partitioned: the erased-state
+// distribution, the program-verify voltage and ISPP step of each programmed
+// level, and the read reference voltages separating the levels.
+//
+// Two families are used in the paper:
+//  * the normal state: 4 levels, verify set close to the lower read
+//    reference (Fig. 4(a)) — our reconstructed baseline;
+//  * the reduced state: 3 levels with NUNMA verify/read voltages (Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace flex::nand {
+
+class LevelConfig {
+ public:
+  /// `read_refs[i]` separates level i from level i+1 (size = levels-1);
+  /// `verifies[i]` is the program-verify voltage of level i+1 (same size).
+  /// `vpp` is the ISPP step: a programmed V_th lands uniformly in
+  /// [verify, verify + vpp]. The erased level 0 is N(erased_mean,
+  /// erased_sigma^2).
+  LevelConfig(std::string name, std::vector<Volt> read_refs,
+              std::vector<Volt> verifies, Volt vpp, Volt erased_mean = 1.1,
+              Volt erased_sigma = 0.35);
+
+  /// The reconstructed normal-state MLC baseline: 4 levels, read references
+  /// {2.25, 2.95, 3.65}, verify voltages {2.30, 3.00, 3.70} (offset 0.05,
+  /// "close to the lower read reference"; the exact offset is the one free
+  /// parameter of the reconstruction, calibrated against the paper's
+  /// Table 4/5 — see DESIGN.md §5), V_pp = 0.15 as in Table 3.
+  static LevelConfig baseline_mlc();
+
+  const std::string& name() const { return name_; }
+  int levels() const { return static_cast<int>(read_refs_.size()) + 1; }
+  Volt read_ref(int boundary) const;   ///< boundary in [0, levels-2]
+  Volt verify(int level) const;        ///< level in [1, levels-1]
+  Volt vpp() const { return vpp_; }
+  Volt erased_mean() const { return erased_mean_; }
+  Volt erased_sigma() const { return erased_sigma_; }
+
+  /// Nominal (mid-distribution) V_th of a level, for margin reporting.
+  Volt nominal(int level) const;
+
+  /// Draws a freshly-programmed V_th for `level`.
+  Volt sample_vth(int level, Rng& rng) const;
+
+  /// Level decision against the read references.
+  int read_level(Volt vth) const;
+
+  /// Retention noise margin of a programmed level: verify - lower read ref
+  /// (the paper's Fig. 4 definition, before the ISPP placement).
+  Volt retention_margin(int level) const;
+
+  /// C2C noise margin: upper read ref - (verify + vpp); +inf for the top
+  /// level, which has no upper reference.
+  Volt c2c_margin(int level) const;
+
+ private:
+  std::string name_;
+  std::vector<Volt> read_refs_;
+  std::vector<Volt> verifies_;
+  Volt vpp_;
+  Volt erased_mean_;
+  Volt erased_sigma_;
+};
+
+}  // namespace flex::nand

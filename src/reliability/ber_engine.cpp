@@ -1,0 +1,156 @@
+#include "reliability/ber_engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "nand/gray_code.h"
+
+namespace flex::reliability {
+
+void GrayMapper::to_bits(std::span<const int> levels,
+                         std::span<std::uint8_t> bits) const {
+  FLEX_EXPECTS(levels.size() == 1 && bits.size() == 2);
+  const nand::BitPair pair = nand::mlc_gray_decode(levels[0]);
+  bits[0] = pair.lsb;
+  bits[1] = pair.msb;
+}
+
+void GrayMapper::to_levels(std::span<const std::uint8_t> bits,
+                           std::span<int> levels) const {
+  FLEX_EXPECTS(levels.size() == 1 && bits.size() == 2);
+  levels[0] = nand::mlc_gray_encode({.lsb = bits[0], .msb = bits[1]});
+}
+
+BerEngine::BerEngine(Config config) : config_(config) {
+  FLEX_EXPECTS(config_.wordlines >= 2);
+  FLEX_EXPECTS(config_.bitlines >= 4);
+  FLEX_EXPECTS(config_.rounds >= 1);
+}
+
+BerReport BerEngine::measure(const nand::LevelConfig& level_config,
+                             const BitMapper& mapper,
+                             const RetentionModel* retention, int pe_cycles,
+                             Hours age, Rng& rng) const {
+  const int group_cells = mapper.cells_per_group();
+  const int group_bits = mapper.bits_per_group();
+  FLEX_EXPECTS(group_cells >= 1);
+
+  BerReport report;
+  report.cell_errors_by_level.assign(
+      static_cast<std::size_t>(level_config.levels()), 0);
+
+  // Cell coordinates of every mapper group: cells of equal bitline parity
+  // within one wordline are paired left-to-right, matching the ReduceCode
+  // bitline structure of Fig. 3 (and degenerating to per-cell for Gray).
+  std::vector<std::vector<std::pair<int, int>>> groups;
+  for (int w = 0; w < config_.wordlines; ++w) {
+    for (const int parity : {0, 1}) {
+      std::vector<std::pair<int, int>> run;
+      for (int b = parity; b < config_.bitlines; b += 2) {
+        run.emplace_back(w, b);
+        if (static_cast<int>(run.size()) == group_cells) {
+          groups.push_back(run);
+          run.clear();
+        }
+      }
+      // Cells that do not fill a whole group are left erased (unused).
+    }
+  }
+
+  std::vector<int> targets(
+      static_cast<std::size_t>(config_.wordlines * config_.bitlines), 0);
+  std::vector<std::uint8_t> data_bits(static_cast<std::size_t>(group_bits));
+  std::vector<int> group_levels(static_cast<std::size_t>(group_cells));
+  std::vector<std::uint8_t> read_bits(static_cast<std::size_t>(group_bits));
+  std::vector<int> read_levels(static_cast<std::size_t>(group_cells));
+
+  nand::CellArray array(config_.wordlines, config_.bitlines);
+  std::vector<std::vector<std::uint8_t>> stored(
+      groups.size(), std::vector<std::uint8_t>(
+                         static_cast<std::size_t>(group_bits)));
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    // Random payload for every group.
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (auto& bit : stored[g]) {
+        bit = static_cast<std::uint8_t>(rng.below(2));
+      }
+      mapper.to_levels(stored[g], group_levels);
+      for (int c = 0; c < group_cells; ++c) {
+        const auto [w, b] = groups[g][static_cast<std::size_t>(c)];
+        targets[static_cast<std::size_t>(w * config_.bitlines + b)] =
+            group_levels[static_cast<std::size_t>(c)];
+      }
+    }
+
+    array.program(level_config, targets, config_.coupling, rng);
+
+    if (retention != nullptr) {
+      for (int w = 0; w < config_.wordlines; ++w) {
+        for (int b = 0; b < config_.bitlines; ++b) {
+          if (array.target_level(w, b) == 0) continue;
+          const double loss = retention->sample_loss(
+              array.programmed_vth(w, b), array.erased_vth(w, b), pe_cycles,
+              age, rng);
+          array.shift_vth(w, b, -loss);
+        }
+      }
+    }
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      int up_cells = 0;
+      int down_cells = 0;
+      for (int c = 0; c < group_cells; ++c) {
+        const auto [w, b] = groups[g][static_cast<std::size_t>(c)];
+        const int stored_level = array.target_level(w, b);
+        const int level = level_config.read_level(array.vth(w, b));
+        read_levels[static_cast<std::size_t>(c)] = level;
+        if (level != stored_level) {
+          ++report.cell_errors_by_level[static_cast<std::size_t>(
+              stored_level)];
+          if (level > stored_level) {
+            ++up_cells;
+          } else {
+            ++down_cells;
+          }
+        }
+        ++report.cells_observed;
+      }
+      mapper.to_bits(read_levels, read_bits);
+      std::uint64_t bit_errors = 0;
+      for (int i = 0; i < group_bits; ++i) {
+        if (read_bits[static_cast<std::size_t>(i)] !=
+            stored[g][static_cast<std::size_t>(i)]) {
+          ++bit_errors;
+        }
+      }
+      report.total.add_many(bit_errors, static_cast<std::uint64_t>(group_bits));
+      // Attribute bit errors to the noise direction of the failing cells;
+      // mixed groups (both directions at once, vanishingly rare) split.
+      if (bit_errors > 0) {
+        if (up_cells > 0 && down_cells == 0) {
+          report.c2c.add_many(bit_errors, bit_errors);
+          report.retention.add_many(0, 0);
+        } else if (down_cells > 0 && up_cells == 0) {
+          report.retention.add_many(bit_errors, bit_errors);
+        } else if (up_cells > 0 && down_cells > 0) {
+          const std::uint64_t half = bit_errors / 2;
+          report.c2c.add_many(half, half);
+          report.retention.add_many(bit_errors - half, bit_errors - half);
+        }
+      }
+    }
+  }
+
+  // Re-base the direction-specific estimators onto the same denominator as
+  // the total so their rates are comparable BERs.
+  BerReport out;
+  out.cell_errors_by_level = report.cell_errors_by_level;
+  out.cells_observed = report.cells_observed;
+  out.total = report.total;
+  out.c2c.add_many(report.c2c.events(), report.total.trials());
+  out.retention.add_many(report.retention.events(), report.total.trials());
+  return out;
+}
+
+}  // namespace flex::reliability

@@ -1,0 +1,84 @@
+// Monte-Carlo bit-error-rate engine.
+//
+// Programs cell arrays with random data under a given level configuration,
+// applies C2C interference (via CellArray) and optionally retention loss,
+// reads the cells back, and counts bit errors through a pluggable
+// level->bit mapping (Gray code for normal-state cells, ReduceCode for
+// reduced-state cells — the latter is injected by the flexlevel layer to
+// keep this substrate independent of the core technique).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "nand/cell_array.h"
+#include "nand/level_config.h"
+#include "reliability/retention.h"
+
+namespace flex::reliability {
+
+/// Maps a fixed-size group of cell levels to bits. Implementations must be
+/// stateless value mappers.
+class BitMapper {
+ public:
+  virtual ~BitMapper() = default;
+  virtual int cells_per_group() const = 0;
+  virtual int bits_per_group() const = 0;
+  /// `levels.size() == cells_per_group()`, `bits.size() == bits_per_group()`.
+  virtual void to_bits(std::span<const int> levels,
+                       std::span<std::uint8_t> bits) const = 0;
+  /// Inverse of to_bits (used to pick programmable random data).
+  virtual void to_levels(std::span<const std::uint8_t> bits,
+                         std::span<int> levels) const = 0;
+};
+
+/// Normal-state mapper: one 4-level cell -> 2 bits via the standard Gray
+/// code of §2.1.
+class GrayMapper final : public BitMapper {
+ public:
+  int cells_per_group() const override { return 1; }
+  int bits_per_group() const override { return 2; }
+  void to_bits(std::span<const int> levels,
+               std::span<std::uint8_t> bits) const override;
+  void to_levels(std::span<const std::uint8_t> bits,
+                 std::span<int> levels) const override;
+};
+
+/// Error accounting from one or more measurement runs.
+struct BerReport {
+  RateEstimator total;      ///< bit errors / stored bits
+  RateEstimator c2c;        ///< bit errors from upward level shifts
+  RateEstimator retention;  ///< bit errors from downward level shifts
+  /// Cell-level (not bit-level) error counts indexed by *stored* level —
+  /// reproduces the paper's "78% of retention errors at level 2" analysis.
+  std::vector<std::uint64_t> cell_errors_by_level;
+  std::uint64_t cells_observed = 0;
+};
+
+class BerEngine {
+ public:
+  struct Config {
+    int wordlines = 64;
+    int bitlines = 256;
+    int rounds = 4;  ///< independent array programmings to aggregate
+    nand::CouplingRatios coupling;
+  };
+
+  explicit BerEngine(Config config);
+
+  /// Measures BER for `level_config` with data mapped through `mapper`.
+  /// When `retention` is non-null the loss model is applied with the given
+  /// age; pass nullptr to measure the post-programming (C2C-only) BER.
+  BerReport measure(const nand::LevelConfig& level_config,
+                    const BitMapper& mapper, const RetentionModel* retention,
+                    int pe_cycles, Hours age, Rng& rng) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace flex::reliability

@@ -1,0 +1,63 @@
+// Fast per-read BER evaluation for the SSD simulator.
+//
+// The Monte-Carlo BerEngine is exact but far too slow to call on every
+// simulated read, so BerModel splits the error rate into
+//   * a C2C component — independent of P/E count and age in the paper's
+//     Eq. 2 model — measured once by Monte-Carlo at construction, and
+//   * a retention component evaluated analytically: for each programmed
+//     level, the probability that the Eq. 3 Gaussian loss exceeds the
+//     level's margin, integrated over the ISPP placement (uniform over
+//     [verify, verify+vpp]) and the erased-reference spread x0
+//     (Gauss-Hermite quadrature), weighted by the level occupancy and the
+//     expected bit damage of a one-level drop under the bit mapping.
+//
+// tests/reliability/ber_model_test.cc pins this against the Monte-Carlo
+// engine.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "nand/level_config.h"
+#include "reliability/ber_engine.h"
+#include "reliability/retention.h"
+
+namespace flex::reliability {
+
+class BerModel {
+ public:
+  /// `mapper` defines the data layout (Gray or ReduceCode); the engine
+  /// config sizes the one-off C2C Monte-Carlo run.
+  BerModel(nand::LevelConfig level_config, const BitMapper& mapper,
+           RetentionModel retention, BerEngine::Config c2c_engine, Rng& rng);
+
+  /// Bit error rate from cell-to-cell interference alone.
+  double c2c_ber() const { return c2c_ber_; }
+
+  /// Bit error rate from retention loss after `pe_cycles` and `age`.
+  double retention_ber(int pe_cycles, Hours age) const;
+
+  /// Combined raw BER a read at this wear/age sees.
+  double total_ber(int pe_cycles, Hours age) const {
+    return c2c_ber_ + retention_ber(pe_cycles, age);
+  }
+
+  /// Fraction of cells stored at each level under uniform random data.
+  const std::vector<double>& level_occupancy() const { return occupancy_; }
+  /// Per level l: (average bit flips caused by a one-level drop of a cell
+  /// stored at l) * cells_per_group / bits_per_group, so that
+  /// retention_ber = sum_l occupancy[l] * P(drop | l) * drop_damage[l].
+  const std::vector<double>& drop_damage() const { return drop_damage_; }
+
+  const nand::LevelConfig& level_config() const { return level_config_; }
+
+ private:
+  nand::LevelConfig level_config_;
+  RetentionModel retention_;
+  double c2c_ber_ = 0.0;
+  std::vector<double> occupancy_;
+  std::vector<double> drop_damage_;
+};
+
+}  // namespace flex::reliability

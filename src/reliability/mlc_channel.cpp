@@ -1,0 +1,155 @@
+#include "reliability/mlc_channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "nand/gray_code.h"
+
+namespace flex::reliability {
+namespace {
+
+// Bit of `level` on the page (Gray code 11, 10, 00, 01).
+int page_bit(MlcPageChannel::Page page, int level) {
+  const nand::BitPair bits = nand::mlc_gray_decode(level);
+  return page == MlcPageChannel::Page::kLower ? bits.lsb : bits.msb;
+}
+
+}  // namespace
+
+MlcPageChannel::MlcPageChannel(nand::LevelConfig level_config,
+                               RetentionModel retention, Config config,
+                               Rng& rng)
+    : level_config_(std::move(level_config)),
+      retention_(retention),
+      config_(config) {
+  FLEX_EXPECTS(level_config_.levels() == 4);
+  FLEX_EXPECTS(config_.extra_levels >= 0);
+  FLEX_EXPECTS(config_.soft_step > 0.0);
+  FLEX_EXPECTS(config_.density_samples >= 1000);
+  lower_ = build_tables(Page::kLower, rng);
+  upper_ = build_tables(Page::kUpper, rng);
+}
+
+Volt MlcPageChannel::sample_noisy_vth(int level, Rng& rng) const {
+  if (level == 0) {
+    // Erased cells hold no charge: no retention loss.
+    return rng.normal(level_config_.erased_mean(),
+                      level_config_.erased_sigma());
+  }
+  const Volt x = level_config_.sample_vth(level, rng);
+  const Volt x0 =
+      rng.normal(level_config_.erased_mean(), level_config_.erased_sigma());
+  return x - retention_.sample_loss(x, x0, config_.pe_cycles, config_.age,
+                                    rng);
+}
+
+int MlcPageChannel::region_of(const std::vector<Volt>& boundaries,
+                              Volt vth) const {
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), vth);
+  return static_cast<int>(it - boundaries.begin());
+}
+
+MlcPageChannel::PageTables MlcPageChannel::build_tables(Page page,
+                                                        Rng& rng) const {
+  PageTables t;
+  // Involved references: the LSB flips only across the middle reference;
+  // the MSB across the first and third.
+  std::vector<Volt> refs;
+  if (page == Page::kLower) {
+    refs = {level_config_.read_ref(1)};
+  } else {
+    refs = {level_config_.read_ref(0), level_config_.read_ref(2)};
+  }
+  for (const Volt ref : refs) {
+    t.boundaries.push_back(ref);
+    for (int k = 1; k <= config_.extra_levels; ++k) {
+      // Strobes alternate above/below the reference: +d, -d, +2d, -2d...
+      const int step = (k + 1) / 2;
+      t.boundaries.push_back(ref + (k % 2 == 1 ? step : -step) *
+                                       config_.soft_step);
+    }
+  }
+  std::sort(t.boundaries.begin(), t.boundaries.end());
+
+  const auto regions = t.boundaries.size() + 1;
+  // Density estimation: counts[level][region] over MC draws of the noisy
+  // V_th. Laplace smoothing keeps empty regions finite.
+  std::vector<double> counts(4 * regions, 1.0);
+  for (int level = 0; level < 4; ++level) {
+    for (int i = 0; i < config_.density_samples; ++i) {
+      const int region = region_of(t.boundaries, sample_noisy_vth(level, rng));
+      counts[static_cast<std::size_t>(level) * regions +
+             static_cast<std::size_t>(region)] += 1.0;
+    }
+  }
+  const double denom = config_.density_samples + static_cast<double>(regions);
+  t.region_prob.assign(4 * regions, 0.0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    t.region_prob[i] = counts[i] / denom;
+  }
+
+  // Region LLRs with equiprobable levels (uniform data on both pages):
+  // LLR(r) = log P(r | bit 0) / P(r | bit 1).
+  t.llr.assign(regions, 0.0f);
+  for (std::size_t r = 0; r < regions; ++r) {
+    double p0 = 0.0;
+    double p1 = 0.0;
+    for (int level = 0; level < 4; ++level) {
+      const double p = t.region_prob[static_cast<std::size_t>(level) * regions + r];
+      (page_bit(page, level) == 0 ? p0 : p1) += 0.25 * p;
+    }
+    t.llr[r] = static_cast<float>(
+        std::clamp(std::log(p0 / p1), -30.0, 30.0));
+  }
+
+  // Hard BER: probability the LLR sign disagrees with the stored bit.
+  double err = 0.0;
+  for (int level = 0; level < 4; ++level) {
+    const int bit = page_bit(page, level);
+    for (std::size_t r = 0; r < regions; ++r) {
+      const bool decides_one = t.llr[r] < 0.0f;
+      if (decides_one != (bit == 1)) {
+        err += 0.25 *
+               t.region_prob[static_cast<std::size_t>(level) * regions + r];
+      }
+    }
+  }
+  t.hard_ber = err;
+  return t;
+}
+
+std::vector<float> MlcPageChannel::transmit(
+    Page page, std::span<const std::uint8_t> bits, Rng& rng) const {
+  const PageTables& t = tables(page);
+  std::vector<float> llrs(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // The other page's bit is independent uniform data.
+    const std::uint8_t other = static_cast<std::uint8_t>(rng.below(2));
+    nand::BitPair pair;
+    if (page == Page::kLower) {
+      pair = {.lsb = static_cast<std::uint8_t>(bits[i] & 1), .msb = other};
+    } else {
+      pair = {.lsb = other, .msb = static_cast<std::uint8_t>(bits[i] & 1)};
+    }
+    const int level = nand::mlc_gray_encode(pair);
+    const int region = region_of(t.boundaries, sample_noisy_vth(level, rng));
+    llrs[i] = t.llr[static_cast<std::size_t>(region)];
+  }
+  return llrs;
+}
+
+double MlcPageChannel::hard_ber(Page page) const {
+  return tables(page).hard_ber;
+}
+
+const std::vector<Volt>& MlcPageChannel::boundaries(Page page) const {
+  return tables(page).boundaries;
+}
+
+const std::vector<float>& MlcPageChannel::llr_table(Page page) const {
+  return tables(page).llr;
+}
+
+}  // namespace flex::reliability

@@ -1,0 +1,27 @@
+#include "reliability/sensing_solver.h"
+
+#include "common/assert.h"
+
+namespace flex::reliability {
+
+SensingRequirement::SensingRequirement()
+    : steps_{{{.extra_levels = 0, .max_raw_ber = 4.0e-3},
+              {.extra_levels = 1, .max_raw_ber = 5.5e-3},
+              {.extra_levels = 2, .max_raw_ber = 7.2e-3},
+              {.extra_levels = 4, .max_raw_ber = 1.3e-2},
+              {.extra_levels = 6, .max_raw_ber = 2.2e-2}}} {}
+
+int SensingRequirement::required_levels(double raw_ber,
+                                        bool* correctable) const {
+  FLEX_EXPECTS(raw_ber >= 0.0);
+  for (const auto& step : steps_) {
+    if (raw_ber <= step.max_raw_ber) {
+      if (correctable != nullptr) *correctable = true;
+      return step.extra_levels;
+    }
+  }
+  if (correctable != nullptr) *correctable = false;
+  return steps_.back().extra_levels;
+}
+
+}  // namespace flex::reliability

@@ -1,0 +1,46 @@
+// Raw BER -> required extra LDPC soft-sensing levels (the method of [2] as
+// applied in the paper's Table 5).
+//
+// Soft-decision LDPC tolerates a higher raw BER the more sensing levels it
+// is given. Practical controllers step through a fixed level ladder
+// (0, 1, 2, 4, 6 here: after the first two single-reference retries, levels
+// are added in symmetric pairs around each read reference). Each ladder
+// step has a maximum raw BER it can correct at UBER <= 1e-15; the caps
+// below are fitted to reproduce the paper's Table 5 exactly and are
+// cross-validated against this library's real min-sum decoder by
+// bench/micro_ldpc (the measured correction capability grows with the
+// level count in the same order).
+#pragma once
+
+#include <array>
+
+namespace flex::reliability {
+
+class SensingRequirement {
+ public:
+  struct Step {
+    int extra_levels;
+    double max_raw_ber;
+  };
+
+  /// The default ladder used throughout the paper reproduction.
+  SensingRequirement();
+
+  /// Extra sensing levels needed to correct `raw_ber`; returns the top step
+  /// when even it is insufficient *and* sets `*correctable = false`.
+  int required_levels(double raw_ber, bool* correctable = nullptr) const;
+
+  /// The BER cap of hard-decision (zero extra level) decoding — the
+  /// "BER limit that triggers extra sensing levels" (paper: 4e-3).
+  double hard_decision_cap() const { return steps_.front().max_raw_ber; }
+
+  /// Highest BER the deepest soft read corrects.
+  double max_correctable() const { return steps_.back().max_raw_ber; }
+
+  const std::array<Step, 5>& steps() const { return steps_; }
+
+ private:
+  std::array<Step, 5> steps_;
+};
+
+}  // namespace flex::reliability

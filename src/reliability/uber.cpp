@@ -1,0 +1,85 @@
+#include "reliability/uber.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace flex::reliability {
+
+double binomial_tail_above(int k, int m, double p) {
+  FLEX_EXPECTS(m > 0);
+  FLEX_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (k >= m) return 0.0;
+  if (k < 0) return 1.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  auto log_pmf = [&](int i) {
+    return std::lgamma(m + 1.0) - std::lgamma(i + 1.0) -
+           std::lgamma(m - i + 1.0) + i * log_p + (m - i) * log_q;
+  };
+
+  // Sum P(X = i) for i in (k, m] in log space, anchored at the largest term
+  // (either the mode or the boundary k+1 when the mode is inside the head).
+  const int mode = static_cast<int>((m + 1) * p);
+  const int start = k + 1;
+  const int peak = std::max(start, std::min(mode, m));
+  const double log_peak = log_pmf(peak);
+  double sum = 0.0;
+  for (int i = start; i <= m; ++i) {
+    const double term = std::exp(log_pmf(i) - log_peak);
+    sum += term;
+    // Beyond the mode the terms decay geometrically; stop once negligible.
+    if (i > peak && term < 1e-18 * sum) break;
+  }
+  const double log_tail = log_peak + std::log(sum);
+  return log_tail > 0.0 ? 1.0 : std::exp(log_tail);
+}
+
+double uber(int correctable, int n_info, int m_total, double raw_ber) {
+  FLEX_EXPECTS(n_info > 0);
+  FLEX_EXPECTS(m_total >= n_info);
+  return binomial_tail_above(correctable, m_total, raw_ber) /
+         static_cast<double>(n_info);
+}
+
+int required_correction(double target_uber, int n_info, int m_total,
+                        double raw_ber) {
+  FLEX_EXPECTS(target_uber > 0.0);
+  // Monotone in k: bisect.
+  int lo = 0;
+  int hi = m_total;
+  if (uber(hi, n_info, m_total, raw_ber) > target_uber) return -1;
+  if (uber(lo, n_info, m_total, raw_ber) <= target_uber) return 0;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (uber(mid, n_info, m_total, raw_ber) <= target_uber) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double max_raw_ber(double target_uber, int correctable, int n_info,
+                   int m_total) {
+  FLEX_EXPECTS(target_uber > 0.0);
+  double lo = 0.0;
+  double hi = 0.5;
+  if (uber(correctable, n_info, m_total, hi) <= target_uber) return hi;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (uber(correctable, n_info, m_total, mid) <= target_uber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace flex::reliability

@@ -1,0 +1,30 @@
+// Uncorrectable bit error rate (paper Eq. 1).
+//
+//   uber(k) = (1 - sum_{i=0..k} C(m,i) p^i (1-p)^(m-i)) / n
+//
+// for a rate-n/m ECC correcting k bit errors over an m-bit codeword with
+// per-bit raw error probability p. Evaluated in log space: the interesting
+// regime is 1e-15, far below what naive summation can resolve.
+#pragma once
+
+namespace flex::reliability {
+
+/// P(X > k) for X ~ Binomial(m, p): the probability that a codeword holds
+/// more errors than the code corrects. Stable down to ~1e-300.
+double binomial_tail_above(int k, int m, double p);
+
+/// Paper Eq. 1. `n_info` and `m_total` are the code's information and
+/// codeword lengths in bits.
+double uber(int correctable, int n_info, int m_total, double raw_ber);
+
+/// Smallest k with uber(k) <= target; -1 if even k = m doesn't reach it
+/// (cannot happen for target > 0 but guards misuse).
+int required_correction(double target_uber, int n_info, int m_total,
+                        double raw_ber);
+
+/// Largest raw BER p such that uber(k) <= target, found by bisection —
+/// the "BER cap" a code with correction strength k can tolerate.
+double max_raw_ber(double target_uber, int correctable, int n_info,
+                   int m_total);
+
+}  // namespace flex::reliability

@@ -1,0 +1,45 @@
+#include "ssd/latency_model.h"
+
+#include "common/assert.h"
+
+namespace flex::ssd {
+
+Duration LatencyModel::read_fixed(int levels) const {
+  FLEX_EXPECTS(levels >= 0);
+  return spec.read_latency + spec.page_transfer_latency +
+         levels * (extra_sense_per_level + extra_transfer_per_level) +
+         decode_base + levels * decode_per_level;
+}
+
+Duration LatencyModel::read_progressive(
+    int required_levels,
+    const reliability::SensingRequirement& ladder) const {
+  return read_progressive_from(0, required_levels, ladder);
+}
+
+Duration LatencyModel::read_progressive_from(
+    int start_levels, int required_levels,
+    const reliability::SensingRequirement& ladder) const {
+  FLEX_EXPECTS(start_levels >= 0);
+  FLEX_EXPECTS(required_levels >= 0);
+  Duration total = spec.read_latency + spec.page_transfer_latency;
+  int sensed = 0;
+  for (const auto& step : ladder.steps()) {
+    if (step.extra_levels < start_levels) continue;
+    // Escalation re-senses only the new reference voltages and transfers
+    // only the new soft bits.
+    const int delta = step.extra_levels - sensed;
+    FLEX_ASSERT(delta >= 0);
+    total += delta * (extra_sense_per_level + extra_transfer_per_level);
+    sensed = step.extra_levels;
+    // Decode attempt at this step (full price whether it succeeds or not).
+    total += decode_base + sensed * decode_per_level;
+    if (sensed >= required_levels) return total;
+  }
+  // Even the deepest read fails to satisfy `required_levels`: the
+  // controller has exhausted the ladder (treated as the deepest read; the
+  // caller accounts the uncorrectable event separately).
+  return total;
+}
+
+}  // namespace flex::ssd

@@ -1,0 +1,59 @@
+// Read/write latency accounting for LDPC-equipped NAND.
+//
+// A hard read costs one sense + one transfer + one decode. Every extra
+// soft-sensing level adds a partial re-sense and the transfer of the extra
+// soft bits, and the decoder runs longer on degraded input — the latency
+// anatomy of [1, 2] that the paper's Fig. 6 rests on. Two controller
+// policies are modelled:
+//  * fixed: one attempt at a predetermined level count (the paper's
+//    baseline, which must provision for the worst case), and
+//  * progressive: start hard, escalate along the sensing ladder after each
+//    decode failure (LDPC-in-SSD [2]).
+#pragma once
+
+#include "common/units.h"
+#include "nand/geometry.h"
+#include "reliability/sensing_solver.h"
+
+namespace flex::ssd {
+
+struct LatencyModel {
+  nand::NandSpec spec;
+
+  /// Additional array sensing per extra level (a soft strobe is a partial
+  /// tR: the string is already precharged).
+  Duration extra_sense_per_level = 35 * kMicrosecond;
+  /// Soft-bit transfer per extra level (the LLR payload grows with levels).
+  Duration extra_transfer_per_level = 20 * kMicrosecond;
+  /// Min-sum decode on clean hard input.
+  Duration decode_base = 10 * kMicrosecond;
+  /// Decode-time growth per extra level in use (more iterations).
+  Duration decode_per_level = 8 * kMicrosecond;
+  /// DRAM service for write-buffer hits.
+  Duration buffer_latency = 5 * kMicrosecond;
+
+  /// One read attempt with `levels` extra sensing levels, start to finish.
+  Duration read_fixed(int levels) const;
+
+  /// Progressive ladder read that ends at `required_levels`: every ladder
+  /// step below it is a failed attempt whose sensing/transfer work is
+  /// incremental but whose decode time is paid in full.
+  Duration read_progressive(int required_levels,
+                            const reliability::SensingRequirement& ladder)
+      const;
+
+  /// Progressive read that *starts* at `start_levels` (a remembered
+  /// per-block hint, as in LDPC-in-SSD's fine-grained scheme): the first
+  /// attempt senses start_levels at once; escalation continues up the
+  /// ladder if `required_levels` is higher. A hint above the requirement
+  /// wastes some sensing but saves the failed-decode retries.
+  Duration read_progressive_from(
+      int start_levels, int required_levels,
+      const reliability::SensingRequirement& ladder) const;
+
+  /// Page program / block erase passthroughs (Table 6).
+  Duration program() const { return spec.program_latency; }
+  Duration erase() const { return spec.erase_latency; }
+};
+
+}  // namespace flex::ssd

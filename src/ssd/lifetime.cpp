@@ -1,0 +1,17 @@
+#include "ssd/lifetime.h"
+
+#include "common/assert.h"
+
+namespace flex::ssd {
+
+double lifetime_factor(double erase_increase, LifetimeParams params) {
+  FLEX_EXPECTS(erase_increase >= 1.0);
+  FLEX_EXPECTS(params.activation_fraction >= 0.0 &&
+               params.activation_fraction <= 1.0);
+  // Time to exhaust the budget: phase 1 at rate 1, phase 2 at the inflated
+  // rate; normalised by the unmodified lifetime.
+  return params.activation_fraction +
+         (1.0 - params.activation_fraction) / erase_increase;
+}
+
+}  // namespace flex::ssd

@@ -1,0 +1,23 @@
+// Endurance / lifetime model for Fig. 7(c).
+//
+// FlexLevel's extra erases only occur once the raw BER is high enough to
+// trigger soft sensing — Table 5 puts that past ~4000 P/E cycles on an
+// 8000-cycle-rated MLC part. Lifetime is therefore a two-phase integral:
+// the first `activation_fraction` of the erase budget is consumed at the
+// unmodified rate, the remainder at `erase_increase` times that rate.
+#pragma once
+
+namespace flex::ssd {
+
+struct LifetimeParams {
+  /// Fraction of the endurance budget consumed before FlexLevel activates
+  /// (paper: 4000 of 8000 rated cycles).
+  double activation_fraction = 0.5;
+};
+
+/// Relative drive lifetime versus the reference system, given the measured
+/// erase-count ratio (>= 1) while the scheme is active. 1.0 = no loss.
+double lifetime_factor(double erase_increase,
+                       LifetimeParams params = LifetimeParams{});
+
+}  // namespace flex::ssd

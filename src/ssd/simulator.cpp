@@ -1,0 +1,282 @@
+#include "ssd/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace flex::ssd {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBaseline:
+      return "baseline";
+    case Scheme::kLdpcInSsd:
+      return "LDPC-in-SSD";
+    case Scheme::kLevelAdjustOnly:
+      return "LevelAdjust-only";
+    case Scheme::kFlexLevel:
+      return "LevelAdjust+AccessEval";
+  }
+  FLEX_ASSERT(false && "unreachable");
+  return {};
+}
+
+SsdSimulator::SsdSimulator(SsdConfig config,
+                           const reliability::BerModel& normal,
+                           const reliability::BerModel& reduced)
+    : config_(config),
+      normal_model_(normal),
+      reduced_model_(reduced),
+      ftl_(config.ftl),
+      buffer_(config.write_buffer_pages, config.write_buffer_flush_batch),
+      access_eval_(config.access_eval),
+      chip_free_(config.ftl.spec.chips, 0),
+      rng_(config.seed) {
+  if (config_.sensing_hint) {
+    page_hint_.assign(ftl_.physical_blocks() *
+                          config_.ftl.spec.pages_per_block,
+                      0);
+  }
+  FLEX_EXPECTS(config_.min_prefill_age > 0.0);
+  FLEX_EXPECTS(config_.max_prefill_age >= config_.min_prefill_age);
+  // The baseline controller cannot tell fresh pages from stale ones, so it
+  // provisions every read for the worst case it was qualified against:
+  // the pre-aged wear level at the rated retention age.
+  baseline_fixed_levels_ = ladder_.required_levels(normal_model_.total_ber(
+      static_cast<int>(config_.ftl.initial_pe_cycles),
+      config_.baseline_retention_spec));
+  results_.sensing_level_reads.assign(
+      static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
+}
+
+void SsdSimulator::reset_measurements() {
+  results_ = SsdResults{};
+  results_.sensing_level_reads.assign(
+      static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
+  prefill_stats_ = ftl_.stats();
+}
+
+void SsdSimulator::prefill(std::uint64_t pages) {
+  FLEX_EXPECTS(pages <= ftl_.logical_pages());
+  const ftl::PageMode mode = config_.scheme == Scheme::kLevelAdjustOnly
+                                 ? ftl::PageMode::kReduced
+                                 : ftl::PageMode::kNormal;
+  const double log_min = std::log(config_.min_prefill_age);
+  const double log_max = std::log(config_.max_prefill_age);
+  FLEX_EXPECTS(config_.prefill_extent_pages >= 1);
+  Hours age = config_.max_prefill_age;
+  static_birth_.assign(pages, 0);
+  for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+    if (lpn % config_.prefill_extent_pages == 0) {
+      age = std::exp(rng_.uniform(log_min, log_max));
+    }
+    const auto birth = static_cast<SimTime>(-age * 3600.0 * 1e9);
+    static_birth_[lpn] = birth;
+    ftl_.write(lpn, mode, birth);
+  }
+  // Preconditioning: historical random overwrites that scatter invalid
+  // pages across blocks, so measurement starts from GC steady state
+  // instead of the artificially clean freshly-filled layout.
+  const auto overwrites = static_cast<std::uint64_t>(
+      config_.precondition_passes * static_cast<double>(pages));
+  for (std::uint64_t i = 0; i < overwrites; ++i) {
+    const Hours overwrite_age = std::exp(rng_.uniform(log_min, log_max));
+    ftl_.write(rng_.below(pages), mode,
+               static_cast<SimTime>(-overwrite_age * 3600.0 * 1e9));
+  }
+  prefill_stats_ = ftl_.stats();
+}
+
+int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
+                                         Hours age, bool* correctable) {
+  // ~1.5% age resolution per bucket: far finer than the ladder's BER steps.
+  const auto bucket = static_cast<std::uint64_t>(
+      age <= 0.0 ? 0 : 1 + std::llround(48.0 * std::log2(1.0 + age)));
+  const std::uint64_t key = (static_cast<std::uint64_t>(pe) << 16) | bucket;
+  auto& cache = level_cache_[reduced ? 1 : 0];
+  if (const auto it = cache.find(key); it != cache.end()) {
+    *correctable = (it->second & 0x100) != 0;
+    return it->second & 0xFF;
+  }
+  const reliability::BerModel& model =
+      reduced ? reduced_model_ : normal_model_;
+  bool ok = true;
+  const int levels = ladder_.required_levels(
+      model.total_ber(static_cast<int>(pe), age), &ok);
+  cache.emplace(key, levels | (ok ? 0x100 : 0));
+  *correctable = ok;
+  return levels;
+}
+
+std::size_t SsdSimulator::chip_of(std::uint64_t ppn) const {
+  // Page-level channel striping (superblock layout): consecutive pages of
+  // a block land on different chips, so flush bursts and GC relocation
+  // trains parallelise across the array instead of serialising behind one
+  // write frontier.
+  return static_cast<std::size_t>(ppn % config_.ftl.spec.chips);
+}
+
+SimTime SsdSimulator::occupy(std::size_t chip, SimTime arrival,
+                             Duration busy) {
+  const SimTime start = std::max(arrival, chip_free_[chip]);
+  chip_free_[chip] = start + busy;
+  return start + busy;
+}
+
+ftl::PageMode SsdSimulator::write_mode_for(std::uint64_t lpn) const {
+  switch (config_.scheme) {
+    case Scheme::kLevelAdjustOnly:
+      return ftl::PageMode::kReduced;
+    case Scheme::kFlexLevel:
+      return access_eval_.is_reduced(lpn) ? ftl::PageMode::kReduced
+                                          : ftl::PageMode::kNormal;
+    case Scheme::kBaseline:
+    case Scheme::kLdpcInSsd:
+      return ftl::PageMode::kNormal;
+  }
+  FLEX_ASSERT(false && "unreachable");
+  return ftl::PageMode::kNormal;
+}
+
+Duration SsdSimulator::write_cost(const ftl::WriteResult& result) const {
+  // GC relocations read the victim page before reprogramming it.
+  const std::uint64_t gc_reads =
+      result.page_programs > 0 ? result.page_programs - 1 : 0;
+  return static_cast<Duration>(result.page_programs) *
+             config_.latency.program() +
+         static_cast<Duration>(result.erases) * config_.latency.erase() +
+         static_cast<Duration>(gc_reads) * config_.latency.spec.read_latency;
+}
+
+void SsdSimulator::schedule_background(SimTime now,
+                                       const ftl::WriteResult& result) {
+  occupy(chip_of(result.ppn), now, config_.latency.program());
+  const std::uint64_t moves =
+      result.page_programs > 0 ? result.page_programs - 1 : 0;
+  const std::size_t chips = chip_free_.size();
+  for (std::uint64_t i = 0; i < moves; ++i) {
+    next_background_chip_ = (next_background_chip_ + 1) % chips;
+    occupy(next_background_chip_, now,
+           config_.latency.program() + config_.latency.spec.read_latency);
+  }
+  for (std::uint64_t i = 0; i < result.erases; ++i) {
+    next_background_chip_ = (next_background_chip_ + 1) % chips;
+    occupy(next_background_chip_, now, config_.latency.erase());
+  }
+}
+
+Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
+  if (buffer_.contains(lpn)) {
+    ++results_.buffer_hits;
+    return config_.latency.buffer_latency;
+  }
+  const auto info = ftl_.lookup(lpn);
+  if (!info.has_value()) {
+    // Read of never-written data: served from the mapping table alone.
+    ++results_.unmapped_reads;
+    return config_.latency.buffer_latency;
+  }
+
+  const SimTime birth =
+      config_.age_model == AgeModel::kStaticPerLba &&
+              lpn < static_birth_.size()
+          ? static_birth_[lpn]
+          : info->write_time;
+  const Hours age = static_cast<double>(now - birth) / (3600.0 * 1e9);
+  const bool reduced = info->mode == ftl::PageMode::kReduced;
+  bool correctable = true;
+  const int required = required_levels_cached(
+      reduced, info->pe_cycles, std::max(age, 0.0), &correctable);
+  if (!correctable) ++results_.uncorrectable_reads;
+  ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
+
+  Duration busy;
+  if (config_.scheme == Scheme::kBaseline) {
+    busy = config_.latency.read_fixed(
+        std::max(required, baseline_fixed_levels_));
+  } else if (config_.sensing_hint) {
+    const auto page = static_cast<std::size_t>(info->ppn);
+    busy = config_.latency.read_progressive_from(page_hint_[page], required,
+                                                 ladder_);
+    page_hint_[page] = static_cast<std::int8_t>(required);
+  } else {
+    busy = config_.latency.read_progressive(required, ladder_);
+  }
+  const SimTime completion = occupy(chip_of(info->ppn), now, busy);
+
+  if (config_.scheme == Scheme::kFlexLevel) {
+    const flexlevel::AccessDecision decision =
+        access_eval_.on_read(lpn, required);
+    // Migrations are deferrable single-page maintenance: the controller
+    // runs them in idle gaps with program-suspend, so they do not add to
+    // host-visible latency. Their NAND work still lands in the FTL
+    // statistics, which is where Fig. 7's write/erase/lifetime costs come
+    // from. (Buffer flushes, by contrast, are deadline work and do contend
+    // with reads — see service_write_page.)
+    if (decision.migrate_to_reduced) {
+      ftl_.migrate(lpn, ftl::PageMode::kReduced, now);
+      ++results_.migrations_to_reduced;
+    }
+    if (decision.evicted.has_value()) {
+      ftl_.migrate(*decision.evicted, ftl::PageMode::kNormal, now);
+      ++results_.migrations_to_normal;
+    }
+  }
+  return completion - now;
+}
+
+Duration SsdSimulator::service_write_page(std::uint64_t lpn, SimTime now) {
+  const std::vector<std::uint64_t> flush = buffer_.write(lpn);
+  // Write-back semantics: the host write completes at buffer insertion;
+  // evicted pages flush to NAND in the background, where their program and
+  // GC time occupies the chips and delays subsequent reads — which is
+  // exactly how the over-provisioning squeeze of reduced-state storage
+  // surfaces in the paper's Fig. 6(a).
+  for (const std::uint64_t victim : flush) {
+    const ftl::WriteResult result =
+        ftl_.write(victim, write_mode_for(victim), now);
+    schedule_background(now, result);
+  }
+  return config_.latency.buffer_latency;
+}
+
+SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
+  const std::uint64_t logical = ftl_.logical_pages();
+  for (const auto& request : requests) {
+    const SimTime arrival = request.arrival;
+    Duration response = 0;
+    for (std::uint32_t i = 0; i < request.pages; ++i) {
+      const std::uint64_t lpn = (request.lpn + i) % logical;
+      const Duration page_response =
+          request.is_write ? service_write_page(lpn, arrival)
+                           : service_read_page(lpn, arrival);
+      // Pages of one request are served concurrently on their chips; the
+      // request completes with its slowest page.
+      response = std::max(response, page_response);
+    }
+    const double seconds = to_seconds(response);
+    results_.all_response.add(seconds);
+    if (request.is_write) {
+      results_.write_response.add(seconds);
+    } else {
+      results_.read_response.add(seconds);
+      results_.read_latency_hist.add(seconds);
+    }
+  }
+
+  results_.pool_pages = access_eval_.pool_size();
+  // Report trace-phase FTL activity only.
+  const ftl::FtlStats& total = ftl_.stats();
+  results_.ftl.host_writes = total.host_writes - prefill_stats_.host_writes;
+  results_.ftl.nand_writes = total.nand_writes - prefill_stats_.nand_writes;
+  results_.ftl.nand_erases = total.nand_erases - prefill_stats_.nand_erases;
+  results_.ftl.gc_runs = total.gc_runs - prefill_stats_.gc_runs;
+  results_.ftl.gc_page_moves =
+      total.gc_page_moves - prefill_stats_.gc_page_moves;
+  results_.ftl.mode_migrations =
+      total.mode_migrations - prefill_stats_.mode_migrations;
+  return results_;
+}
+
+}  // namespace flex::ssd

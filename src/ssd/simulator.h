@@ -1,0 +1,164 @@
+// Trace-driven SSD simulator (the FlashSim-equivalent of §6.2) with the
+// four §6.2 storage systems:
+//   kBaseline        — plain soft-decision LDPC, worst-case fixed sensing;
+//   kLdpcInSsd       — progressive sensing retry (Zhao et al. [2]);
+//   kLevelAdjustOnly — the whole drive in reduced state (no AccessEval);
+//   kFlexLevel       — LevelAdjust + AccessEval (the paper's system).
+//
+// The simulator owns a page-mapping FTL, a write-back buffer, per-chip
+// service queues, the AccessEval controller, and per-mode BerModels; data
+// age and block wear drive the per-read sensing requirement.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "flexlevel/access_eval.h"
+#include "ftl/page_mapping.h"
+#include "ftl/write_buffer.h"
+#include "reliability/ber_model.h"
+#include "reliability/sensing_solver.h"
+#include "ssd/latency_model.h"
+#include "trace/trace.h"
+
+namespace flex::ssd {
+
+enum class Scheme { kBaseline, kLdpcInSsd, kLevelAdjustOnly, kFlexLevel };
+
+std::string scheme_name(Scheme scheme);
+
+/// How a page's retention age is determined at read time.
+enum class AgeModel {
+  /// Age = now - last program of that page: rewritten/relocated data is
+  /// fresh. The physically faithful model.
+  kPhysical,
+  /// Each LBA keeps the age its data was assigned at prefill (advancing
+  /// with simulated time); device-level rewrites and relocations do not
+  /// reset it. This matches the paper's evaluation, whose per-read BER
+  /// depends only on P/E count and the storage-time axis of Tables 4/5 —
+  /// not on FTL write recency.
+  kStaticPerLba,
+};
+
+struct SsdConfig {
+  Scheme scheme = Scheme::kLdpcInSsd;
+  ftl::FtlConfig ftl;
+  LatencyModel latency;
+  flexlevel::AccessEval::Config access_eval;
+  /// Write buffer sized as a capacity fraction of the drive (the paper's
+  /// 64 MB on 256 GB is ~0.025% of capacity); absolute pages.
+  std::uint64_t write_buffer_pages = 128;
+  std::uint64_t write_buffer_flush_batch = 32;
+  /// Pre-filled data carries a log-uniform age in
+  /// [min_prefill_age, max_prefill_age] — a drive in the field holds a mix
+  /// of fresh and stale data, which is what progressive sensing exploits.
+  /// Ages are drawn per extent of `prefill_extent_pages` consecutive LPNs:
+  /// data written together (files, database segments) shares its age.
+  Hours min_prefill_age = 1.0;
+  Hours max_prefill_age = kWeek;
+  std::uint64_t prefill_extent_pages = 64;
+  /// Preconditioning: random overwrites issued after the sequential fill
+  /// (as a multiple of the prefilled pages), putting the FTL's
+  /// valid/invalid mix — and therefore GC — into steady state before
+  /// measurement. 0 leaves the drive freshly filled.
+  double precondition_passes = 0.0;
+  /// Retention age the *baseline* controller is qualified for: it cannot
+  /// tell pages apart, so every read is provisioned for this worst case
+  /// (JEDEC-style rated retention).
+  Hours baseline_retention_spec = kMonth;
+  AgeModel age_model = AgeModel::kPhysical;
+  /// Remember the last successful sensing depth per physical page and
+  /// start the progressive ladder there (LDPC-in-SSD's fine-grained
+  /// retry-level memorization [2]). Applies to every progressive-read
+  /// scheme; the baseline's fixed read is unaffected.
+  bool sensing_hint = false;
+  std::uint64_t seed = 0x5EED;
+};
+
+struct SsdResults {
+  RunningStats read_response;   ///< seconds
+  RunningStats write_response;  ///< seconds
+  RunningStats all_response;    ///< seconds
+  /// Read-response distribution (seconds, 20 ms cap) for tail latency:
+  /// use read_latency_hist.quantile(0.99) etc.
+  Histogram read_latency_hist{0.0, 0.02, 400};
+  ftl::FtlStats ftl;            ///< trace-phase deltas (prefill excluded)
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t unmapped_reads = 0;
+  std::uint64_t uncorrectable_reads = 0;
+  std::uint64_t migrations_to_reduced = 0;
+  std::uint64_t migrations_to_normal = 0;
+  /// ReducedCell pool occupancy at the end of the run (FlexLevel only).
+  std::uint64_t pool_pages = 0;
+  /// Distribution of extra sensing levels over NAND reads.
+  std::vector<std::uint64_t> sensing_level_reads;
+};
+
+class SsdSimulator {
+ public:
+  /// The BerModels are shared (they are expensive to build); `normal` maps
+  /// the 4-level baseline cell, `reduced` the NUNMA reduced cell.
+  SsdSimulator(SsdConfig config, const reliability::BerModel& normal,
+               const reliability::BerModel& reduced);
+
+  /// Fills `pages` logical pages with data aged log-uniformly over
+  /// [min_prefill_age, max_prefill_age].
+  void prefill(std::uint64_t pages);
+
+  /// Runs a trace segment; results accumulate across calls.
+  SsdResults run(const std::vector<trace::Request>& requests);
+
+  /// Clears accumulated measurements (response stats, counters, FTL deltas)
+  /// while keeping all simulator state — call between a warmup pass and the
+  /// measured pass to observe steady-state behaviour.
+  void reset_measurements();
+
+  const ftl::PageMappingFtl& ftl() const { return ftl_; }
+
+ private:
+  Duration service_read_page(std::uint64_t lpn, SimTime now);
+  Duration service_write_page(std::uint64_t lpn, SimTime now);
+  /// Chip owning a physical page (page-striped across channels), for the
+  /// per-chip busy-time queues.
+  std::size_t chip_of(std::uint64_t ppn) const;
+  /// Occupies `chip` for `busy` starting no earlier than `arrival`; returns
+  /// the completion time.
+  SimTime occupy(std::size_t chip, SimTime arrival, Duration busy);
+  ftl::PageMode write_mode_for(std::uint64_t lpn) const;
+  /// Sensing requirement with an (age-bucketed) cache — the analytic BER
+  /// integral is far too slow to evaluate per simulated read.
+  int required_levels_cached(bool reduced, std::uint32_t pe, Hours age,
+                             bool* correctable);
+  /// NAND time of an FTL write result (program + GC reads/programs/erases).
+  Duration write_cost(const ftl::WriteResult& result) const;
+  /// Schedules a flush/GC result's NAND operations: the host program on its
+  /// own chip, each GC relocation and erase on the next chip round-robin,
+  /// so background trains parallelise instead of stalling the whole array.
+  void schedule_background(SimTime now, const ftl::WriteResult& result);
+
+  SsdConfig config_;
+  const reliability::BerModel& normal_model_;
+  const reliability::BerModel& reduced_model_;
+  reliability::SensingRequirement ladder_;
+  ftl::PageMappingFtl ftl_;
+  ftl::WriteBuffer buffer_;
+  flexlevel::AccessEval access_eval_;
+  std::vector<SimTime> chip_free_;
+  /// Per-LBA data birth time for AgeModel::kStaticPerLba (prefill only).
+  std::vector<SimTime> static_birth_;
+  /// Last required sensing depth per physical page (sensing_hint).
+  std::vector<std::int8_t> page_hint_;
+  std::size_t next_background_chip_ = 0;
+  Rng rng_;
+  int baseline_fixed_levels_ = 0;  ///< worst-case provision for kBaseline
+  // (pe, age-bucket) -> packed {levels, correctable}; one map per cell mode.
+  std::unordered_map<std::uint64_t, int> level_cache_[2];
+  SsdResults results_;
+  ftl::FtlStats prefill_stats_;
+};
+
+}  // namespace flex::ssd

@@ -1,0 +1,46 @@
+// Block-level I/O trace records and CSV (de)serialisation.
+//
+// Format (one request per line): `timestamp_us,op,lpn,pages` with op R or W
+// — the same information the MSR-Cambridge / UMass traces carry after
+// sector-to-page alignment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace flex::trace {
+
+struct Request {
+  SimTime arrival = 0;        ///< ns since trace start
+  bool is_write = false;
+  std::uint64_t lpn = 0;      ///< first logical page
+  std::uint32_t pages = 1;    ///< request length in pages
+
+  bool operator==(const Request&) const = default;
+};
+
+/// Summary statistics of a trace (used by tests and the workload report).
+struct TraceSummary {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_pages = 0;
+  std::uint64_t write_pages = 0;
+  std::uint64_t max_lpn = 0;
+  double read_fraction() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(reads) /
+                               static_cast<double>(requests);
+  }
+};
+
+TraceSummary summarize(const std::vector<Request>& trace);
+
+void write_csv(std::ostream& out, const std::vector<Request>& trace);
+/// Throws std::runtime_error on malformed lines.
+std::vector<Request> read_csv(std::istream& in);
+
+}  // namespace flex::trace

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the paper's seven benchmark traces.
+//
+// The real traces (UMass Financial2, MSR-Cambridge web/prj, PC workloads)
+// are not redistributable, so each workload is generated from published
+// characteristics: read/write mix, footprint, popularity skew (Zipf),
+// request size and arrival rate. What matters for FlexLevel is exactly
+// this tuple — AccessEval feeds on read skew, the GC penalty feeds on
+// write volume — so the generators exercise the same mechanisms.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/trace.h"
+
+namespace flex::trace {
+
+struct WorkloadParams {
+  std::string name;
+  double read_fraction = 0.7;      ///< request mix
+  double zipf_theta = 0.9;         ///< popularity skew of accesses
+  std::uint64_t footprint_pages = 200'000;
+  double mean_request_pages = 1.5; ///< geometric request length
+  std::uint32_t max_request_pages = 64;
+  double iops = 2'000.0;           ///< exponential inter-arrivals
+  std::uint64_t requests = 200'000;
+  /// Reads and writes draw from independently permuted Zipf ranks so the
+  /// read-hot set only partially overlaps the write-hot set (fraction of
+  /// shared hot pages).
+  double read_write_overlap = 0.5;
+  /// Probability that a request continues sequentially after the previous
+  /// one of the same kind (block traces show pronounced sequential runs).
+  double sequential_fraction = 0.1;
+};
+
+/// The seven paper workloads, in Fig. 6/7 order.
+enum class Workload { kFin2, kWeb1, kWeb2, kPrj1, kPrj2, kWin1, kWin2 };
+
+constexpr std::array<Workload, 7> kAllWorkloads = {
+    Workload::kFin2, Workload::kWeb1, Workload::kWeb2, Workload::kPrj1,
+    Workload::kPrj2, Workload::kWin1, Workload::kWin2};
+
+/// Parameters chosen per workload family: OLTP (fin-2) is skewed,
+/// read-mostly, small-request; web-1/2 are almost pure reads; prj-1/2 carry
+/// the project-server write load; win-1/2 are mixed PC workloads.
+WorkloadParams workload_params(Workload workload);
+
+std::string workload_name(Workload workload);
+
+/// Generates the request stream. Deterministic in (params, seed).
+std::vector<Request> generate(const WorkloadParams& params,
+                              std::uint64_t seed);
+
+}  // namespace flex::trace

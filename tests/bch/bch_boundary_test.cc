@@ -1,0 +1,108 @@
+// Boundary and burst behaviour of the BCH codec: errors at the message /
+// parity seam, in the shortened region's neighbourhood, and in contiguous
+// bursts (a BCH code corrects t errors wherever they sit — unlike
+// interleaved RS setups there is no burst advantage or penalty).
+#include <gtest/gtest.h>
+
+#include "bch/bch.h"
+#include "common/rng.h"
+
+namespace flex::bch {
+namespace {
+
+std::vector<std::uint8_t> random_message(const BchCode& code, Rng& rng) {
+  std::vector<std::uint8_t> m(static_cast<std::size_t>(code.k()));
+  for (auto& bit : m) bit = static_cast<std::uint8_t>(rng.below(2));
+  return m;
+}
+
+class BurstPosition : public ::testing::TestWithParam<int> {};
+
+TEST_P(BurstPosition, ContiguousBurstOfTCorrects) {
+  const BchCode code(8, 5);  // n=255, t=5
+  Rng rng(GetParam());
+  const auto clean = code.encode(random_message(code, rng));
+  auto noisy = clean;
+  const int start = GetParam();
+  for (int i = 0; i < code.t(); ++i) {
+    noisy[static_cast<std::size_t>((start + i) % code.n())] ^= 1;
+  }
+  const auto result = code.decode(noisy);
+  ASSERT_TRUE(result.success) << "burst at " << start;
+  EXPECT_EQ(result.corrected_bits, code.t());
+  EXPECT_EQ(noisy, clean);
+}
+
+// Bursts spanning the message/parity seam (k=215) and the word edges.
+INSTANTIATE_TEST_SUITE_P(SeamAndEdges, BurstPosition,
+                         ::testing::Values(0, 100, 213, 214, 215, 250, 252));
+
+TEST(BchBoundaryTest, SingleErrorAtEveryTenthPosition) {
+  const BchCode code(7, 2);  // n=127
+  Rng rng(1);
+  const auto clean = code.encode(random_message(code, rng));
+  for (int pos = 0; pos < code.n(); pos += 10) {
+    auto noisy = clean;
+    noisy[static_cast<std::size_t>(pos)] ^= 1;
+    const auto result = code.decode(noisy);
+    ASSERT_TRUE(result.success) << "position " << pos;
+    EXPECT_EQ(result.corrected_bits, 1);
+    EXPECT_EQ(noisy, clean);
+  }
+}
+
+TEST(BchBoundaryTest, AllZeroAndAllOneMessages) {
+  const BchCode code(6, 3);
+  const std::vector<std::uint8_t> zeros(static_cast<std::size_t>(code.k()), 0);
+  const std::vector<std::uint8_t> ones(static_cast<std::size_t>(code.k()), 1);
+  for (const auto& message : {zeros, ones}) {
+    auto word = code.encode(message);
+    Rng rng(2);
+    for (int e = 0; e < code.t(); ++e) {
+      word[static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(code.n())))] ^= 1;
+    }
+    EXPECT_TRUE(code.decode(word).success);
+    EXPECT_TRUE(
+        std::equal(message.begin(), message.end(), word.begin()));
+  }
+}
+
+TEST(BchBoundaryTest, TEqualsOneCode) {
+  // The degenerate single-error-correcting (Hamming-equivalent) case.
+  const BchCode code(5, 1);  // n=31, k=26
+  EXPECT_EQ(code.parity_bits(), 5);
+  Rng rng(3);
+  const auto clean = code.encode(random_message(code, rng));
+  for (int pos = 0; pos < code.n(); ++pos) {
+    auto noisy = clean;
+    noisy[static_cast<std::size_t>(pos)] ^= 1;
+    const auto result = code.decode(noisy);
+    ASSERT_TRUE(result.success) << pos;
+    EXPECT_EQ(noisy, clean);
+  }
+}
+
+TEST(BchBoundaryTest, HeavilyShortenedCode) {
+  // Heavily shortened n=511 code: the flash-controller-style metadata
+  // configuration with a 36-bit payload.
+  const BchCode code(9, 4, /*shorten=*/475 - 64 + 28);  // k = 511-36-439 = 36
+  ASSERT_GT(code.k(), 0);
+  Rng rng(4);
+  const auto clean = code.encode(random_message(code, rng));
+  auto noisy = clean;
+  for (int e = 0; e < code.t(); ++e) {
+    noisy[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(code.n())))] ^= 1;
+  }
+  EXPECT_TRUE(code.decode(noisy).success);
+  EXPECT_EQ(noisy, clean);
+}
+
+TEST(BchBoundaryDeathTest, OverShorteningRejected) {
+  // Shortening beyond k leaves no message bits.
+  EXPECT_DEATH(BchCode(5, 3, 31), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::bch

@@ -1,0 +1,165 @@
+#include "bch/bch.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex::bch {
+namespace {
+
+std::vector<std::uint8_t> random_message(int k, Rng& rng) {
+  std::vector<std::uint8_t> m(static_cast<std::size_t>(k));
+  for (auto& bit : m) bit = static_cast<std::uint8_t>(rng.below(2));
+  return m;
+}
+
+// Flips `count` distinct random positions.
+void inject_errors(std::vector<std::uint8_t>& word, int count, Rng& rng) {
+  std::vector<int> positions(word.size());
+  std::iota(positions.begin(), positions.end(), 0);
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.range(i, static_cast<std::int64_t>(positions.size()) - 1));
+    std::swap(positions[static_cast<std::size_t>(i)], positions[j]);
+    word[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] ^=
+        1;
+  }
+}
+
+TEST(BchTest, CodeDimensions) {
+  const BchCode code(8, 4);  // n = 255
+  EXPECT_EQ(code.n(), 255);
+  // Each of the 4 cyclotomic cosets has <= 8 elements: k = 255 - 32 = 223
+  // for the classic (255, 223) t=4 code.
+  EXPECT_EQ(code.k(), 223);
+  EXPECT_EQ(code.t(), 4);
+}
+
+TEST(BchTest, EncodeProducesCodeword) {
+  const BchCode code(7, 3);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto m = random_message(code.k(), rng);
+    const auto c = code.encode(m);
+    EXPECT_EQ(static_cast<int>(c.size()), code.n());
+    EXPECT_TRUE(code.is_codeword(c));
+    // Systematic: message occupies the first k positions.
+    EXPECT_TRUE(std::equal(m.begin(), m.end(), c.begin()));
+  }
+}
+
+TEST(BchTest, CleanWordDecodesWithZeroCorrections) {
+  const BchCode code(7, 3);
+  Rng rng(2);
+  auto c = code.encode(random_message(code.k(), rng));
+  const DecodeResult result = code.decode(c);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.corrected_bits, 0);
+}
+
+class BchCorrection : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BchCorrection, CorrectsUpToTErrors) {
+  const auto [m, t] = GetParam();
+  const BchCode code(m, t);
+  Rng rng(static_cast<std::uint64_t>(m * 100 + t));
+  for (int errors = 0; errors <= t; ++errors) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto message = random_message(code.k(), rng);
+      const auto clean = code.encode(message);
+      auto noisy = clean;
+      inject_errors(noisy, errors, rng);
+      const DecodeResult result = code.decode(noisy);
+      ASSERT_TRUE(result.success) << "m=" << m << " t=" << t
+                                  << " errors=" << errors;
+      EXPECT_EQ(result.corrected_bits, errors);
+      EXPECT_EQ(noisy, clean);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BchCorrection,
+    ::testing::Values(std::make_tuple(5, 2), std::make_tuple(6, 3),
+                      std::make_tuple(7, 2), std::make_tuple(7, 5),
+                      std::make_tuple(8, 4), std::make_tuple(9, 6),
+                      std::make_tuple(10, 8)));
+
+TEST(BchTest, DetectsBeyondTMostOfTheTime) {
+  const BchCode code(8, 3);
+  Rng rng(5);
+  int failures_flagged = 0;
+  int miscorrections = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const auto message = random_message(code.k(), rng);
+    const auto clean = code.encode(message);
+    auto noisy = clean;
+    inject_errors(noisy, code.t() + 2, rng);  // 5 errors, t = 3
+    const DecodeResult result = code.decode(noisy);
+    if (!result.success) {
+      ++failures_flagged;
+      EXPECT_NE(noisy, clean);  // word left untouched (still corrupted)
+    } else if (noisy != clean) {
+      ++miscorrections;  // decoded to a *different* codeword: possible
+    }
+  }
+  // With 2t+1 = 7 minimum distance, 5 errors usually land outside every
+  // decoding sphere; require that detection dominates.
+  EXPECT_GT(failures_flagged, trials / 2);
+  EXPECT_LT(miscorrections, trials / 2);
+}
+
+TEST(BchTest, ShortenedCodeRoundTrip) {
+  const BchCode code(9, 5, /*shorten=*/200);
+  EXPECT_EQ(code.n(), 511 - 200);
+  Rng rng(6);
+  for (int errors = 0; errors <= code.t(); ++errors) {
+    const auto message = random_message(code.k(), rng);
+    const auto clean = code.encode(message);
+    auto noisy = clean;
+    inject_errors(noisy, errors, rng);
+    const DecodeResult result = code.decode(noisy);
+    ASSERT_TRUE(result.success) << "errors=" << errors;
+    EXPECT_EQ(noisy, clean);
+  }
+}
+
+TEST(BchTest, GeneratorDividesXnMinusOne) {
+  // g(x) | x^n - 1 is equivalent to: every codeword cyclic shift is a
+  // codeword. Check one shift on a random codeword.
+  const BchCode code(6, 2);
+  Rng rng(7);
+  const auto c = code.encode(random_message(code.k(), rng));
+  // Rebuild the polynomial-ordered bit vector, rotate, and re-check.
+  // Layout: c[0..k-1] at positions p..n-1, c[k..n-1] at positions 0..p-1.
+  const int n = code.n();
+  const int k = code.k();
+  const int p = code.parity_bits();
+  std::vector<std::uint8_t> poly_bits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int pos = i < k ? p + i : i - k;
+    poly_bits[static_cast<std::size_t>(pos)] =
+        c[static_cast<std::size_t>(i)];
+  }
+  std::rotate(poly_bits.begin(), poly_bits.end() - 1, poly_bits.end());
+  std::vector<std::uint8_t> rotated(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int pos = i < k ? p + i : i - k;
+    rotated[static_cast<std::size_t>(i)] =
+        poly_bits[static_cast<std::size_t>(pos)];
+  }
+  EXPECT_TRUE(code.is_codeword(rotated));
+}
+
+TEST(BchTest, RateReportedConsistently) {
+  const BchCode code(8, 4);
+  EXPECT_NEAR(code.rate(), 223.0 / 255.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace flex::bch

@@ -1,0 +1,52 @@
+#include "common/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace flex {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(NormalTest, QIsComplementOfCdf) {
+  for (const double x : {-3.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+    EXPECT_NEAR(q_function(x) + normal_cdf(x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalTest, QFarTail) {
+  // Q(8) ~ 6.22e-16: must not underflow to zero via 1 - cdf.
+  EXPECT_NEAR(q_function(8.0) / 6.22096057427178e-16, 1.0, 1e-6);
+  EXPECT_GT(q_function(10.0), 0.0);
+}
+
+TEST(NormalTest, QuantileRoundTrip) {
+  for (const double p :
+       {1e-12, 1e-6, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12 + p * 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileSymmetry) {
+  for (const double p : {0.001, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(NormalTest, QuantileMedian) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+}
+
+TEST(NormalDeathTest, QuantileRejectsOutOfRange) {
+  EXPECT_DEATH(normal_quantile(0.0), "precondition");
+  EXPECT_DEATH(normal_quantile(1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace flex

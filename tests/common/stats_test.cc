@@ -1,0 +1,134 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(HistogramTest, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // bin 0
+  h.add(9.999);  // bin 9
+  h.add(5.0);    // bin 5
+  h.add(-1.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+TEST(HistogramTest, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(2);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(HistogramTest, QuantileEmpty) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(RateEstimatorTest, BasicRate) {
+  RateEstimator r;
+  r.add_many(3, 10);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.3);
+  r.add(true);
+  r.add(false);
+  EXPECT_EQ(r.events(), 4u);
+  EXPECT_EQ(r.trials(), 12u);
+}
+
+TEST(RateEstimatorTest, EmptyRateIsZero) {
+  RateEstimator r;
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.margin95(), 0.0);
+}
+
+TEST(RateEstimatorTest, MarginShrinksWithSamples) {
+  RateEstimator small;
+  small.add_many(10, 100);
+  RateEstimator large;
+  large.add_many(10'000, 100'000);
+  EXPECT_GT(small.margin95(), large.margin95());
+  // ~1.96 * sqrt(p q / n) for the large-sample case.
+  EXPECT_NEAR(large.margin95(), 1.96 * std::sqrt(0.1 * 0.9 / 100'000), 1e-4);
+}
+
+}  // namespace
+}  // namespace flex

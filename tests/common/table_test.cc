@@ -1,0 +1,42 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace flex {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "1000"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| b     | 1000  |"), std::string::npos) << out;
+}
+
+TEST(TableTest, SeparatorPresent) {
+  TablePrinter t({"x"});
+  t.add_row({"y"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("|---|"), std::string::npos) << out;
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(0.000638), "0.000638");
+  EXPECT_EQ(TablePrinter::num(1234.5678, 5), "1234.6");
+  EXPECT_EQ(TablePrinter::num(0.0, 3), "0");
+}
+
+TEST(TableTest, PercentFormatting) {
+  EXPECT_EQ(TablePrinter::percent(0.152), "+15.2%");
+  EXPECT_EQ(TablePrinter::percent(-0.06), "-6.0%");
+}
+
+TEST(TableDeathTest, RowArityChecked) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "precondition");
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,91 @@
+#include "common/zipf.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(1);
+  const ZipfSampler zipf(1000, 0.99);
+  for (int i = 0; i < 50'000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(2);
+  const ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(3);
+  const ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, 600);
+}
+
+TEST(ZipfTest, HeadIsHeavierThanTail) {
+  Rng rng(4);
+  const ZipfSampler zipf(100'000, 0.99);
+  int head = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample(rng) < 1000) ++head;  // top 1% of ranks
+  }
+  // For theta ~1, the top 1% of ranks draws roughly half the mass.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(ZipfTest, EmpiricalRatioMatchesLaw) {
+  Rng rng(5);
+  const double theta = 1.0;
+  const ZipfSampler zipf(1'000'000, theta);
+  std::uint64_t rank0 = 0;
+  std::uint64_t rank1 = 0;
+  const int n = 2'000'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t s = zipf.sample(rng);
+    if (s == 0) ++rank0;
+    if (s == 1) ++rank1;
+  }
+  ASSERT_GT(rank1, 100u);
+  // P(0)/P(1) should be (2/1)^theta = 2.
+  EXPECT_NEAR(static_cast<double>(rank0) / rank1, 2.0, 0.25);
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  Rng rng(6);
+  const ZipfSampler mild(10'000, 0.5);
+  const ZipfSampler steep(10'000, 1.3);
+  auto head_mass = [&](const ZipfSampler& z) {
+    int head = 0;
+    for (int i = 0; i < 50'000; ++i) {
+      if (z.sample(rng) < 100) ++head;
+    }
+    return head;
+  };
+  EXPECT_LT(head_mass(mild), head_mass(steep));
+}
+
+TEST(ZipfTest, ThetaExactlyOneWorks) {
+  Rng rng(7);
+  const ZipfSampler zipf(5000, 1.0);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    max_seen = std::max(max_seen, zipf.sample(rng));
+  }
+  EXPECT_LT(max_seen, 5000u);
+  EXPECT_GT(max_seen, 100u);  // tail is reachable
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,77 @@
+#include "flexlevel/nunma.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::flexlevel {
+namespace {
+
+TEST(NunmaTest, Table3Voltages) {
+  const auto n1 = nunma_config(NunmaScheme::kNunma1);
+  EXPECT_DOUBLE_EQ(n1.read_ref(0), 2.65);
+  EXPECT_DOUBLE_EQ(n1.read_ref(1), 3.55);
+  EXPECT_DOUBLE_EQ(n1.verify(1), 2.71);
+  EXPECT_DOUBLE_EQ(n1.verify(2), 3.61);
+  EXPECT_DOUBLE_EQ(n1.vpp(), 0.15);
+
+  const auto n2 = nunma_config(NunmaScheme::kNunma2);
+  EXPECT_DOUBLE_EQ(n2.verify(1), 2.70);
+  EXPECT_DOUBLE_EQ(n2.verify(2), 3.65);
+
+  const auto n3 = nunma_config(NunmaScheme::kNunma3);
+  EXPECT_DOUBLE_EQ(n3.verify(1), 2.75);
+  EXPECT_DOUBLE_EQ(n3.verify(2), 3.70);
+}
+
+TEST(NunmaTest, AllReducedConfigsHaveThreeLevels) {
+  for (const auto scheme : kNunmaSchemes) {
+    EXPECT_EQ(nunma_config(scheme).levels(), 3);
+  }
+  EXPECT_EQ(nunma_config(NunmaScheme::kBasic).levels(), 3);
+}
+
+TEST(NunmaTest, NonUniformMarginsFavourLevel2) {
+  // The whole point of NUNMA: the fragile top level gets the bigger
+  // retention margin.
+  for (const auto scheme :
+       {NunmaScheme::kNunma2, NunmaScheme::kNunma3}) {
+    const auto cfg = nunma_config(scheme);
+    EXPECT_GT(cfg.retention_margin(2), cfg.retention_margin(1))
+        << nunma_name(scheme);
+  }
+}
+
+TEST(NunmaTest, RetentionMarginOrderingAcrossSchemes) {
+  // Higher verify voltage = more retention margin: NUNMA3 > NUNMA2 > NUNMA1
+  // at level 2.
+  const double m1 = nunma_config(NunmaScheme::kNunma1).retention_margin(2);
+  const double m2 = nunma_config(NunmaScheme::kNunma2).retention_margin(2);
+  const double m3 = nunma_config(NunmaScheme::kNunma3).retention_margin(2);
+  EXPECT_LT(m1, m2);
+  EXPECT_LT(m2, m3);
+}
+
+TEST(NunmaTest, C2cMarginTradeoff) {
+  // ...and symmetrically less C2C headroom below the next reference.
+  const auto n1 = nunma_config(NunmaScheme::kNunma1);
+  const auto n3 = nunma_config(NunmaScheme::kNunma3);
+  EXPECT_GT(n1.c2c_margin(1), n3.c2c_margin(1));
+}
+
+TEST(NunmaTest, TopMarginsBeatBaselineRetention) {
+  // Every NUNMA config gives its fragile top level more retention margin
+  // than the baseline cell's 50 mV.
+  const auto baseline = nand::LevelConfig::baseline_mlc();
+  const double base_margin = baseline.retention_margin(baseline.levels() - 1);
+  for (const auto scheme : kNunmaSchemes) {
+    const auto cfg = nunma_config(scheme);
+    EXPECT_GT(cfg.retention_margin(2), base_margin) << nunma_name(scheme);
+  }
+}
+
+TEST(NunmaTest, NamesAreDistinct) {
+  EXPECT_NE(nunma_name(NunmaScheme::kNunma1), nunma_name(NunmaScheme::kNunma2));
+  EXPECT_EQ(nunma_name(NunmaScheme::kNunma3), "NUNMA 3");
+}
+
+}  // namespace
+}  // namespace flex::flexlevel

@@ -1,0 +1,139 @@
+#include "flexlevel/page_layout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex::flexlevel {
+namespace {
+
+std::vector<std::uint8_t> random_bits(int n, Rng& rng) {
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+  return bits;
+}
+
+TEST(PageLayoutTest, GeometryOfFigure3) {
+  const ReducedWordline wl(16);
+  EXPECT_EQ(wl.pairs(), 8);
+  EXPECT_EQ(wl.page_bits(), 8);
+  // Even pairs bind neighbouring even bitlines...
+  EXPECT_EQ(wl.pair_bitlines(0), (std::pair<int, int>{0, 2}));
+  EXPECT_EQ(wl.pair_bitlines(1), (std::pair<int, int>{4, 6}));
+  EXPECT_EQ(wl.pair_bitlines(3), (std::pair<int, int>{12, 14}));
+  // ...and odd pairs neighbouring odd bitlines.
+  EXPECT_EQ(wl.pair_bitlines(4), (std::pair<int, int>{1, 3}));
+  EXPECT_EQ(wl.pair_bitlines(7), (std::pair<int, int>{13, 15}));
+}
+
+TEST(PageLayoutTest, EveryBitlineBelongsToExactlyOnePair) {
+  const ReducedWordline wl(32);
+  std::vector<int> seen(32, 0);
+  for (int p = 0; p < wl.pairs(); ++p) {
+    const auto [a, b] = wl.pair_bitlines(p);
+    ++seen[static_cast<std::size_t>(a)];
+    ++seen[static_cast<std::size_t>(b)];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(PageLayoutTest, FullProgramReadRoundTrip) {
+  Rng rng(1);
+  ReducedWordline wl(64);
+  const auto lower = random_bits(wl.page_bits(), rng);
+  const auto middle = random_bits(wl.page_bits(), rng);
+  const auto upper = random_bits(wl.page_bits(), rng);
+  wl.program_lower(lower);
+  wl.program_middle(middle);
+  wl.program_upper(upper);
+  EXPECT_EQ(wl.read(ReducedPageKind::kLower), lower);
+  EXPECT_EQ(wl.read(ReducedPageKind::kMiddle), middle);
+  EXPECT_EQ(wl.read(ReducedPageKind::kUpper), upper);
+}
+
+TEST(PageLayoutTest, LowerMiddleOrderIsFree) {
+  // §4.1: step 1 programs the lower *or* the middle page — either first.
+  Rng rng(2);
+  ReducedWordline wl(16);
+  const auto lower = random_bits(wl.page_bits(), rng);
+  const auto middle = random_bits(wl.page_bits(), rng);
+  wl.program_middle(middle);
+  wl.program_lower(lower);
+  wl.program_upper(random_bits(wl.page_bits(), rng));
+  EXPECT_EQ(wl.read(ReducedPageKind::kLower), lower);
+  EXPECT_EQ(wl.read(ReducedPageKind::kMiddle), middle);
+}
+
+TEST(PageLayoutTest, LevelsMatchTable1AfterProgramming) {
+  Rng rng(3);
+  ReducedWordline wl(32);
+  const auto lower = random_bits(wl.page_bits(), rng);
+  const auto middle = random_bits(wl.page_bits(), rng);
+  const auto upper = random_bits(wl.page_bits(), rng);
+  wl.program_lower(lower);
+  wl.program_middle(middle);
+  wl.program_upper(upper);
+  for (int p = 0; p < wl.pairs(); ++p) {
+    const auto [first, second] = wl.pair_bitlines(p);
+    const bool even = p < wl.pairs() / 2;
+    const auto& lsb_page = even ? lower : middle;
+    const int local = even ? p : p - wl.pairs() / 2;
+    const int value =
+        ((upper[static_cast<std::size_t>(p)] & 1) << 2) |
+        ((lsb_page[static_cast<std::size_t>(2 * local)] & 1) << 1) |
+        (lsb_page[static_cast<std::size_t>(2 * local + 1)] & 1);
+    const CellPairLevels expected = reduce_encode(value);
+    EXPECT_EQ(wl.cell_level(first), expected.first) << "pair " << p;
+    EXPECT_EQ(wl.cell_level(second), expected.second) << "pair " << p;
+  }
+}
+
+TEST(PageLayoutTest, UpperMsbZeroLeavesLsbLevels) {
+  ReducedWordline wl(8);
+  wl.program_lower({std::vector<std::uint8_t>{1, 0, 0, 1}});
+  wl.program_middle({std::vector<std::uint8_t>{1, 1, 0, 0}});
+  const int before[8] = {wl.cell_level(0), wl.cell_level(1), wl.cell_level(2),
+                         wl.cell_level(3), wl.cell_level(4), wl.cell_level(5),
+                         wl.cell_level(6), wl.cell_level(7)};
+  wl.program_upper({std::vector<std::uint8_t>{0, 0, 0, 0}});
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(wl.cell_level(b), before[b]) << "bitline " << b;
+  }
+}
+
+TEST(PageLayoutTest, SingleCellDistortionDamagesOnePageGroupOnly) {
+  Rng rng(4);
+  ReducedWordline wl(32);
+  const auto lower = random_bits(wl.page_bits(), rng);
+  const auto middle = random_bits(wl.page_bits(), rng);
+  const auto upper = random_bits(wl.page_bits(), rng);
+  wl.program_lower(lower);
+  wl.program_middle(middle);
+  wl.program_upper(upper);
+  // Distort one even cell downward: the middle page (odd pairs) must be
+  // untouched.
+  const int victim = 4;  // even bitline
+  if (wl.cell_level(victim) > 0) {
+    wl.set_cell_level(victim, wl.cell_level(victim) - 1);
+  } else {
+    wl.set_cell_level(victim, 1);
+  }
+  EXPECT_EQ(wl.read(ReducedPageKind::kMiddle), middle);
+}
+
+TEST(PageLayoutDeathTest, EnforcesProgramOrder) {
+  ReducedWordline wl(8);
+  const std::vector<std::uint8_t> bits(4, 0);
+  EXPECT_DEATH(wl.program_upper(bits), "precondition");
+  wl.program_lower(bits);
+  EXPECT_DEATH(wl.program_lower(bits), "precondition");
+  EXPECT_DEATH(wl.program_upper(bits), "precondition");  // middle missing
+}
+
+TEST(PageLayoutDeathTest, BitlineCountMustBeMultipleOfFour) {
+  EXPECT_DEATH(ReducedWordline(6), "precondition");
+  EXPECT_DEATH(ReducedWordline(0), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::flexlevel

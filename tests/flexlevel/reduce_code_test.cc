@@ -1,0 +1,113 @@
+#include "flexlevel/reduce_code.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace flex::flexlevel {
+namespace {
+
+int bit_distance(int a, int b) {
+  const int x = a ^ b;
+  return ((x >> 2) & 1) + ((x >> 1) & 1) + (x & 1);
+}
+
+TEST(ReduceCodeTest, Table1Verbatim) {
+  // The exact mapping of the paper's Table 1.
+  EXPECT_EQ(reduce_encode(0b000), (CellPairLevels{0, 0}));
+  EXPECT_EQ(reduce_encode(0b001), (CellPairLevels{0, 1}));
+  EXPECT_EQ(reduce_encode(0b010), (CellPairLevels{1, 0}));
+  EXPECT_EQ(reduce_encode(0b011), (CellPairLevels{1, 1}));
+  EXPECT_EQ(reduce_encode(0b100), (CellPairLevels{2, 2}));
+  EXPECT_EQ(reduce_encode(0b101), (CellPairLevels{0, 2}));
+  EXPECT_EQ(reduce_encode(0b110), (CellPairLevels{2, 0}));
+  EXPECT_EQ(reduce_encode(0b111), (CellPairLevels{2, 1}));
+}
+
+TEST(ReduceCodeTest, RoundTripAllValues) {
+  for (int value = 0; value < 8; ++value) {
+    EXPECT_EQ(reduce_decode(reduce_encode(value)), value);
+  }
+}
+
+TEST(ReduceCodeTest, MappingIsInjective) {
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_FALSE(reduce_encode(a) == reduce_encode(b))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ReduceCodeTest, PaperExampleDistortion) {
+  // Paper §4.1: value 101 = (0, 2); if the 2nd cell drops from level 2 to
+  // level 1, the pair reads (0, 1) = 001 — a single-bit error.
+  const CellPairLevels stored = reduce_encode(0b101);
+  const CellPairLevels distorted{stored.first, stored.second - 1};
+  EXPECT_EQ(reduce_decode(distorted), 0b001);
+  EXPECT_EQ(bit_distance(0b101, 0b001), 1);
+}
+
+TEST(ReduceCodeTest, SingleDistortionDamageProfile) {
+  // Enumerate every single-level distortion of every codeword. Table 1 as
+  // printed is *almost* distance-1: (2,2) <-> (2,1) (values 100 and 111)
+  // differ in two bits, and the distortion (1,1) -> (1,2) lands on the
+  // unused combination, which decodes to 100 (3 bits from 011). Pin the
+  // exact profile so regressions are loud.
+  int transitions = 0;
+  int total_bit_errors = 0;
+  int worst = 0;
+  for (int value = 0; value < 8; ++value) {
+    const CellPairLevels levels = reduce_encode(value);
+    const int deltas[4][2] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+    for (const auto& d : deltas) {
+      const CellPairLevels moved{levels.first + d[0], levels.second + d[1]};
+      if (moved.first < 0 || moved.first > 2 || moved.second < 0 ||
+          moved.second > 2) {
+        continue;
+      }
+      const int decoded = reduce_decode(moved);
+      const int errs = bit_distance(value, decoded);
+      ++transitions;
+      total_bit_errors += errs;
+      worst = std::max(worst, errs);
+    }
+  }
+  EXPECT_EQ(worst, 3);  // (1,1) -> unused (1,2) -> decodes to 100
+  EXPECT_EQ(transitions, 21);
+  EXPECT_EQ(total_bit_errors, 24);
+  // "Bit errors are effectively minimized": ~1.14 bits per distortion.
+  EXPECT_LE(static_cast<double>(total_bit_errors) / transitions, 1.2);
+}
+
+TEST(ReduceCodeTest, UnusedCombinationDecodesToRetentionNeighbor) {
+  // (1, 2) is the unused ninth combination; it is decoded as a level-2
+  // retention drop of (2, 2) = value 100.
+  EXPECT_EQ(reduce_decode({1, 2}), 0b100);
+}
+
+TEST(ReduceCodeTest, MsbLsbSplit) {
+  for (int value = 0; value < 8; ++value) {
+    EXPECT_EQ((reduce_msb(value) << 2) | reduce_lsbs(value), value);
+  }
+  EXPECT_EQ(reduce_msb(0b101), 1);
+  EXPECT_EQ(reduce_lsbs(0b101), 0b01);
+}
+
+TEST(ReduceCodeTest, MsbZeroMapsLsbsDirectlyToLevels) {
+  // Table 2's first program step: with MSB 0 the cells sit at their LSBs.
+  for (int lsbs = 0; lsbs < 4; ++lsbs) {
+    const CellPairLevels levels = reduce_encode(lsbs);
+    EXPECT_EQ(levels.first, (lsbs >> 1) & 1);
+    EXPECT_EQ(levels.second, lsbs & 1);
+  }
+}
+
+TEST(ReduceCodeDeathTest, RejectsBadInputs) {
+  EXPECT_DEATH((void)reduce_encode(8), "precondition");
+  EXPECT_DEATH((void)reduce_encode(-1), "precondition");
+  EXPECT_DEATH((void)reduce_decode({3, 0}), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::flexlevel

@@ -1,0 +1,63 @@
+#include "flexlevel/reduce_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "flexlevel/reduce_code.h"
+
+namespace flex::flexlevel {
+namespace {
+
+TEST(ReduceMapperTest, GroupShape) {
+  const ReduceCodeMapper mapper;
+  EXPECT_EQ(mapper.cells_per_group(), 2);
+  EXPECT_EQ(mapper.bits_per_group(), 3);
+}
+
+TEST(ReduceMapperTest, RoundTripAllPatterns) {
+  const ReduceCodeMapper mapper;
+  for (int value = 0; value < 8; ++value) {
+    const std::uint8_t bits_in[3] = {
+        static_cast<std::uint8_t>((value >> 2) & 1),
+        static_cast<std::uint8_t>((value >> 1) & 1),
+        static_cast<std::uint8_t>(value & 1)};
+    int levels[2];
+    mapper.to_levels(bits_in, levels);
+    const CellPairLevels expected = reduce_encode(value);
+    EXPECT_EQ(levels[0], expected.first);
+    EXPECT_EQ(levels[1], expected.second);
+    std::uint8_t bits_out[3];
+    mapper.to_bits(std::span<const int>(levels, 2), bits_out);
+    EXPECT_EQ(bits_out[0], bits_in[0]);
+    EXPECT_EQ(bits_out[1], bits_in[1]);
+    EXPECT_EQ(bits_out[2], bits_in[2]);
+  }
+}
+
+TEST(ReduceMapperTest, DecodesUnusedCombination) {
+  const ReduceCodeMapper mapper;
+  const int levels[2] = {1, 2};
+  std::uint8_t bits[3];
+  mapper.to_bits(levels, bits);
+  EXPECT_EQ(bits[0], 1);  // value 100
+  EXPECT_EQ(bits[1], 0);
+  EXPECT_EQ(bits[2], 0);
+}
+
+TEST(ReduceMapperTest, ClampsOutOfRangeReadLevels) {
+  const ReduceCodeMapper mapper;
+  const int levels[2] = {-1, 7};
+  std::uint8_t bits[3];
+  mapper.to_bits(levels, bits);  // must not crash; clamps to {0, 2}
+  EXPECT_EQ(((bits[0] << 2) | (bits[1] << 1) | bits[2]), 0b101);
+}
+
+TEST(ReduceMapperDeathTest, SpanSizesChecked) {
+  const ReduceCodeMapper mapper;
+  int levels[1] = {0};
+  std::uint8_t bits[3] = {};
+  EXPECT_DEATH(mapper.to_bits(std::span<const int>(levels, 1), bits),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace flex::flexlevel

@@ -1,0 +1,76 @@
+#include "flexlevel/reduced_program.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::flexlevel {
+namespace {
+
+TEST(ReducedProgramTest, FirstStepMapsLsbsToLevels01) {
+  // Table 2, "1st program" rows: cells rise to level 1 iff their bit is 1.
+  EXPECT_EQ(program_lsbs(0b00).levels, (CellPairLevels{0, 0}));
+  EXPECT_EQ(program_lsbs(0b01).levels, (CellPairLevels{0, 1}));
+  EXPECT_EQ(program_lsbs(0b10).levels, (CellPairLevels{1, 0}));
+  EXPECT_EQ(program_lsbs(0b11).levels, (CellPairLevels{1, 1}));
+}
+
+TEST(ReducedProgramTest, MsbZeroFreezesLevels) {
+  for (int lsbs = 0; lsbs < 4; ++lsbs) {
+    const PairProgramState s1 = program_lsbs(lsbs);
+    const PairProgramState s2 = program_msb(s1, 0);
+    EXPECT_EQ(s2.levels, s1.levels) << "lsbs=" << lsbs;
+    EXPECT_TRUE(s2.msb_programmed);
+  }
+}
+
+TEST(ReducedProgramTest, MsbOneAppliesTable2Transitions) {
+  // Table 2, "2nd program" rows.
+  EXPECT_EQ(program_msb(program_lsbs(0b00), 1).levels,
+            (CellPairLevels{2, 2}));
+  EXPECT_EQ(program_msb(program_lsbs(0b01), 1).levels,
+            (CellPairLevels{0, 2}));
+  EXPECT_EQ(program_msb(program_lsbs(0b10), 1).levels,
+            (CellPairLevels{2, 0}));
+  EXPECT_EQ(program_msb(program_lsbs(0b11), 1).levels,
+            (CellPairLevels{2, 1}));
+}
+
+TEST(ReducedProgramTest, TransitionsNeverLowerVth) {
+  // NAND constraint: programming can only raise V_th.
+  for (int lsbs = 0; lsbs < 4; ++lsbs) {
+    for (int msb = 0; msb < 2; ++msb) {
+      const PairProgramState s1 = program_lsbs(lsbs);
+      const PairProgramState s2 = program_msb(s1, msb);
+      EXPECT_GE(s2.levels.first, s1.levels.first);
+      EXPECT_GE(s2.levels.second, s1.levels.second);
+    }
+  }
+}
+
+TEST(ReducedProgramTest, TwoStepsLandOnTable1) {
+  for (int value = 0; value < 8; ++value) {
+    const PairProgramState s = program_value(value);
+    EXPECT_EQ(s.levels, reduce_encode(value)) << "value=" << value;
+    EXPECT_TRUE(s.lsbs_programmed);
+    EXPECT_TRUE(s.msb_programmed);
+  }
+}
+
+TEST(ReducedProgramTest, SecondStepTargetMatchesEncoding) {
+  for (int lsbs = 0; lsbs < 4; ++lsbs) {
+    for (int msb = 0; msb < 2; ++msb) {
+      EXPECT_EQ(second_step_target(lsbs, msb),
+                reduce_encode((msb << 2) | lsbs));
+    }
+  }
+}
+
+TEST(ReducedProgramDeathTest, EnforcesStepOrder) {
+  PairProgramState blank;
+  EXPECT_DEATH((void)program_msb(blank, 1), "precondition");
+  const PairProgramState done = program_value(5);
+  EXPECT_DEATH((void)program_msb(done, 1), "precondition");
+  EXPECT_DEATH((void)program_lsbs(4), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::flexlevel

@@ -1,0 +1,104 @@
+// Differential test: the page-mapping FTL against a trivial reference model
+// (an unordered_map) under long random operation sequences, plus the
+// accounting identities that must hold whatever GC does.
+#include <optional>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ftl/page_mapping.h"
+
+namespace flex::ftl {
+namespace {
+
+FtlConfig oracle_config(std::uint32_t wl_interval) {
+  FtlConfig cfg;
+  cfg.spec.page_size_bytes = 4096;
+  cfg.spec.pages_per_block = 16;
+  cfg.spec.blocks_per_chip = 32;
+  cfg.spec.chips = 2;
+  cfg.over_provisioning = 0.3;
+  cfg.gc_low_watermark = 3;
+  cfg.static_wl_interval = wl_interval;
+  return cfg;
+}
+
+struct Expected {
+  SimTime write_time = 0;
+  PageMode mode = PageMode::kNormal;
+};
+
+class FtlOracle : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FtlOracle, LongRandomSequenceMatchesReferenceModel) {
+  PageMappingFtl ftl(oracle_config(GetParam()));
+  Rng rng(GetParam() + 99);
+  std::unordered_map<std::uint64_t, Expected> reference;
+
+  const std::uint64_t logical = ftl.logical_pages();
+  for (SimTime op = 1; op <= 30'000; ++op) {
+    const std::uint64_t lpn = rng.below(logical);
+    const double dice = rng.uniform();
+    if (dice < 0.70 || !reference.contains(lpn)) {
+      // Host write (possibly first touch).
+      const PageMode mode =
+          rng.chance(0.25) ? PageMode::kReduced : PageMode::kNormal;
+      ftl.write(lpn, mode, op);
+      reference[lpn] = {.write_time = op, .mode = mode};
+    } else if (dice < 0.85) {
+      // Migration flips the mode and refreshes the program time.
+      const PageMode to = reference[lpn].mode == PageMode::kNormal
+                              ? PageMode::kReduced
+                              : PageMode::kNormal;
+      ftl.migrate(lpn, to, op);
+      reference[lpn] = {.write_time = op, .mode = to};
+    } else {
+      // Read-only check of a random mapped page.
+      const auto info = ftl.lookup(lpn);
+      ASSERT_TRUE(info.has_value()) << "lpn " << lpn;
+      EXPECT_EQ(info->mode, reference[lpn].mode);
+      // GC relocation may refresh the program time, never rewind it.
+      EXPECT_GE(info->write_time, reference[lpn].write_time);
+    }
+  }
+
+  // Full sweep at the end: mapping agrees with the reference everywhere.
+  for (std::uint64_t lpn = 0; lpn < logical; ++lpn) {
+    const auto info = ftl.lookup(lpn);
+    const auto it = reference.find(lpn);
+    ASSERT_EQ(info.has_value(), it != reference.end()) << "lpn " << lpn;
+    if (info.has_value()) {
+      EXPECT_EQ(info->mode, it->second.mode) << "lpn " << lpn;
+      EXPECT_GE(info->write_time, it->second.write_time) << "lpn " << lpn;
+    }
+  }
+
+  // Accounting identities.
+  const FtlStats& stats = ftl.stats();
+  EXPECT_EQ(stats.nand_writes,
+            stats.host_writes + stats.mode_migrations + stats.gc_page_moves);
+  EXPECT_GE(ftl.free_blocks(), 3u);  // watermark held throughout
+}
+
+INSTANTIATE_TEST_SUITE_P(WearLevelingOnAndOff, FtlOracle,
+                         ::testing::Values(0u, 16u, 64u));
+
+TEST(FtlAccountingTest, PpnsAreUniqueAmongLiveMappings) {
+  PageMappingFtl ftl(oracle_config(16));
+  Rng rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    ftl.write(rng.below(ftl.logical_pages()), PageMode::kNormal, i);
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> ppn_owner;
+  for (std::uint64_t lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    const auto info = ftl.lookup(lpn);
+    if (!info.has_value()) continue;
+    const auto [it, inserted] = ppn_owner.emplace(info->ppn, lpn);
+    EXPECT_TRUE(inserted) << "ppn " << info->ppn << " owned by " << it->second
+                          << " and " << lpn;
+  }
+}
+
+}  // namespace
+}  // namespace flex::ftl

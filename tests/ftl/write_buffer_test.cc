@@ -1,0 +1,68 @@
+#include "ftl/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::ftl {
+namespace {
+
+TEST(WriteBufferTest, AbsorbsUntilFull) {
+  WriteBuffer buf(4, 2);
+  for (std::uint64_t lpn = 0; lpn < 4; ++lpn) {
+    EXPECT_TRUE(buf.write(lpn).empty());
+    EXPECT_TRUE(buf.contains(lpn));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(WriteBufferTest, OverflowFlushesOldestBatch) {
+  WriteBuffer buf(4, 2);
+  for (std::uint64_t lpn = 0; lpn < 4; ++lpn) buf.write(lpn);
+  const auto flushed = buf.write(99);
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0], 0u);  // oldest first
+  EXPECT_EQ(flushed[1], 1u);
+  EXPECT_FALSE(buf.contains(0));
+  EXPECT_FALSE(buf.contains(1));
+  EXPECT_TRUE(buf.contains(99));
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(WriteBufferTest, OverwriteRefreshesRecency) {
+  WriteBuffer buf(3, 1);
+  buf.write(1);
+  buf.write(2);
+  buf.write(3);
+  EXPECT_TRUE(buf.write(1).empty());  // rewrite in place, no flush
+  const auto flushed = buf.write(4);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0], 2u);  // 1 was refreshed; 2 is now the oldest
+}
+
+TEST(WriteBufferTest, DrainReturnsEverythingOldestFirst) {
+  WriteBuffer buf(8, 2);
+  buf.write(10);
+  buf.write(20);
+  buf.write(30);
+  const auto drained = buf.drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0], 10u);
+  EXPECT_EQ(drained[2], 30u);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_FALSE(buf.contains(10));
+}
+
+TEST(WriteBufferTest, SizeNeverExceedsCapacity) {
+  WriteBuffer buf(16, 4);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    buf.write(i % 37);
+    EXPECT_LE(buf.size(), 16u);
+  }
+}
+
+TEST(WriteBufferDeathTest, FlushBatchBounded) {
+  EXPECT_DEATH(WriteBuffer(4, 5), "precondition");
+  EXPECT_DEATH(WriteBuffer(0, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::ftl

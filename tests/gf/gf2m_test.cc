@@ -1,0 +1,114 @@
+#include "gf/gf2m.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex::gf {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldAxioms, MultiplicationClosedAndCommutative) {
+  const Field f(GetParam());
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<Field::Element>(rng.below(f.size()));
+    const auto b = static_cast<Field::Element>(rng.below(f.size()));
+    const auto ab = f.mul(a, b);
+    EXPECT_LT(ab, f.size());
+    EXPECT_EQ(ab, f.mul(b, a));
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicativeIdentityAndZero) {
+  const Field f(GetParam());
+  for (Field::Element a = 0; a < std::min<std::uint32_t>(f.size(), 256); ++a) {
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0u);
+  }
+}
+
+TEST_P(FieldAxioms, InverseIsExact) {
+  const Field f(GetParam());
+  for (Field::Element a = 1; a < std::min<std::uint32_t>(f.size(), 512); ++a) {
+    EXPECT_EQ(f.mul(a, f.inverse(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST_P(FieldAxioms, Distributivity) {
+  const Field f(GetParam());
+  Rng rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<Field::Element>(rng.below(f.size()));
+    const auto b = static_cast<Field::Element>(rng.below(f.size()));
+    const auto c = static_cast<Field::Element>(rng.below(f.size()));
+    EXPECT_EQ(f.mul(a, Field::add(b, c)),
+              Field::add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST_P(FieldAxioms, AlphaGeneratesWholeGroup) {
+  const Field f(GetParam());
+  // alpha^order == 1 and no smaller positive power is 1 is implied by the
+  // constructor's full-cycle check; spot-check the group structure.
+  EXPECT_EQ(f.alpha_pow(0), 1u);
+  EXPECT_EQ(f.alpha_pow(f.order()), 1u);
+  EXPECT_EQ(f.alpha_pow(-1), f.inverse(f.alpha_pow(1)));
+}
+
+TEST_P(FieldAxioms, LogExpRoundTrip) {
+  const Field f(GetParam());
+  for (Field::Element a = 1; a < std::min<std::uint32_t>(f.size(), 512); ++a) {
+    EXPECT_EQ(f.alpha_pow(f.log(a)), a);
+  }
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMultiplication) {
+  const Field f(GetParam());
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a =
+        static_cast<Field::Element>(1 + rng.below(f.size() - 1));
+    Field::Element acc = 1;
+    for (int k = 0; k <= 12; ++k) {
+      EXPECT_EQ(f.pow(a, k), acc);
+      acc = f.mul(acc, a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFieldSizes, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12, 13, 14));
+
+TEST(FieldTest, FrobeniusSquaringIsLinear) {
+  const Field f(8);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<Field::Element>(rng.below(f.size()));
+    const auto b = static_cast<Field::Element>(rng.below(f.size()));
+    // (a + b)^2 == a^2 + b^2 in characteristic 2.
+    EXPECT_EQ(f.pow(Field::add(a, b), 2),
+              Field::add(f.pow(a, 2), f.pow(b, 2)));
+  }
+}
+
+TEST(FieldTest, PowZeroBase) {
+  const Field f(4);
+  EXPECT_EQ(f.pow(0, 0), 1u);
+  EXPECT_EQ(f.pow(0, 5), 0u);
+}
+
+TEST(FieldTest, DivMatchesMulInverse) {
+  const Field f(6);
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<Field::Element>(rng.below(f.size()));
+    const auto b =
+        static_cast<Field::Element>(1 + rng.below(f.size() - 1));
+    EXPECT_EQ(f.div(a, b), f.mul(a, f.inverse(b)));
+  }
+}
+
+}  // namespace
+}  // namespace flex::gf

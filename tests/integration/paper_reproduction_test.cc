@@ -1,0 +1,173 @@
+// Regression locks on the headline paper-reproduction numbers (device
+// level; the system level is covered by the benches and EXPERIMENTS.md).
+// If a model or calibration change moves any of these, the reproduction
+// quality changed — on purpose or not — and this test makes it loud.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flexlevel/nunma.h"
+#include "flexlevel/reduce_mapper.h"
+#include "nand/level_config.h"
+#include "reliability/ber_model.h"
+#include "reliability/sensing_solver.h"
+#include "ssd/lifetime.h"
+
+namespace flex {
+namespace {
+
+using flexlevel::NunmaScheme;
+
+class PaperReproduction : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(0x9A9E12);
+    const reliability::BerEngine::Config mc{
+        .wordlines = 64, .bitlines = 256, .rounds = 4, .coupling = {}};
+    static const reliability::GrayMapper gray;
+    static const flexlevel::ReduceCodeMapper reduce;
+    baseline_ = new reliability::BerModel(nand::LevelConfig::baseline_mlc(),
+                                          gray, reliability::RetentionModel{},
+                                          mc, rng);
+    nunma1_ = new reliability::BerModel(
+        flexlevel::nunma_config(NunmaScheme::kNunma1), reduce,
+        reliability::RetentionModel{}, mc, rng);
+    nunma2_ = new reliability::BerModel(
+        flexlevel::nunma_config(NunmaScheme::kNunma2), reduce,
+        reliability::RetentionModel{}, mc, rng);
+    nunma3_ = new reliability::BerModel(
+        flexlevel::nunma_config(NunmaScheme::kNunma3), reduce,
+        reliability::RetentionModel{}, mc, rng);
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete nunma1_;
+    delete nunma2_;
+    delete nunma3_;
+    baseline_ = nunma1_ = nunma2_ = nunma3_ = nullptr;
+  }
+
+  static constexpr int kPe[5] = {2000, 3000, 4000, 5000, 6000};
+  static constexpr double kAges[4] = {kDay, 2 * kDay, kWeek, kMonth};
+
+  static double avg_reduction(const reliability::BerModel& scheme) {
+    double sum = 0.0;
+    int n = 0;
+    for (const int pe : kPe) {
+      for (const double age : kAges) {
+        const double ours = scheme.retention_ber(pe, age);
+        if (ours > 0.0) {
+          sum += baseline_->retention_ber(pe, age) / ours;
+          ++n;
+        }
+      }
+    }
+    return sum / n;
+  }
+
+  static reliability::BerModel* baseline_;
+  static reliability::BerModel* nunma1_;
+  static reliability::BerModel* nunma2_;
+  static reliability::BerModel* nunma3_;
+};
+
+reliability::BerModel* PaperReproduction::baseline_ = nullptr;
+reliability::BerModel* PaperReproduction::nunma1_ = nullptr;
+reliability::BerModel* PaperReproduction::nunma2_ = nullptr;
+reliability::BerModel* PaperReproduction::nunma3_ = nullptr;
+
+TEST_F(PaperReproduction, Table5MatchesAtLeastSixteenOfTwentyCells) {
+  // Paper Table 5, rows P/E 3000..6000, columns 0d/1d/2d/1w/1m.
+  const int paper[4][5] = {{0, 0, 0, 0, 1},
+                           {0, 0, 0, 1, 4},
+                           {0, 0, 1, 2, 4},
+                           {0, 1, 2, 4, 6}};
+  const double ages[5] = {0.0, kDay, 2 * kDay, kWeek, kMonth};
+  const reliability::SensingRequirement ladder;
+  int matches = 0;
+  int off_by_one = 0;
+  const auto step_index = [&](int levels) {
+    for (std::size_t i = 0; i < ladder.steps().size(); ++i) {
+      if (ladder.steps()[i].extra_levels == levels) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      const int pe = kPe[r + 1];
+      const int measured =
+          ladder.required_levels(baseline_->total_ber(pe, ages[c]));
+      if (measured == paper[r][c]) {
+        ++matches;
+      } else if (std::abs(step_index(measured) - step_index(paper[r][c])) ==
+                 1) {
+        ++off_by_one;
+      }
+    }
+  }
+  EXPECT_GE(matches, 16) << "Table 5 reproduction regressed";
+  // Every miss must be a single ladder step, never a jump.
+  EXPECT_EQ(matches + off_by_one, 20);
+}
+
+TEST_F(PaperReproduction, Table4ReductionFactors) {
+  // Paper: NUNMA 1/2 reduce retention BER ~2x/~5x on average.
+  const double r1 = avg_reduction(*nunma1_);
+  const double r2 = avg_reduction(*nunma2_);
+  const double r3 = avg_reduction(*nunma3_);
+  EXPECT_GT(r1, 1.5);
+  EXPECT_LT(r1, 3.0);
+  EXPECT_GT(r2, 3.5);
+  EXPECT_LT(r2, 7.0);
+  // Ordering must hold even though NUNMA 3's absolute overshoots the paper
+  // (EXPERIMENTS.md discusses why).
+  EXPECT_GT(r2, r1);
+  EXPECT_GT(r3, r2);
+}
+
+TEST_F(PaperReproduction, Nunma3StaysHardDecisionEverywhere) {
+  // The property the whole system rests on: reduced-state (NUNMA 3) reads
+  // never need soft sensing across the full Table 4 envelope.
+  const reliability::SensingRequirement ladder;
+  for (const int pe : kPe) {
+    for (const double age : kAges) {
+      EXPECT_LT(nunma3_->total_ber(pe, age), ladder.hard_decision_cap())
+          << "pe=" << pe << " age=" << age;
+    }
+  }
+}
+
+TEST_F(PaperReproduction, BaselineLandsInPaperDecade) {
+  // Calibration contract: within 2x of the paper on the Table-5-relevant
+  // part of the grid (P/E >= 3000); the low-wear corner, which nothing
+  // downstream depends on, may drift up to 5x.
+  const double low = baseline_->retention_ber(2000, kDay);       // 6.38e-4
+  const double mid = baseline_->retention_ber(5000, kMonth);     // 1.20e-2
+  const double high = baseline_->retention_ber(6000, kMonth);    // 1.61e-2
+  EXPECT_GT(low, 6.38e-4 / 5.0);
+  EXPECT_LT(low, 6.38e-4 * 5.0);
+  EXPECT_GT(mid, 1.20e-2 / 2.0);
+  EXPECT_LT(mid, 1.20e-2 * 2.0);
+  EXPECT_GT(high, 1.61e-2 / 2.0);
+  EXPECT_LT(high, 1.61e-2 * 2.0);
+}
+
+TEST_F(PaperReproduction, Fig5C2cOrdering) {
+  // Reduced-state cells sit far below the baseline for C2C interference;
+  // NUNMA 3's raised verify voltages make it the worst of the three
+  // (paper: ~1.5x / ~1.2x above NUNMA 1 / 2).
+  const double base = baseline_->c2c_ber();
+  EXPECT_GT(base, 5.0 * nunma1_->c2c_ber());
+  EXPECT_GT(base, 5.0 * nunma3_->c2c_ber());
+  EXPECT_GE(nunma3_->c2c_ber(), 0.9 * nunma1_->c2c_ber());
+}
+
+TEST_F(PaperReproduction, LifetimeArithmetic) {
+  // Paper Fig. 7(c): +13% erases past the P/E-4000 activation point of an
+  // 8000-cycle part costs ~6% lifetime.
+  EXPECT_NEAR(1.0 - ssd::lifetime_factor(1.13), 0.06, 0.01);
+}
+
+}  // namespace
+}  // namespace flex

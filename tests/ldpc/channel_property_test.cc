@@ -1,0 +1,103 @@
+// Property tests on the sensing channel: the LLRs it hands the decoder must
+// be *statistically honest* — the empirical log-likelihood ratio of each
+// region, measured over millions of transmissions, has to match the value
+// the channel assigned. A dishonest channel silently corrupts every
+// decoder experiment built on it.
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ldpc/channel.h"
+
+namespace flex::ldpc {
+namespace {
+
+class ChannelHonesty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ChannelHonesty, AssignedLlrMatchesEmpiricalLogRatio) {
+  const auto [ber, levels] = GetParam();
+  const SensingChannel channel(ber, levels);
+  Rng rng(42);
+
+  // Count region occupancy conditioned on the transmitted bit.
+  const auto regions = static_cast<std::size_t>(channel.regions());
+  std::vector<double> count0(regions, 1.0);  // +1 smoothing
+  std::vector<double> count1(regions, 1.0);
+  const int n = 400'000;
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint8_t>(i & 1);
+  }
+  const auto llrs = channel.transmit(bits, rng);
+  // Recover each observation's region from its (unique) LLR value.
+  std::map<float, std::size_t> region_of_llr;
+  for (std::size_t r = 0; r < regions; ++r) {
+    region_of_llr[channel.region_llrs()[r]] = r;
+  }
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const std::size_t r = region_of_llr.at(llrs[i]);
+    (bits[i] ? count1 : count0)[r] += 1.0;
+  }
+
+  for (std::size_t r = 0; r < regions; ++r) {
+    const double p0 = count0[r] / (n / 2.0);
+    const double p1 = count1[r] / (n / 2.0);
+    if (count0[r] + count1[r] < 500.0) continue;  // too rare to judge
+    const double empirical = std::log(p0 / p1);
+    const double assigned = channel.region_llrs()[r];
+    // Saturated regions are clamped to +-30 by design; otherwise the
+    // assigned LLR must match the data within sampling noise.
+    if (std::abs(assigned) >= 29.9) continue;
+    EXPECT_NEAR(empirical, assigned, 0.35 + 0.1 * std::abs(assigned))
+        << "region " << r << " ber=" << ber << " levels=" << levels;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BerLevelGrid, ChannelHonesty,
+    ::testing::Values(std::make_tuple(4e-3, 0), std::make_tuple(4e-3, 2),
+                      std::make_tuple(1e-2, 1), std::make_tuple(1e-2, 4),
+                      std::make_tuple(2e-2, 6), std::make_tuple(5e-2, 6)));
+
+class ChannelShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelShape, MoreLevelsNeverLoseInformation) {
+  // Mutual-information proxy: expected |LLR| grows (weakly) with levels.
+  const double ber = 1.2e-2;
+  Rng rng(7);
+  auto mean_reliability = [&](int levels) {
+    const SensingChannel channel(ber, levels);
+    std::vector<std::uint8_t> bits(100'000, 0);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+    const auto llrs = channel.transmit(bits, rng);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      // Signed reliability: positive when pointing at the true bit.
+      sum += (bits[i] ? -llrs[i] : llrs[i]);
+    }
+    return sum / static_cast<double>(bits.size());
+  };
+  const int levels = GetParam();
+  // Each ladder step must carry at least as much signed evidence as hard
+  // sensing at the same raw BER (within sampling tolerance).
+  EXPECT_GE(mean_reliability(levels), mean_reliability(0) * 0.95)
+      << "levels=" << levels;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladder, ChannelShape, ::testing::Values(1, 2, 4, 6));
+
+TEST(ChannelBoundaryTest, BoundariesSortedAndContainHardReference) {
+  for (const int levels : {0, 1, 2, 3, 4, 5, 6}) {
+    const SensingChannel channel(8e-3, levels);
+    // region_of(0 - eps) != region_of(0 + eps): the hard reference always
+    // survives as a quantization boundary.
+    EXPECT_NE(channel.region_of(-1e-12), channel.region_of(1e-12))
+        << "levels=" << levels;
+  }
+}
+
+}  // namespace
+}  // namespace flex::ldpc

@@ -1,0 +1,101 @@
+#include "ldpc/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex::ldpc {
+namespace {
+
+TEST(ChannelTest, RegionCountFollowsLevels) {
+  for (int levels : {0, 1, 2, 4, 6}) {
+    const SensingChannel ch(1e-2, levels);
+    EXPECT_EQ(ch.regions(), levels + 2) << "levels=" << levels;
+    EXPECT_EQ(static_cast<int>(ch.region_llrs().size()), levels + 2);
+  }
+}
+
+TEST(ChannelTest, SigmaMatchesRawBer) {
+  for (const double p : {1e-3, 4e-3, 1e-2, 5e-2}) {
+    const SensingChannel ch(p, 0);
+    // p = Q(1/sigma) must invert exactly.
+    Rng rng(7);
+    int errors = 0;
+    const int n = 2'000'000;
+    for (int i = 0; i < n; ++i) {
+      if (rng.normal(1.0, ch.sigma()) < 0.0) ++errors;
+    }
+    EXPECT_NEAR(static_cast<double>(errors) / n, p, 5.0 * std::sqrt(p / n))
+        << "p=" << p;
+  }
+}
+
+TEST(ChannelTest, LlrsAreMonotoneAndSymmetric) {
+  const SensingChannel ch(1e-2, 4);
+  const auto& llrs = ch.region_llrs();
+  EXPECT_TRUE(std::is_sorted(llrs.begin(), llrs.end()));
+  // Symmetric boundaries around 0 give antisymmetric LLRs.
+  const std::size_t n = llrs.size();
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(llrs[i], -llrs[n - 1 - i], 1e-4) << "region " << i;
+  }
+}
+
+TEST(ChannelTest, HardChannelLlrIsBscLlr) {
+  const double p = 1e-2;
+  const SensingChannel ch(p, 0);
+  ASSERT_EQ(ch.regions(), 2);
+  const double expected = std::log((1.0 - p) / p);
+  EXPECT_NEAR(ch.region_llrs()[1], expected, 1e-6);
+  EXPECT_NEAR(ch.region_llrs()[0], -expected, 1e-6);
+}
+
+TEST(ChannelTest, RegionOfRespectsBoundaries) {
+  const SensingChannel ch(1e-2, 2);  // boundaries at -T, 0, +T
+  EXPECT_EQ(ch.region_of(-100.0), 0);
+  EXPECT_EQ(ch.region_of(100.0), ch.regions() - 1);
+  EXPECT_EQ(ch.region_of(-1e-9), ch.regions() / 2 - 1);
+  EXPECT_EQ(ch.region_of(1e-9), ch.regions() / 2);
+}
+
+TEST(ChannelTest, TransmitPreservesHardErrorRate) {
+  const double p = 2e-2;
+  const SensingChannel ch(p, 6);
+  Rng rng(11);
+  std::vector<std::uint8_t> bits(200'000);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+  const auto llrs = ch.transmit(bits, rng);
+  int errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool decided_one = llrs[i] < 0.0f;
+    if (decided_one != (bits[i] == 1)) ++errors;
+  }
+  // The middle boundary is still at 0, so the sign of the region LLR is the
+  // hard decision.
+  EXPECT_NEAR(static_cast<double>(errors) / bits.size(), p, 2e-3);
+}
+
+TEST(ChannelTest, MoreLevelsGiveFinerLlrs) {
+  const SensingChannel hard(1e-2, 0);
+  const SensingChannel soft(1e-2, 6);
+  // Soft channel must expose low-confidence regions (|LLR| below the hard
+  // channel's single magnitude).
+  const float hard_mag = std::abs(hard.region_llrs()[0]);
+  int low_confidence = 0;
+  for (const float llr : soft.region_llrs()) {
+    if (std::abs(llr) < hard_mag) ++low_confidence;
+  }
+  EXPECT_GE(low_confidence, 2);
+}
+
+TEST(ChannelDeathTest, RejectsDegenerateBer) {
+  EXPECT_DEATH(SensingChannel(0.0, 0), "precondition");
+  EXPECT_DEATH(SensingChannel(0.5, 0), "precondition");
+  EXPECT_DEATH(SensingChannel(1e-3, -1), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::ldpc

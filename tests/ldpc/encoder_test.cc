@@ -1,0 +1,79 @@
+#include "ldpc/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ldpc/qc_code.h"
+
+namespace flex::ldpc {
+namespace {
+
+std::vector<std::uint8_t> random_bits(int n, Rng& rng) {
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+  return bits;
+}
+
+TEST(EncoderTest, AllZeroMessage) {
+  const QcLdpcCode code = QcLdpcCode::test_code();
+  const Encoder encoder(code);
+  const std::vector<std::uint8_t> zero(static_cast<std::size_t>(code.k()), 0);
+  const auto cw = encoder.encode(zero);
+  EXPECT_TRUE(std::all_of(cw.begin(), cw.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(EncoderTest, SystematicAndValid) {
+  const QcLdpcCode code = QcLdpcCode::test_code();
+  const Encoder encoder(code);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto message = random_bits(code.k(), rng);
+    const auto cw = encoder.encode(message);
+    ASSERT_EQ(static_cast<int>(cw.size()), code.n());
+    EXPECT_TRUE(std::equal(message.begin(), message.end(), cw.begin()));
+    EXPECT_TRUE(code.check(cw));  // also FLEX_ENSURES'd inside
+  }
+}
+
+TEST(EncoderTest, PaperCodeEncodes) {
+  const QcLdpcCode code = QcLdpcCode::paper_code();
+  const Encoder encoder(code);
+  Rng rng(2);
+  const auto message = random_bits(code.k(), rng);
+  const auto cw = encoder.encode(message);
+  EXPECT_TRUE(code.check(cw));
+}
+
+TEST(EncoderTest, LinearityOverGf2) {
+  const QcLdpcCode code = QcLdpcCode::test_code();
+  const Encoder encoder(code);
+  Rng rng(3);
+  const auto m1 = random_bits(code.k(), rng);
+  const auto m2 = random_bits(code.k(), rng);
+  std::vector<std::uint8_t> m_sum(static_cast<std::size_t>(code.k()));
+  for (int i = 0; i < code.k(); ++i) {
+    m_sum[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        m1[static_cast<std::size_t>(i)] ^ m2[static_cast<std::size_t>(i)]);
+  }
+  const auto c1 = encoder.encode(m1);
+  const auto c2 = encoder.encode(m2);
+  const auto c_sum = encoder.encode(m_sum);
+  for (int i = 0; i < code.n(); ++i) {
+    EXPECT_EQ(c_sum[static_cast<std::size_t>(i)],
+              c1[static_cast<std::size_t>(i)] ^
+                  c2[static_cast<std::size_t>(i)])
+        << "bit " << i;
+  }
+}
+
+TEST(EncoderDeathTest, WrongMessageSize) {
+  const QcLdpcCode code = QcLdpcCode::test_code();
+  const Encoder encoder(code);
+  const std::vector<std::uint8_t> bad(static_cast<std::size_t>(code.k() - 1),
+                                      0);
+  EXPECT_DEATH((void)encoder.encode(bad), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::ldpc

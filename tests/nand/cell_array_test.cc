@@ -1,0 +1,140 @@
+#include "nand/cell_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nand/level_config.h"
+
+namespace flex::nand {
+namespace {
+
+std::vector<int> uniform_targets(int cells, int level) {
+  return std::vector<int>(static_cast<std::size_t>(cells), level);
+}
+
+TEST(CellArrayTest, NoCouplingNoShift) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  CellArray array(4, 8);
+  Rng rng(1);
+  const CouplingRatios none{.gamma_x = 0.0, .gamma_y = 0.0, .gamma_xy = 0.0};
+  const auto targets = uniform_targets(array.cells(), 2);
+  array.program(cfg, targets, none, rng);
+  for (int w = 0; w < array.wordlines(); ++w) {
+    for (int b = 0; b < array.bitlines(); ++b) {
+      EXPECT_DOUBLE_EQ(array.vth(w, b), array.programmed_vth(w, b));
+      EXPECT_EQ(array.target_level(w, b), 2);
+    }
+  }
+}
+
+TEST(CellArrayTest, CouplingOnlyRaisesVth) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  CellArray array(8, 32);
+  Rng rng(2);
+  std::vector<int> targets(static_cast<std::size_t>(array.cells()));
+  for (auto& t : targets) t = static_cast<int>(rng.below(4));
+  array.program(cfg, targets, CouplingRatios{}, rng);
+  for (int w = 0; w < array.wordlines(); ++w) {
+    for (int b = 0; b < array.bitlines(); ++b) {
+      EXPECT_GE(array.vth(w, b), array.programmed_vth(w, b) - 1e-12);
+    }
+  }
+}
+
+TEST(CellArrayTest, ErasedCellsCollectInterference) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  CellArray array(3, 6);
+  Rng rng(3);
+  // Center cell erased, all neighbours programmed to the top level.
+  std::vector<int> targets(static_cast<std::size_t>(array.cells()), 3);
+  targets[static_cast<std::size_t>(1 * 6 + 3)] = 0;
+  array.program(cfg, targets, CouplingRatios{}, rng);
+  // The erased victim has 8 programmed neighbours; expected shift is
+  // substantial (> gamma_xy * smallest delta).
+  EXPECT_GT(array.vth(1, 3), array.programmed_vth(1, 3) + 0.05);
+}
+
+TEST(CellArrayTest, LastProgrammedCellSeesNoInterference) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  CellArray array(2, 4);
+  Rng rng(4);
+  // All cells programmed; the final cell in program order is the last odd
+  // bitline of the last wordline.
+  const auto targets = uniform_targets(array.cells(), 3);
+  array.program(cfg, targets, CouplingRatios{}, rng);
+  EXPECT_DOUBLE_EQ(array.vth(1, 3), array.programmed_vth(1, 3));
+}
+
+TEST(CellArrayTest, EvenCellsSufferMoreThanOddOnSameWordline) {
+  // Even bitlines are programmed before odd ones, so even cells receive
+  // x-direction interference from both odd neighbours while odd cells get
+  // none from the same wordline — the classic even/odd asymmetry.
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  CellArray array(1, 64);  // single wordline isolates the x direction
+  Rng rng(5);
+  double even_shift = 0.0;
+  double odd_shift = 0.0;
+  int even_count = 0;
+  int odd_count = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto targets = uniform_targets(array.cells(), 3);
+    array.program(cfg, targets, CouplingRatios{}, rng);
+    for (int b = 1; b < 63; ++b) {
+      const double shift = array.vth(0, b) - array.programmed_vth(0, b);
+      if (b % 2 == 0) {
+        even_shift += shift;
+        ++even_count;
+      } else {
+        odd_shift += shift;
+        ++odd_count;
+      }
+    }
+  }
+  EXPECT_GT(even_shift / even_count, odd_shift / odd_count + 0.01);
+  EXPECT_NEAR(odd_shift / odd_count, 0.0, 1e-9);
+}
+
+TEST(CellArrayTest, InterferenceScalesWithGamma) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  Rng rng_a(6);
+  Rng rng_b(6);  // same seed: identical programming randomness
+  CellArray weak(4, 16);
+  CellArray strong(4, 16);
+  const auto targets = uniform_targets(weak.cells(), 3);
+  weak.program(cfg, targets,
+               {.gamma_x = 0.01, .gamma_y = 0.01, .gamma_xy = 0.001}, rng_a);
+  strong.program(cfg, targets,
+                 {.gamma_x = 0.10, .gamma_y = 0.10, .gamma_xy = 0.01}, rng_b);
+  double weak_total = 0.0;
+  double strong_total = 0.0;
+  for (int w = 0; w < 4; ++w) {
+    for (int b = 0; b < 16; ++b) {
+      weak_total += weak.vth(w, b) - weak.programmed_vth(w, b);
+      strong_total += strong.vth(w, b) - strong.programmed_vth(w, b);
+    }
+  }
+  EXPECT_NEAR(strong_total / weak_total, 10.0, 0.5);
+}
+
+TEST(CellArrayTest, ShiftVthApplies) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  CellArray array(2, 4);
+  Rng rng(7);
+  array.program(cfg, uniform_targets(array.cells(), 1), CouplingRatios{},
+                rng);
+  const Volt before = array.vth(0, 0);
+  array.shift_vth(0, 0, -0.2);
+  EXPECT_DOUBLE_EQ(array.vth(0, 0), before - 0.2);
+}
+
+TEST(CellArrayDeathTest, TargetSizeChecked) {
+  CellArray array(2, 4);
+  Rng rng(8);
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  const std::vector<int> wrong(3, 0);
+  EXPECT_DEATH(array.program(cfg, wrong, CouplingRatios{}, rng),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace flex::nand

@@ -1,0 +1,44 @@
+#include "nand/gray_code.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::nand {
+namespace {
+
+TEST(GrayCodeTest, PaperMapping) {
+  // Paper §2.1: 11, 10, 00, 01 -> levels 0, 1, 2, 3.
+  EXPECT_EQ(mlc_gray_decode(0), (BitPair{.lsb = 1, .msb = 1}));
+  EXPECT_EQ(mlc_gray_decode(1), (BitPair{.lsb = 1, .msb = 0}));
+  EXPECT_EQ(mlc_gray_decode(2), (BitPair{.lsb = 0, .msb = 0}));
+  EXPECT_EQ(mlc_gray_decode(3), (BitPair{.lsb = 0, .msb = 1}));
+}
+
+TEST(GrayCodeTest, RoundTrip) {
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_EQ(mlc_gray_encode(mlc_gray_decode(level)), level);
+  }
+}
+
+TEST(GrayCodeTest, AdjacentLevelsDifferInOneBit) {
+  for (int level = 0; level < 3; ++level) {
+    EXPECT_EQ(mlc_bit_distance(level, level + 1), 1)
+        << "levels " << level << " and " << level + 1;
+  }
+}
+
+TEST(GrayCodeTest, DistanceIsSymmetricAndZeroOnDiagonal) {
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_EQ(mlc_bit_distance(a, a), 0);
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(mlc_bit_distance(a, b), mlc_bit_distance(b, a));
+    }
+  }
+}
+
+TEST(GrayCodeDeathTest, RejectsOutOfRangeLevel) {
+  EXPECT_DEATH(mlc_gray_decode(4), "precondition");
+  EXPECT_DEATH(mlc_gray_decode(-1), "precondition");
+}
+
+}  // namespace
+}  // namespace flex::nand

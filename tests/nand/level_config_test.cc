@@ -1,0 +1,98 @@
+#include "nand/level_config.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flex::nand {
+namespace {
+
+TEST(LevelConfigTest, BaselineIsFourLevels) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  EXPECT_EQ(cfg.levels(), 4);
+  EXPECT_DOUBLE_EQ(cfg.read_ref(0), 2.25);
+  EXPECT_DOUBLE_EQ(cfg.read_ref(1), 2.95);
+  EXPECT_DOUBLE_EQ(cfg.read_ref(2), 3.65);
+  EXPECT_DOUBLE_EQ(cfg.verify(1), 2.30);
+  EXPECT_DOUBLE_EQ(cfg.verify(3), 3.70);
+  EXPECT_DOUBLE_EQ(cfg.vpp(), 0.15);
+}
+
+TEST(LevelConfigTest, BaselineVerifyCloseToReadRef) {
+  // Fig. 4(a): the normal-state verify sits 50 mV above its reference
+  // (the calibrated reconstruction, DESIGN.md §5).
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  for (int l = 1; l < cfg.levels(); ++l) {
+    EXPECT_NEAR(cfg.retention_margin(l), 0.05, 1e-12) << "level " << l;
+  }
+}
+
+TEST(LevelConfigTest, ReadLevelThresholds) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  EXPECT_EQ(cfg.read_level(0.0), 0);
+  EXPECT_EQ(cfg.read_level(2.24), 0);
+  EXPECT_EQ(cfg.read_level(2.25), 1);
+  EXPECT_EQ(cfg.read_level(2.94), 1);
+  EXPECT_EQ(cfg.read_level(3.00), 2);
+  EXPECT_EQ(cfg.read_level(3.65), 3);
+  EXPECT_EQ(cfg.read_level(10.0), 3);
+}
+
+TEST(LevelConfigTest, SampleVthWithinIsppBand) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  Rng rng(1);
+  for (int l = 1; l < cfg.levels(); ++l) {
+    for (int i = 0; i < 2'000; ++i) {
+      const Volt v = cfg.sample_vth(l, rng);
+      EXPECT_GE(v, cfg.verify(l));
+      EXPECT_LT(v, cfg.verify(l) + cfg.vpp());
+      EXPECT_EQ(cfg.read_level(v), l);  // fresh programming reads back clean
+    }
+  }
+}
+
+TEST(LevelConfigTest, ErasedDistributionMoments) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  Rng rng(2);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const Volt v = cfg.sample_vth(0, rng);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.1, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 0.35, 0.01);
+}
+
+TEST(LevelConfigTest, C2cMarginGeometry) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  // Level 1 tops out at 2.30 + 0.15; next reference is 2.95.
+  EXPECT_NEAR(cfg.c2c_margin(1), 2.95 - 2.45, 1e-12);
+  // Erased level: from the nominal erased mean to the first reference.
+  EXPECT_NEAR(cfg.c2c_margin(0), 2.25 - 1.1, 1e-12);
+  EXPECT_TRUE(std::isinf(cfg.c2c_margin(cfg.levels() - 1)));
+}
+
+TEST(LevelConfigTest, NominalOrdering) {
+  const LevelConfig cfg = LevelConfig::baseline_mlc();
+  for (int l = 0; l + 1 < cfg.levels(); ++l) {
+    EXPECT_LT(cfg.nominal(l), cfg.nominal(l + 1));
+  }
+}
+
+TEST(LevelConfigDeathTest, RejectsVerifyBelowReference) {
+  EXPECT_DEATH(LevelConfig("bad", {2.0}, {1.9}, 0.1), "precondition");
+}
+
+TEST(LevelConfigDeathTest, RejectsUnsortedReferences) {
+  EXPECT_DEATH(LevelConfig("bad", {2.0, 1.5}, {2.1, 1.6}, 0.1),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace flex::nand

@@ -1,0 +1,132 @@
+#include "reliability/ber_engine.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nand/level_config.h"
+
+namespace flex::reliability {
+namespace {
+
+nand::CouplingRatios no_coupling() {
+  return {.gamma_x = 0.0, .gamma_y = 0.0, .gamma_xy = 0.0};
+}
+
+TEST(GrayMapperTest, RoundTripAllPatterns) {
+  const GrayMapper mapper;
+  EXPECT_EQ(mapper.cells_per_group(), 1);
+  EXPECT_EQ(mapper.bits_per_group(), 2);
+  for (int lsb = 0; lsb < 2; ++lsb) {
+    for (int msb = 0; msb < 2; ++msb) {
+      const std::uint8_t bits_in[2] = {static_cast<std::uint8_t>(lsb),
+                                       static_cast<std::uint8_t>(msb)};
+      int level = -1;
+      mapper.to_levels(bits_in, std::span<int>(&level, 1));
+      ASSERT_GE(level, 0);
+      ASSERT_LT(level, 4);
+      std::uint8_t bits_out[2];
+      mapper.to_bits(std::span<const int>(&level, 1), bits_out);
+      EXPECT_EQ(bits_out[0], bits_in[0]);
+      EXPECT_EQ(bits_out[1], bits_in[1]);
+    }
+  }
+}
+
+TEST(BerEngineTest, NoNoiseNoErrors) {
+  BerEngine engine({.wordlines = 16, .bitlines = 32, .rounds = 2,
+                    .coupling = no_coupling()});
+  const GrayMapper mapper;
+  Rng rng(1);
+  const BerReport report =
+      engine.measure(nand::LevelConfig::baseline_mlc(), mapper,
+                     /*retention=*/nullptr, 0, 0.0, rng);
+  EXPECT_EQ(report.total.events(), 0u);
+  EXPECT_GT(report.total.trials(), 0u);
+}
+
+TEST(BerEngineTest, CouplingCausesUpwardErrorsOnly) {
+  BerEngine engine({.wordlines = 32, .bitlines = 64, .rounds = 4,
+                    .coupling = {.gamma_x = 0.25, .gamma_y = 0.25,
+                                 .gamma_xy = 0.05}});
+  const GrayMapper mapper;
+  Rng rng(2);
+  const BerReport report =
+      engine.measure(nand::LevelConfig::baseline_mlc(), mapper, nullptr, 0,
+                     0.0, rng);
+  EXPECT_GT(report.c2c.events(), 0u);
+  EXPECT_EQ(report.retention.events(), 0u);
+  EXPECT_EQ(report.total.events(), report.c2c.events());
+}
+
+TEST(BerEngineTest, RetentionCausesDownwardErrors) {
+  BerEngine engine({.wordlines = 32, .bitlines = 64, .rounds = 4,
+                    .coupling = no_coupling()});
+  const GrayMapper mapper;
+  const RetentionModel retention;
+  Rng rng(3);
+  const BerReport report = engine.measure(nand::LevelConfig::baseline_mlc(),
+                                          mapper, &retention, 6000,
+                                          kMonth, rng);
+  EXPECT_GT(report.retention.events(), 0u);
+  // Upward errors without coupling can only come from the intrinsic
+  // erased-distribution tail above the first read reference (~5e-4 of
+  // erased cells); retention errors must dominate by orders of magnitude.
+  EXPECT_GT(report.retention.events(), 50 * report.c2c.events());
+}
+
+TEST(BerEngineTest, RetentionBerGrowsWithAge) {
+  BerEngine engine({.wordlines = 32, .bitlines = 128, .rounds = 8,
+                    .coupling = no_coupling()});
+  const GrayMapper mapper;
+  const RetentionModel retention;
+  Rng rng(4);
+  const nand::LevelConfig cfg = nand::LevelConfig::baseline_mlc();
+  const double day =
+      engine.measure(cfg, mapper, &retention, 6000, kDay, rng).total.rate();
+  const double month =
+      engine.measure(cfg, mapper, &retention, 6000, kMonth, rng).total.rate();
+  EXPECT_GT(month, day);
+}
+
+TEST(BerEngineTest, ErrorsConcentrateAtHighLevels) {
+  // The NUNMA motivation (§4.2): retention errors cluster at the top level.
+  BerEngine engine({.wordlines = 32, .bitlines = 128, .rounds = 8,
+                    .coupling = no_coupling()});
+  const GrayMapper mapper;
+  const RetentionModel retention;
+  Rng rng(5);
+  const BerReport report = engine.measure(nand::LevelConfig::baseline_mlc(),
+                                          mapper, &retention, 6000, kMonth,
+                                          rng);
+  ASSERT_EQ(report.cell_errors_by_level.size(), 4u);
+  const std::uint64_t total = std::accumulate(
+      report.cell_errors_by_level.begin(), report.cell_errors_by_level.end(),
+      std::uint64_t{0});
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(report.cell_errors_by_level[3], report.cell_errors_by_level[1]);
+  // Erased cells cannot lose charge; their only errors are the (rare)
+  // intrinsic upward tail crossings.
+  EXPECT_LT(report.cell_errors_by_level[0],
+            report.cell_errors_by_level[3] / 10);
+}
+
+TEST(BerEngineTest, RatesShareDenominator) {
+  BerEngine engine({.wordlines = 16, .bitlines = 64, .rounds = 2,
+                    .coupling = {.gamma_x = 0.15, .gamma_y = 0.15,
+                                 .gamma_xy = 0.01}});
+  const GrayMapper mapper;
+  const RetentionModel retention;
+  Rng rng(6);
+  const BerReport report = engine.measure(nand::LevelConfig::baseline_mlc(),
+                                          mapper, &retention, 6000, kMonth,
+                                          rng);
+  EXPECT_EQ(report.c2c.trials(), report.total.trials());
+  EXPECT_EQ(report.retention.trials(), report.total.trials());
+  EXPECT_NEAR(report.c2c.rate() + report.retention.rate(),
+              report.total.rate(), 1e-12);
+}
+
+}  // namespace
+}  // namespace flex::reliability

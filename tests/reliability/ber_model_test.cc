@@ -1,0 +1,123 @@
+#include "reliability/ber_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flexlevel/nunma.h"
+#include "flexlevel/reduce_mapper.h"
+#include "nand/level_config.h"
+
+namespace flex::reliability {
+namespace {
+
+BerEngine::Config small_mc() {
+  return {.wordlines = 32, .bitlines = 128, .rounds = 2,
+          .coupling = nand::CouplingRatios{}};
+}
+
+TEST(BerModelTest, GrayOccupancyAndDamage) {
+  Rng rng(1);
+  const GrayMapper mapper;
+  const BerModel model(nand::LevelConfig::baseline_mlc(), mapper,
+                       RetentionModel{}, small_mc(), rng);
+  ASSERT_EQ(model.level_occupancy().size(), 4u);
+  for (const double occ : model.level_occupancy()) {
+    EXPECT_NEAR(occ, 0.25, 1e-12);  // uniform data
+  }
+  // Gray code: a one-level drop flips exactly one of two bits, and the
+  // mapper has 1 cell / 2 bits -> damage 0.5 at every programmed level.
+  for (int l = 1; l < 4; ++l) {
+    EXPECT_NEAR(model.drop_damage()[static_cast<std::size_t>(l)], 0.5, 1e-12);
+  }
+}
+
+TEST(BerModelTest, ReduceCodeOccupancy) {
+  Rng rng(2);
+  const flexlevel::ReduceCodeMapper mapper;
+  const BerModel model(flexlevel::nunma_config(flexlevel::NunmaScheme::kNunma3),
+                       mapper, RetentionModel{}, small_mc(), rng);
+  ASSERT_EQ(model.level_occupancy().size(), 3u);
+  // Table 1: over the 8 patterns x 2 cells, levels appear 6/16, 5/16, 5/16.
+  EXPECT_NEAR(model.level_occupancy()[0], 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(model.level_occupancy()[1], 5.0 / 16.0, 1e-12);
+  EXPECT_NEAR(model.level_occupancy()[2], 5.0 / 16.0, 1e-12);
+}
+
+TEST(BerModelTest, RetentionBerZeroWhenFresh) {
+  Rng rng(3);
+  const GrayMapper mapper;
+  const BerModel model(nand::LevelConfig::baseline_mlc(), mapper,
+                       RetentionModel{}, small_mc(), rng);
+  EXPECT_DOUBLE_EQ(model.retention_ber(6000, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.retention_ber(0, 100.0), 0.0);
+}
+
+TEST(BerModelTest, RetentionBerMonotone) {
+  Rng rng(4);
+  const GrayMapper mapper;
+  const BerModel model(nand::LevelConfig::baseline_mlc(), mapper,
+                       RetentionModel{}, small_mc(), rng);
+  double prev = 0.0;
+  for (const double age : {kDay, 2 * kDay, kWeek, kMonth}) {
+    const double ber = model.retention_ber(5000, age);
+    EXPECT_GT(ber, prev);
+    prev = ber;
+  }
+  EXPECT_GT(model.retention_ber(6000, kWeek), model.retention_ber(3000, kWeek));
+}
+
+TEST(BerModelTest, AnalyticMatchesMonteCarlo) {
+  // The analytic integral must track the full Monte-Carlo engine within
+  // sampling error; this is what licenses its use inside the SSD simulator.
+  Rng rng(5);
+  const GrayMapper mapper;
+  const nand::LevelConfig cfg = nand::LevelConfig::baseline_mlc();
+  const RetentionModel retention;
+  const BerModel model(cfg, mapper, retention, small_mc(), rng);
+
+  BerEngine engine({.wordlines = 64, .bitlines = 256, .rounds = 16,
+                    .coupling = {.gamma_x = 0.0, .gamma_y = 0.0,
+                                 .gamma_xy = 0.0}});
+  for (const auto& [pe, age] : {std::pair{6000, kMonth},
+                                std::pair{5000, kWeek}}) {
+    const double analytic = model.retention_ber(pe, age);
+    const BerReport mc =
+        engine.measure(cfg, mapper, &retention, pe, age, rng);
+    EXPECT_NEAR(analytic, mc.total.rate(),
+                3.0 * mc.total.margin95() + 0.1 * analytic)
+        << "pe=" << pe << " age=" << age;
+  }
+}
+
+TEST(BerModelTest, C2cComponentPositiveWithCoupling) {
+  Rng rng(6);
+  const GrayMapper mapper;
+  const BerModel model(nand::LevelConfig::baseline_mlc(), mapper,
+                       RetentionModel{}, small_mc(), rng);
+  EXPECT_GT(model.c2c_ber(), 0.0);
+  EXPECT_NEAR(model.total_ber(5000, kWeek),
+              model.c2c_ber() + model.retention_ber(5000, kWeek), 1e-15);
+}
+
+TEST(BerModelTest, ReducedStateBeatsBaseline) {
+  // The core device-level claim: the NUNMA 3 reduced cell has lower total
+  // BER than the baseline MLC cell at every operating point in Table 4.
+  Rng rng(7);
+  const GrayMapper gray;
+  const flexlevel::ReduceCodeMapper reduce;
+  const RetentionModel retention;
+  const BerModel baseline(nand::LevelConfig::baseline_mlc(), gray, retention,
+                          small_mc(), rng);
+  const BerModel nunma3(
+      flexlevel::nunma_config(flexlevel::NunmaScheme::kNunma3), reduce,
+      retention, small_mc(), rng);
+  for (const int pe : {2000, 4000, 6000}) {
+    for (const double age : {kDay, kWeek, kMonth}) {
+      EXPECT_LT(nunma3.total_ber(pe, age), baseline.total_ber(pe, age))
+          << "pe=" << pe << " age=" << age;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flex::reliability

@@ -1,0 +1,87 @@
+#include "reliability/sensing_solver.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::reliability {
+namespace {
+
+TEST(SensingSolverTest, LadderShape) {
+  const SensingRequirement req;
+  ASSERT_EQ(req.steps().size(), 5u);
+  // Levels escalate 0, 1, 2, 4, 6 with strictly growing BER caps.
+  int prev_levels = -1;
+  double prev_cap = 0.0;
+  for (const auto& step : req.steps()) {
+    EXPECT_GT(step.extra_levels, prev_levels);
+    EXPECT_GT(step.max_raw_ber, prev_cap);
+    prev_levels = step.extra_levels;
+    prev_cap = step.max_raw_ber;
+  }
+  EXPECT_EQ(req.steps().back().extra_levels, 6);
+}
+
+TEST(SensingSolverTest, HardDecisionCapIsPaperLimit) {
+  // Paper §6.1: the BER limit that triggers extra sensing levels is 4e-3.
+  const SensingRequirement req;
+  EXPECT_DOUBLE_EQ(req.hard_decision_cap(), 4e-3);
+}
+
+TEST(SensingSolverTest, ReproducesPaperTable5FromTable4) {
+  // Feed the paper's Table 4 baseline BERs; expect exactly its Table 5.
+  const SensingRequirement req;
+  struct Case {
+    double ber;
+    int expected_levels;
+  };
+  // Rows: P/E 3000..6000 x {1 day, 2 days, 1 week, 1 month}. (The paper's
+  // "0 day" column is pre-retention and trivially 0.)
+  const Case cases[] = {
+      {0.00146, 0},  {0.00169, 0},  {0.00260, 0}, {0.00459, 1},   // 3000
+      {0.00229, 0},  {0.00284, 0},  {0.00456, 1}, {0.00778, 4},   // 4000
+      {0.00359, 0},  {0.00457, 1},  {0.00699, 2}, {0.0120, 4},    // 5000
+      {0.00484, 1},  {0.00613, 2},  {0.00961, 4}, {0.0161, 6},    // 6000
+  };
+  for (const auto& c : cases) {
+    bool ok = false;
+    EXPECT_EQ(req.required_levels(c.ber, &ok), c.expected_levels)
+        << "ber=" << c.ber;
+    EXPECT_TRUE(ok);
+  }
+}
+
+TEST(SensingSolverTest, NunmaThreeStaysHardDecision) {
+  // Paper: NUNMA 3 keeps BER below 4e-3 through P/E 6000 / 1 month
+  // (Table 4 worst case 0.00151), so reduced-state reads need 0 levels.
+  const SensingRequirement req;
+  for (const double ber : {0.000623, 0.000973, 0.00151}) {
+    EXPECT_EQ(req.required_levels(ber), 0);
+  }
+}
+
+TEST(SensingSolverTest, UncorrectableFlag) {
+  const SensingRequirement req;
+  bool ok = true;
+  EXPECT_EQ(req.required_levels(0.05, &ok), 6);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(req.max_correctable(), 2.2e-2);
+}
+
+TEST(SensingSolverTest, ZeroBerNeedsNothing) {
+  const SensingRequirement req;
+  bool ok = false;
+  EXPECT_EQ(req.required_levels(0.0, &ok), 0);
+  EXPECT_TRUE(ok);
+}
+
+TEST(SensingSolverTest, MonotoneInBer) {
+  const SensingRequirement req;
+  int prev = 0;
+  for (double ber = 1e-4; ber < 3e-2; ber *= 1.3) {
+    const int levels = req.required_levels(ber);
+    EXPECT_GE(levels, prev);
+    prev = levels;
+  }
+}
+
+}  // namespace
+}  // namespace flex::reliability

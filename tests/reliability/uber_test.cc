@@ -1,0 +1,92 @@
+#include "reliability/uber.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace flex::reliability {
+namespace {
+
+// Exact tail for tiny m by direct summation.
+double exact_tail(int k, int m, double p) {
+  double tail = 0.0;
+  for (int i = k + 1; i <= m; ++i) {
+    double c = 1.0;
+    for (int j = 0; j < i; ++j) c = c * (m - j) / (j + 1);
+    tail += c * std::pow(p, i) * std::pow(1.0 - p, m - i);
+  }
+  return tail;
+}
+
+TEST(UberTest, TailMatchesExactSmallCases) {
+  for (const int m : {5, 10, 20}) {
+    for (const double p : {0.01, 0.1, 0.3}) {
+      for (int k = 0; k < m; ++k) {
+        EXPECT_NEAR(binomial_tail_above(k, m, p), exact_tail(k, m, p),
+                    1e-12 + 1e-9 * exact_tail(k, m, p))
+            << "m=" << m << " p=" << p << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(UberTest, TailEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_above(10, 10, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_above(-1, 10, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_above(5, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_above(5, 10, 1.0), 1.0);
+}
+
+TEST(UberTest, TailIsMonotoneInK) {
+  const int m = 36864;
+  const double p = 5e-3;
+  double prev = 1.0;
+  for (int k = 100; k <= 400; k += 50) {
+    const double tail = binomial_tail_above(k, m, p);
+    EXPECT_LE(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(UberTest, TailReachesUberScaleWithoutUnderflow) {
+  // Around the paper's operating point the tail must be resolvable at
+  // 1e-15 and far below.
+  const double tail = binomial_tail_above(400, 36864, 5e-3);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 1e-20);
+}
+
+TEST(UberTest, UberFormula) {
+  // uber = tail / n with n the information length (paper Eq. 1).
+  const double tail = binomial_tail_above(50, 1000, 0.02);
+  EXPECT_NEAR(uber(50, 800, 1000, 0.02), tail / 800.0, 1e-18);
+}
+
+TEST(UberTest, RequiredCorrectionInverts) {
+  const int n = 32768;
+  const int m = 36864;
+  const double p = 4e-3;
+  const int k = required_correction(1e-15, n, m, p);
+  ASSERT_GT(k, 0);
+  EXPECT_LE(uber(k, n, m, p), 1e-15);
+  EXPECT_GT(uber(k - 1, n, m, p), 1e-15);
+}
+
+TEST(UberTest, MaxRawBerInverts) {
+  const int n = 32768;
+  const int m = 36864;
+  const int k = 300;
+  const double cap = max_raw_ber(1e-15, k, n, m);
+  EXPECT_GT(cap, 0.0);
+  EXPECT_LE(uber(k, n, m, cap), 1e-15);
+  EXPECT_GT(uber(k, n, m, cap * 1.05), 1e-15);
+}
+
+TEST(UberTest, StrongerCodeToleratesMoreBer) {
+  const int n = 32768;
+  const int m = 36864;
+  EXPECT_LT(max_raw_ber(1e-15, 200, n, m), max_raw_ber(1e-15, 400, n, m));
+}
+
+}  // namespace
+}  // namespace flex::reliability

@@ -1,0 +1,76 @@
+#include "ssd/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::ssd {
+namespace {
+
+TEST(LatencyModelTest, HardReadAnatomy) {
+  const LatencyModel model;
+  // 90 us sense + 40 us transfer + 10 us decode.
+  EXPECT_EQ(model.read_fixed(0), 140 * kMicrosecond);
+}
+
+TEST(LatencyModelTest, FixedGrowsLinearlyWithLevels) {
+  const LatencyModel model;
+  const Duration base = model.read_fixed(0);
+  const Duration per_level = model.extra_sense_per_level +
+                             model.extra_transfer_per_level +
+                             model.decode_per_level;
+  for (int levels = 1; levels <= 6; ++levels) {
+    EXPECT_EQ(model.read_fixed(levels), base + levels * per_level);
+  }
+}
+
+TEST(LatencyModelTest, ProgressiveEqualsFixedWhenHardSucceeds) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  EXPECT_EQ(model.read_progressive(0, ladder), model.read_fixed(0));
+}
+
+TEST(LatencyModelTest, ProgressivePaysRetryDecodes) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  // Needing 1 level: failed hard decode + incremental sense/transfer +
+  // second decode at 1 level.
+  const Duration expected = model.read_fixed(0) + model.extra_sense_per_level +
+                            model.extra_transfer_per_level +
+                            model.decode_base + model.decode_per_level;
+  EXPECT_EQ(model.read_progressive(1, ladder), expected);
+}
+
+TEST(LatencyModelTest, ProgressiveBelowFixedWorstCaseForShallowReads) {
+  // The whole point of progressive sensing: cheap reads stay cheap even on
+  // a controller provisioned for 6 levels.
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  EXPECT_LT(model.read_progressive(0, ladder), model.read_fixed(6));
+  EXPECT_LT(model.read_progressive(2, ladder), model.read_fixed(6));
+}
+
+TEST(LatencyModelTest, ProgressiveAboveFixedAtSameDepth) {
+  // ...but a deep progressive read pays for its failed attempts.
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  EXPECT_GT(model.read_progressive(6, ladder), model.read_fixed(6));
+}
+
+TEST(LatencyModelTest, ProgressiveMonotoneInRequiredLevels) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  Duration prev = 0;
+  for (const int levels : {0, 1, 2, 4, 6}) {
+    const Duration d = model.read_progressive(levels, ladder);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(LatencyModelTest, Table6Passthroughs) {
+  const LatencyModel model;
+  EXPECT_EQ(model.program(), 1000 * kMicrosecond);
+  EXPECT_EQ(model.erase(), 3 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace flex::ssd

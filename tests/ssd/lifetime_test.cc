@@ -1,0 +1,51 @@
+#include "ssd/lifetime.h"
+
+#include <gtest/gtest.h>
+
+namespace flex::ssd {
+namespace {
+
+TEST(LifetimeTest, NoExtraErasesNoLoss) {
+  EXPECT_DOUBLE_EQ(lifetime_factor(1.0), 1.0);
+}
+
+TEST(LifetimeTest, PaperOperatingPoint) {
+  // Fig. 7: ~13% more erases while active -> ~6% lifetime loss with the
+  // 4000/8000 activation point.
+  const double factor = lifetime_factor(1.13);
+  EXPECT_NEAR(1.0 - factor, 0.058, 0.01);
+}
+
+TEST(LifetimeTest, ActivationFractionOneMeansImmune) {
+  // If the scheme never activates within the rated life, no loss at all.
+  EXPECT_DOUBLE_EQ(lifetime_factor(2.0, {.activation_fraction = 1.0}), 1.0);
+}
+
+TEST(LifetimeTest, AlwaysOnIsWorstCase) {
+  // Scheme active from cycle 0: lifetime scales as 1/f.
+  EXPECT_NEAR(lifetime_factor(1.3, {.activation_fraction = 0.0}), 1.0 / 1.3,
+              1e-12);
+}
+
+TEST(LifetimeTest, MonotoneInEraseIncrease) {
+  double prev = 1.0;
+  for (const double f : {1.05, 1.1, 1.2, 1.5, 2.0}) {
+    const double factor = lifetime_factor(f);
+    EXPECT_LT(factor, prev);
+    prev = factor;
+  }
+}
+
+TEST(LifetimeTest, BoundedBelowByActivationFraction) {
+  // Even infinite erase inflation cannot consume the pre-activation phase.
+  EXPECT_GT(lifetime_factor(100.0), 0.5);
+}
+
+TEST(LifetimeDeathTest, RejectsImpossibleInputs) {
+  EXPECT_DEATH(lifetime_factor(0.9), "precondition");
+  EXPECT_DEATH(lifetime_factor(1.1, {.activation_fraction = 1.5}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace flex::ssd

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "reliability/sensing_solver.h"
+#include "ssd/latency_model.h"
+
+namespace flex::ssd {
+namespace {
+
+TEST(SensingHintTest, StartAtZeroIsPlainProgressive) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  for (const int required : {0, 1, 2, 4, 6}) {
+    EXPECT_EQ(model.read_progressive_from(0, required, ladder),
+              model.read_progressive(required, ladder));
+  }
+}
+
+TEST(SensingHintTest, ExactHintIsOneAttempt) {
+  // Starting exactly where the data needs it: one sense pass over all the
+  // levels, one decode — cheaper than any retry chain but dearer than a
+  // hard read.
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  for (const int levels : {1, 2, 4, 6}) {
+    const Duration hinted = model.read_progressive_from(levels, levels, ladder);
+    EXPECT_EQ(hinted, model.read_fixed(levels)) << levels;
+    EXPECT_LT(hinted, model.read_progressive(levels, ladder));
+  }
+}
+
+TEST(SensingHintTest, StaleHighHintWastesSensingButNotRetries) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  // Data needs 0 levels but the hint says 4: one 4-level attempt.
+  const Duration over = model.read_progressive_from(4, 0, ladder);
+  EXPECT_EQ(over, model.read_fixed(4));
+  EXPECT_GT(over, model.read_progressive(0, ladder));
+}
+
+TEST(SensingHintTest, StaleLowHintEscalates) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  // Hint 1, data needs 4: attempts at 1, 2, 4.
+  const Duration d = model.read_progressive_from(1, 4, ladder);
+  const Duration expected =
+      model.spec.read_latency + model.spec.page_transfer_latency +
+      4 * (model.extra_sense_per_level + model.extra_transfer_per_level) +
+      (model.decode_base + 1 * model.decode_per_level) +
+      (model.decode_base + 2 * model.decode_per_level) +
+      (model.decode_base + 4 * model.decode_per_level);
+  EXPECT_EQ(d, expected);
+}
+
+TEST(SensingHintTest, MonotoneInRequirementForFixedStart) {
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  Duration prev = 0;
+  for (const int required : {0, 1, 2, 4, 6}) {
+    const Duration d = model.read_progressive_from(2, required, ladder);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace flex::ssd

@@ -1,0 +1,179 @@
+// Cross-cutting simulator properties: determinism, scheme-invariant
+// accounting, and the age-model semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flexlevel/nunma.h"
+#include "flexlevel/reduce_mapper.h"
+#include "nand/level_config.h"
+#include "ssd/simulator.h"
+#include "trace/workloads.h"
+
+namespace flex::ssd {
+namespace {
+
+class SimulatorProperty : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(77);
+    const reliability::BerEngine::Config mc{
+        .wordlines = 32, .bitlines = 128, .rounds = 2, .coupling = {}};
+    static const reliability::GrayMapper gray;
+    static const flexlevel::ReduceCodeMapper reduce;
+    normal_ = new reliability::BerModel(nand::LevelConfig::baseline_mlc(),
+                                        gray, reliability::RetentionModel{},
+                                        mc, rng);
+    reduced_ = new reliability::BerModel(
+        flexlevel::nunma_config(flexlevel::NunmaScheme::kNunma3), reduce,
+        reliability::RetentionModel{}, mc, rng);
+  }
+  static void TearDownTestSuite() {
+    delete normal_;
+    delete reduced_;
+    normal_ = nullptr;
+    reduced_ = nullptr;
+  }
+
+  static SsdConfig config(Scheme scheme) {
+    SsdConfig cfg;
+    cfg.scheme = scheme;
+    cfg.ftl.spec.page_size_bytes = 4096;
+    cfg.ftl.spec.pages_per_block = 32;
+    cfg.ftl.spec.blocks_per_chip = 64;
+    cfg.ftl.spec.chips = 4;
+    cfg.ftl.initial_pe_cycles = 6000;
+    cfg.ftl.gc_low_watermark = 4;
+    cfg.min_prefill_age = kDay;
+    cfg.max_prefill_age = kMonth;
+    cfg.write_buffer_pages = 64;
+    cfg.write_buffer_flush_batch = 8;
+    cfg.access_eval.pool_capacity_pages = 1000;
+    cfg.access_eval.hotness = {.filter_count = 4,
+                               .bits_per_filter = 1 << 14,
+                               .hashes = 2,
+                               .window_accesses = 512};
+    return cfg;
+  }
+
+  static std::vector<trace::Request> trace_for(double read_fraction) {
+    trace::WorkloadParams params;
+    params.name = "prop";
+    params.read_fraction = read_fraction;
+    params.zipf_theta = 0.9;
+    params.footprint_pages = 4000;
+    params.mean_request_pages = 1.5;
+    params.max_request_pages = 8;
+    params.iops = 1500;
+    params.requests = 15'000;
+    return trace::generate(params, 321);
+  }
+
+  static reliability::BerModel* normal_;
+  static reliability::BerModel* reduced_;
+};
+
+reliability::BerModel* SimulatorProperty::normal_ = nullptr;
+reliability::BerModel* SimulatorProperty::reduced_ = nullptr;
+
+TEST_F(SimulatorProperty, SameSeedSameResults) {
+  const auto trace = trace_for(0.8);
+  auto run_once = [&] {
+    SsdSimulator sim(config(Scheme::kFlexLevel), *normal_, *reduced_);
+    sim.prefill(4000);
+    return sim.run(trace);
+  };
+  const SsdResults a = run_once();
+  const SsdResults b = run_once();
+  EXPECT_DOUBLE_EQ(a.all_response.mean(), b.all_response.mean());
+  EXPECT_DOUBLE_EQ(a.read_response.max(), b.read_response.max());
+  EXPECT_EQ(a.migrations_to_reduced, b.migrations_to_reduced);
+  EXPECT_EQ(a.ftl.nand_writes, b.ftl.nand_writes);
+  EXPECT_EQ(a.sensing_level_reads, b.sensing_level_reads);
+}
+
+TEST_F(SimulatorProperty, DifferentSeedsDifferentPrefillAges) {
+  const auto trace = trace_for(0.95);
+  auto cfg = config(Scheme::kLdpcInSsd);
+  SsdSimulator a(cfg, *normal_, *reduced_);
+  cfg.seed = 0xD1FF;
+  SsdSimulator b(cfg, *normal_, *reduced_);
+  a.prefill(4000);
+  b.prefill(4000);
+  const auto ra = a.run(trace);
+  const auto rb = b.run(trace);
+  // Age draws differ, so the sensing-level mix cannot be identical.
+  EXPECT_NE(ra.sensing_level_reads, rb.sensing_level_reads);
+}
+
+TEST_F(SimulatorProperty, HostVisibleCountsAreSchemeInvariant) {
+  // Scheduling policy must not change what the host asked for: the number
+  // of measured requests and the read/write split are identical across
+  // schemes.
+  const auto trace = trace_for(0.7);
+  std::uint64_t expected_reads = 0;
+  for (const Scheme scheme :
+       {Scheme::kBaseline, Scheme::kLdpcInSsd, Scheme::kLevelAdjustOnly,
+        Scheme::kFlexLevel}) {
+    SsdSimulator sim(config(scheme), *normal_, *reduced_);
+    sim.prefill(4000);
+    const auto results = sim.run(trace);
+    EXPECT_EQ(results.all_response.count(), trace.size());
+    if (expected_reads == 0) {
+      expected_reads = results.read_response.count();
+    } else {
+      EXPECT_EQ(results.read_response.count(), expected_reads)
+          << scheme_name(scheme);
+    }
+  }
+}
+
+TEST_F(SimulatorProperty, StaticAgeIgnoresRewrites) {
+  // Under kStaticPerLba, rewriting a page must not lower its sensing
+  // requirement; under kPhysical it must.
+  const auto trace = trace_for(0.5);  // write-heavy: lots of rewrites
+  auto run_model = [&](AgeModel model) {
+    auto cfg = config(Scheme::kLdpcInSsd);
+    cfg.age_model = model;
+    cfg.min_prefill_age = kWeek;  // everything needs soft sensing at 6000
+    cfg.max_prefill_age = kMonth;
+    SsdSimulator sim(cfg, *normal_, *reduced_);
+    sim.prefill(4000);
+    return sim.run(trace);
+  };
+  const auto fixed = run_model(AgeModel::kStaticPerLba);
+  const auto physical = run_model(AgeModel::kPhysical);
+  // Physical ages: rewritten pages read hard; static: they stay soft.
+  EXPECT_GT(physical.sensing_level_reads[0], fixed.sensing_level_reads[0]);
+  EXPECT_GT(fixed.read_response.mean(), physical.read_response.mean());
+}
+
+TEST_F(SimulatorProperty, HintNeverChangesSensingRequirements) {
+  // The hint is a latency optimization: the *requirement* histogram is a
+  // property of the data, not of the retry policy.
+  const auto trace = trace_for(0.9);
+  auto run_hint = [&](bool hint) {
+    auto cfg = config(Scheme::kLdpcInSsd);
+    cfg.sensing_hint = hint;
+    SsdSimulator sim(cfg, *normal_, *reduced_);
+    sim.prefill(4000);
+    return sim.run(trace);
+  };
+  const auto plain = run_hint(false);
+  const auto hinted = run_hint(true);
+  EXPECT_EQ(plain.sensing_level_reads, hinted.sensing_level_reads);
+}
+
+TEST_F(SimulatorProperty, PercentilesBracketTheMean) {
+  const auto trace = trace_for(0.9);
+  SsdSimulator sim(config(Scheme::kLdpcInSsd), *normal_, *reduced_);
+  sim.prefill(4000);
+  const auto results = sim.run(trace);
+  const double p50 = results.read_latency_hist.quantile(0.5);
+  const double p99 = results.read_latency_hist.quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_GE(results.read_response.max() + 1e-9, p99);
+}
+
+}  // namespace
+}  // namespace flex::ssd

@@ -1,0 +1,67 @@
+#include "trace/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace flex::trace {
+namespace {
+
+TEST(TraceTest, CsvRoundTrip) {
+  const std::vector<Request> original = {
+      {.arrival = 0, .is_write = false, .lpn = 100, .pages = 4},
+      {.arrival = 1500 * kMicrosecond, .is_write = true, .lpn = 7, .pages = 1},
+      {.arrival = 2 * kSecond, .is_write = false, .lpn = 0, .pages = 64},
+  };
+  std::stringstream buffer;
+  write_csv(buffer, original);
+  const std::vector<Request> parsed = read_csv(buffer);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(TraceTest, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# header\n\n10,R,5,1\n");
+  const auto parsed = read_csv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].lpn, 5u);
+  EXPECT_EQ(parsed[0].arrival, 10 * kMicrosecond);
+}
+
+TEST(TraceTest, LowercaseOpsAccepted) {
+  std::stringstream in("1,w,2,3\n");
+  const auto parsed = read_csv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].is_write);
+}
+
+TEST(TraceTest, MalformedLinesThrow) {
+  for (const char* bad : {"1,R,5\n", "x,R,5,1\n", "1,Q,5,1\n", "1,R,5,0\n",
+                          "1,R,five,1\n", "1,R,5,1,extra\n"}) {
+    std::stringstream in(bad);
+    EXPECT_THROW((void)read_csv(in), std::runtime_error) << bad;
+  }
+}
+
+TEST(TraceTest, SummarizeCounts) {
+  const std::vector<Request> trace = {
+      {.arrival = 0, .is_write = false, .lpn = 10, .pages = 4},
+      {.arrival = 1, .is_write = true, .lpn = 100, .pages = 2},
+      {.arrival = 2, .is_write = false, .lpn = 5, .pages = 1},
+  };
+  const TraceSummary s = summarize(trace);
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.read_pages, 5u);
+  EXPECT_EQ(s.write_pages, 2u);
+  EXPECT_EQ(s.max_lpn, 101u);
+  EXPECT_NEAR(s.read_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceTest, SummarizeEmpty) {
+  const TraceSummary s = summarize({});
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_DOUBLE_EQ(s.read_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace flex::trace

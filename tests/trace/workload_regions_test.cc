@@ -1,0 +1,88 @@
+// The read/write region partition of the workload generator: reads live in
+// the first 70% of the footprint; only `read_write_overlap` of writes
+// enter it. This is what keeps the read-hot set's retention age growing —
+// the population FlexLevel feeds on.
+#include <gtest/gtest.h>
+
+#include "trace/workloads.h"
+
+namespace flex::trace {
+namespace {
+
+WorkloadParams test_params(double overlap, double read_fraction) {
+  WorkloadParams p;
+  p.name = "regions";
+  p.read_fraction = read_fraction;
+  p.zipf_theta = 0.9;
+  p.footprint_pages = 100'000;
+  p.mean_request_pages = 1.0;
+  p.max_request_pages = 1;
+  p.iops = 1000;
+  p.requests = 60'000;
+  p.read_write_overlap = overlap;
+  p.sequential_fraction = 0.0;  // isolate the region logic
+  return p;
+}
+
+TEST(WorkloadRegionsTest, ReadsStayInReadRegion) {
+  const auto params = test_params(0.5, 0.7);
+  const std::uint64_t read_span = params.footprint_pages * 7 / 10;
+  for (const auto& req : generate(params, 1)) {
+    if (!req.is_write) {
+      EXPECT_LT(req.lpn, read_span);
+    }
+  }
+}
+
+TEST(WorkloadRegionsTest, OverlapControlsWritesInReadRegion) {
+  const std::uint64_t read_span = 70'000;
+  auto fraction_in_read_region = [&](double overlap) {
+    const auto trace = generate(test_params(overlap, 0.3), 2);
+    std::uint64_t writes = 0;
+    std::uint64_t in_region = 0;
+    for (const auto& req : trace) {
+      if (req.is_write) {
+        ++writes;
+        if (req.lpn < read_span) ++in_region;
+      }
+    }
+    return static_cast<double>(in_region) / static_cast<double>(writes);
+  };
+  EXPECT_NEAR(fraction_in_read_region(0.2), 0.2, 0.02);
+  EXPECT_NEAR(fraction_in_read_region(0.8), 0.8, 0.02);
+}
+
+TEST(WorkloadRegionsTest, ZeroOverlapSeparatesWorkingSets) {
+  const auto trace = generate(test_params(0.0, 0.5), 3);
+  const std::uint64_t read_span = 70'000;
+  for (const auto& req : trace) {
+    if (req.is_write) {
+      EXPECT_GE(req.lpn, read_span);
+    } else {
+      EXPECT_LT(req.lpn, read_span);
+    }
+  }
+}
+
+TEST(WorkloadRegionsTest, FullOverlapWritesShareReadDistribution) {
+  const auto trace = generate(test_params(1.0, 0.5), 4);
+  const std::uint64_t read_span = 70'000;
+  for (const auto& req : trace) {
+    EXPECT_LT(req.lpn, read_span);
+  }
+}
+
+TEST(WorkloadRegionsTest, SequentialRunsMayCrossRegions) {
+  // With sequentiality on, continuation requests follow the previous one
+  // of their kind; nothing may escape the footprint.
+  auto params = test_params(0.5, 0.6);
+  params.sequential_fraction = 0.5;
+  params.mean_request_pages = 4.0;
+  params.max_request_pages = 16;
+  for (const auto& req : generate(params, 5)) {
+    EXPECT_LE(req.lpn + req.pages, params.footprint_pages);
+  }
+}
+
+}  // namespace
+}  // namespace flex::trace
