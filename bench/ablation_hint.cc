@@ -12,29 +12,50 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
 
   std::printf("=== Progressive-sensing retry policy ablation (P/E 6000) ===\n\n");
   flex::bench::ExperimentHarness harness;
 
-  TablePrinter table({"workload", "ladder retry (us)", "with page hint (us)",
-                      "hint saving", "FlexLevel (us)"});
-  for (const auto workload :
-       {flex::trace::Workload::kWeb1, flex::trace::Workload::kFin2,
-        flex::trace::Workload::kWin2}) {
+  // Three custom-config runs per workload: ladder retry, retry with page
+  // hint, FlexLevel. run_indexed fans them like any other cell sweep.
+  const std::vector<flex::trace::Workload> workloads = {
+      flex::trace::Workload::kWeb1, flex::trace::Workload::kFin2,
+      flex::trace::Workload::kWin2};
+  struct Variant {
+    flex::trace::Workload workload;
+    flex::ssd::SsdConfig cfg;
+  };
+  std::vector<Variant> variants;
+  for (const auto workload : workloads) {
     auto cfg = flex::bench::ExperimentHarness::drive_config(
         flex::ssd::Scheme::kLdpcInSsd, 6000);
     cfg.age_model = flex::ssd::AgeModel::kStaticPerLba;
-    const auto plain = harness.run_with(cfg, workload, requests);
-
+    variants.push_back({workload, cfg});
     cfg.sensing_hint = true;
-    const auto hinted = harness.run_with(cfg, workload, requests);
-
+    variants.push_back({workload, cfg});
     auto flex_cfg = flex::bench::ExperimentHarness::drive_config(
         flex::ssd::Scheme::kFlexLevel, 6000);
     flex_cfg.age_model = flex::ssd::AgeModel::kStaticPerLba;
-    const auto flexlevel = harness.run_with(flex_cfg, workload, requests);
+    variants.push_back({workload, flex_cfg});
+  }
+  const auto results = flex::bench::run_indexed(
+      variants.size(),
+      [&](std::size_t i) {
+        return harness.run_with(variants[i].cfg, variants[i].workload,
+                                requests);
+      },
+      jobs);
+
+  TablePrinter table({"workload", "ladder retry (us)", "with page hint (us)",
+                      "hint saving", "FlexLevel (us)"});
+  std::size_t cell = 0;
+  for (const auto workload : workloads) {
+    const auto& plain = results[cell++];
+    const auto& hinted = results[cell++];
+    const auto& flexlevel = results[cell++];
 
     table.add_row(
         {flex::trace::workload_name(workload),

@@ -12,30 +12,42 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
 
   std::printf("=== ReducedCell pool size ablation (web-1, P/E 6000) ===\n\n");
   flex::bench::ExperimentHarness harness;
 
-  // Reference: LDPC-in-SSD (no pool at all).
-  const auto reference = harness.run(flex::trace::Workload::kWeb1,
-                                     flex::ssd::Scheme::kLdpcInSsd, 6000,
-                                     requests);
-
   const double raw_pages = static_cast<double>(
       flex::bench::ExperimentHarness::drive_config(
           flex::ssd::Scheme::kFlexLevel, 6000)
           .ftl.spec.total_pages());
 
+  // Cell 0 is the reference (LDPC-in-SSD: no pool at all); the rest sweep
+  // the pool share.
+  const std::vector<double> shares = {0.005, 0.02, 0.08, 0.25};
+  std::vector<flex::bench::CellSpec> cells;
+  cells.push_back({.workload = flex::trace::Workload::kWeb1,
+                   .scheme = flex::ssd::Scheme::kLdpcInSsd,
+                   .pe_cycles = 6000,
+                   .requests_override = requests});
+  for (const double share : shares) {
+    cells.push_back({.workload = flex::trace::Workload::kWeb1,
+                     .scheme = flex::ssd::Scheme::kFlexLevel,
+                     .pe_cycles = 6000,
+                     .requests_override = requests,
+                     .pool_override_pages =
+                         static_cast<std::uint64_t>(raw_pages * share)});
+  }
+  const auto all = flex::bench::run_cells(harness, cells, jobs);
+  const auto& reference = all.front();
+
   TablePrinter table({"pool (% of capacity)", "norm response", "pool used",
                       "migrations", "capacity loss (worst case)"});
-  for (const double share : {0.005, 0.02, 0.08, 0.25}) {
-    const auto pool_pages = static_cast<std::uint64_t>(raw_pages * share);
-    const auto results =
-        harness.run(flex::trace::Workload::kWeb1,
-                    flex::ssd::Scheme::kFlexLevel, 6000, requests,
-                    flex::ssd::AgeModel::kStaticPerLba, pool_pages);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double share = shares[i];
+    const auto& results = all[i + 1];
     // Worst-case capacity loss: pool share x the 25% density loss of
     // reduced pages.
     table.add_row(
@@ -44,10 +56,9 @@ int main(int argc, char** argv) {
                                reference.all_response.mean(),
                            3),
          std::to_string(results.pool_pages) + "/" +
-             std::to_string(pool_pages),
+             std::to_string(cells[i + 1].pool_override_pages),
          std::to_string(results.migrations_to_reduced),
          TablePrinter::percent(share * 0.25)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("The paper's 25%% pool bounds capacity loss at ~6%% while "

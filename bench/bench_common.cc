@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <thread>
 
 #include "common/rng.h"
 #include "flexlevel/nunma.h"
@@ -73,7 +77,8 @@ ssd::SsdResults ExperimentHarness::run(trace::Workload workload,
                                        ssd::Scheme scheme, int pe_cycles,
                                        std::uint64_t requests_override,
                                        ssd::AgeModel age_model,
-                                       std::uint64_t pool_override_pages) {
+                                       std::uint64_t pool_override_pages)
+    const {
   ssd::SsdConfig cfg = drive_config(scheme, pe_cycles);
   cfg.age_model = age_model;
   if (pool_override_pages > 0) {
@@ -82,9 +87,15 @@ ssd::SsdResults ExperimentHarness::run(trace::Workload workload,
   return run_with(cfg, workload, requests_override);
 }
 
-ssd::SsdResults ExperimentHarness::run_with(ssd::SsdConfig cfg,
-                                            trace::Workload workload,
-                                            std::uint64_t requests_override) {
+ssd::SsdResults ExperimentHarness::run(const CellSpec& cell) const {
+  return run(cell.workload, cell.scheme, cell.pe_cycles,
+             cell.requests_override, cell.age_model,
+             cell.pool_override_pages);
+}
+
+ssd::SsdResults ExperimentHarness::run_with(
+    ssd::SsdConfig cfg, trace::Workload workload,
+    std::uint64_t requests_override) const {
   trace::WorkloadParams params = trace::workload_params(workload);
   if (requests_override > 0) params.requests = requests_override;
   // The drive is scaled to 1/8 of the paper's chip count; scale the arrival
@@ -93,7 +104,7 @@ ssd::SsdResults ExperimentHarness::run_with(ssd::SsdConfig cfg,
   params.iops *= 0.45;
   const auto requests = trace::generate(params, /*seed=*/2015);
 
-  ssd::SsdSimulator sim(cfg, *normal_, *reduced_);
+  ssd::SsdSimulator sim(std::move(cfg), *normal_, *reduced_);
   // The drive carries a realistic standing population (80% of the logical
   // space mapped): high enough that reduced-state storage genuinely eats
   // into over-provisioning headroom, low enough that the resulting GC
@@ -106,6 +117,69 @@ ssd::SsdResults ExperimentHarness::run_with(ssd::SsdConfig cfg,
   sim.run({requests.begin(), split});
   sim.reset_measurements();
   return sim.run({split, requests.end()});
+}
+
+std::vector<ssd::SsdResults> run_indexed(
+    std::size_t count,
+    const std::function<ssd::SsdResults(std::size_t)>& runner, int jobs) {
+  if (jobs == 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  std::vector<ssd::SsdResults> results(count);
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = runner(i);
+    return results;
+  }
+  // Work stealing over a shared index: cells are independent (each owns
+  // its simulator; the shared BerModels are const), so any assignment of
+  // cells to threads yields the same per-index results.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
+      results[i] = runner(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const auto threads =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), count);
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+std::vector<ssd::SsdResults> run_cells(const ExperimentHarness& harness,
+                                       const std::vector<CellSpec>& cells,
+                                       int jobs) {
+  return run_indexed(
+      cells.size(),
+      [&](std::size_t i) { return harness.run(cells[i]); }, jobs);
+}
+
+int parse_jobs(int* argc, char** argv) {
+  int jobs = 1;
+  if (const char* env = std::getenv("FLEX_BENCH_JOBS")) {
+    jobs = std::atoi(env);
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const bool is_flag = std::strcmp(argv[i], "--jobs") == 0 ||
+                         std::strcmp(argv[i], "-j") == 0;
+    if (is_flag && i + 1 < *argc) {
+      jobs = std::atoi(argv[++i]);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return jobs < 0 ? 1 : jobs;
 }
 
 }  // namespace flex::bench

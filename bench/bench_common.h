@@ -1,6 +1,9 @@
 // Shared harness for the system-level benches (Fig. 6(a)/(b), Fig. 7,
 // pool-size ablation): builds the scaled drive, the per-mode BER models,
-// and runs (workload, scheme, P/E) combinations.
+// and runs (workload, scheme, P/E) combinations — serially or fanned
+// across a thread pool (`--jobs N` / FLEX_BENCH_JOBS). Parallelism is safe
+// because each cell owns its simulator and shares only the const
+// BerModels; results are deterministic and independent of the job count.
 //
 // Scaling note (documented in EXPERIMENTS.md): the paper simulates a
 // 256 GB drive; we keep Table 6's page/block geometry and timing but shrink
@@ -10,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -18,6 +22,18 @@
 #include "trace/workloads.h"
 
 namespace flex::bench {
+
+/// One independent experiment cell of a sweep.
+struct CellSpec {
+  trace::Workload workload = trace::Workload::kFin2;
+  ssd::Scheme scheme = ssd::Scheme::kLdpcInSsd;
+  int pe_cycles = 6000;
+  /// 0 = use the workload default request count.
+  std::uint64_t requests_override = 0;
+  ssd::AgeModel age_model = ssd::AgeModel::kStaticPerLba;
+  /// 0 = keep the drive default ReducedCell pool size.
+  std::uint64_t pool_override_pages = 0;
+};
 
 class ExperimentHarness {
  public:
@@ -28,16 +44,19 @@ class ExperimentHarness {
   /// `requests_override` (0 = use the workload default) trims runtime for
   /// sweeps. `age_model` selects between the paper's static
   /// per-LBA storage-time axis (its Fig. 6 setting) and physically
-  /// tracked per-page ages.
+  /// tracked per-page ages. Thread-safe: the shared BerModels are
+  /// immutable and every run owns its simulator.
   ssd::SsdResults run(trace::Workload workload, ssd::Scheme scheme,
                       int pe_cycles, std::uint64_t requests_override = 0,
                       ssd::AgeModel age_model = ssd::AgeModel::kStaticPerLba,
-                      std::uint64_t pool_override_pages = 0);
+                      std::uint64_t pool_override_pages = 0) const;
+
+  ssd::SsdResults run(const CellSpec& cell) const;
 
   /// Runs an arbitrary SsdConfig under the harness methodology (scaled
   /// arrival rate, standing population, preconditioning, warmup pass).
   ssd::SsdResults run_with(ssd::SsdConfig config, trace::Workload workload,
-                           std::uint64_t requests_override = 0);
+                           std::uint64_t requests_override = 0) const;
 
   const reliability::BerModel& normal_model() const { return *normal_; }
   const reliability::BerModel& reduced_model() const { return *reduced_; }
@@ -51,5 +70,24 @@ class ExperimentHarness {
   std::unique_ptr<reliability::BerModel> normal_;
   std::unique_ptr<reliability::BerModel> reduced_;
 };
+
+/// Runs `count` independent experiments across `jobs` worker threads
+/// (jobs <= 1: serial, in index order on the calling thread; jobs == 0:
+/// one per hardware thread). `runner(i)` must be safe to call from any
+/// thread; results come back in index order regardless of completion
+/// order, so output is identical to a serial sweep.
+std::vector<ssd::SsdResults> run_indexed(
+    std::size_t count,
+    const std::function<ssd::SsdResults(std::size_t)>& runner, int jobs);
+
+/// Fans a list of cells across `jobs` threads (see run_indexed).
+std::vector<ssd::SsdResults> run_cells(const ExperimentHarness& harness,
+                                       const std::vector<CellSpec>& cells,
+                                       int jobs);
+
+/// Extracts `--jobs N` (or `-j N`) from argv, compacting it, and falls
+/// back to the FLEX_BENCH_JOBS environment variable; defaults to 1.
+/// 0 means "one job per hardware thread".
+int parse_jobs(int* argc, char** argv);
 
 }  // namespace flex::bench

@@ -8,6 +8,10 @@
 // experiment with physically tracked per-page ages, where rewritten data
 // is fresh — a more detailed model that shrinks FlexLevel's margin on
 // write-heavy workloads (discussed in EXPERIMENTS.md).
+//
+// Pass `--jobs N` (or set FLEX_BENCH_JOBS) to fan the 28 independent
+// (workload, scheme) cells across N threads; results are identical to a
+// serial run.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,12 +22,25 @@
 
 namespace {
 
-void run_table(flex::bench::ExperimentHarness& harness,
-               flex::ssd::AgeModel age_model, std::uint64_t requests) {
+void run_table(const flex::bench::ExperimentHarness& harness,
+               flex::ssd::AgeModel age_model, std::uint64_t requests,
+               int jobs) {
   using flex::TablePrinter;
   const std::vector<flex::ssd::Scheme> schemes = {
       flex::ssd::Scheme::kBaseline, flex::ssd::Scheme::kLdpcInSsd,
       flex::ssd::Scheme::kLevelAdjustOnly, flex::ssd::Scheme::kFlexLevel};
+
+  std::vector<flex::bench::CellSpec> cells;
+  for (const auto workload : flex::trace::kAllWorkloads) {
+    for (const auto scheme : schemes) {
+      cells.push_back({.workload = workload,
+                       .scheme = scheme,
+                       .pe_cycles = 6000,
+                       .requests_override = requests,
+                       .age_model = age_model});
+    }
+  }
+  const auto results = flex::bench::run_cells(harness, cells, jobs);
 
   TablePrinter table({"workload", "baseline", "LDPC-in-SSD",
                       "LevelAdjust-only", "LevelAdjust+AccessEval"});
@@ -31,13 +48,12 @@ void run_table(flex::bench::ExperimentHarness& harness,
   double flex_vs_ldpc = 0.0;
   double lvladj_vs_ldpc = 0.0;
   int workloads = 0;
+  std::size_t cell = 0;
 
   for (const auto workload : flex::trace::kAllWorkloads) {
     std::vector<double> means;
-    for (const auto scheme : schemes) {
-      const auto results =
-          harness.run(workload, scheme, 6000, requests, age_model);
-      means.push_back(results.all_response.mean());
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      means.push_back(results[cell++].all_response.mean());
     }
     const double base = means[0];
     table.add_row({flex::trace::workload_name(workload), "1.00",
@@ -48,7 +64,6 @@ void run_table(flex::bench::ExperimentHarness& harness,
     flex_vs_ldpc += 1.0 - means[3] / means[1];
     lvladj_vs_ldpc += means[2] / means[1] - 1.0;
     ++workloads;
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
 
@@ -67,6 +82,7 @@ void run_table(flex::bench::ExperimentHarness& harness,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
   // Optional request-count override for quick runs.
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
@@ -87,10 +103,10 @@ int main(int argc, char** argv) {
 
   std::printf("=== Fig. 6(a): normalized overall response time, P/E 6000 "
               "(paper's static storage-time axis, 1 day .. 1 month) ===\n\n");
-  run_table(harness, flex::ssd::AgeModel::kStaticPerLba, requests);
+  run_table(harness, flex::ssd::AgeModel::kStaticPerLba, requests, jobs);
 
   std::printf("=== Extension: same experiment with physically tracked "
               "per-page ages (rewritten data is fresh) ===\n\n");
-  run_table(harness, flex::ssd::AgeModel::kPhysical, requests);
+  run_table(harness, flex::ssd::AgeModel::kPhysical, requests, jobs);
   return 0;
 }

@@ -2,6 +2,9 @@
 // LevelAdjust+AccessEval normalized to LDPC-in-SSD as the pre-aged P/E
 // count grows (paper: the reduction widens from 21% at P/E 4000 to 33% at
 // P/E 6000 — aging raises the soft-sensing burden FlexLevel removes).
+//
+// The 42 (P/E, workload, scheme) cells are independent; `--jobs N` (or
+// FLEX_BENCH_JOBS) fans them across a thread pool with identical results.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -11,34 +14,49 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
 
   std::printf("=== Fig. 6(b): response time vs LDPC-in-SSD across P/E ===\n\n");
   flex::bench::ExperimentHarness harness;
 
-  TablePrinter table(
-      {"P/E", "workload-avg normalized response", "reduction", "paper"});
   const struct {
     int pe;
     const char* paper;
   } points[] = {{4000, "-21%"}, {5000, "(interpolates)"}, {6000, "-33%"}};
 
+  // One flat cell list over (P/E point, workload) x {LDPC-in-SSD, FlexLevel}
+  // so the pool sees every independent simulation at once.
+  std::vector<flex::bench::CellSpec> cells;
+  for (const auto& point : points) {
+    for (const auto workload : flex::trace::kAllWorkloads) {
+      for (const auto scheme : {flex::ssd::Scheme::kLdpcInSsd,
+                                flex::ssd::Scheme::kFlexLevel}) {
+        cells.push_back({.workload = workload,
+                         .scheme = scheme,
+                         .pe_cycles = point.pe,
+                         .requests_override = requests});
+      }
+    }
+  }
+  const auto results = flex::bench::run_cells(harness, cells, jobs);
+
+  TablePrinter table(
+      {"P/E", "workload-avg normalized response", "reduction", "paper"});
+  std::size_t cell = 0;
   for (const auto& point : points) {
     double ratio_sum = 0.0;
     int count = 0;
-    for (const auto workload : flex::trace::kAllWorkloads) {
-      const auto ldpc = harness.run(workload, flex::ssd::Scheme::kLdpcInSsd,
-                                    point.pe, requests);
-      const auto flexlevel = harness.run(
-          workload, flex::ssd::Scheme::kFlexLevel, point.pe, requests);
+    for ([[maybe_unused]] const auto workload : flex::trace::kAllWorkloads) {
+      const auto& ldpc = results[cell++];
+      const auto& flexlevel = results[cell++];
       ratio_sum += flexlevel.all_response.mean() / ldpc.all_response.mean();
       ++count;
     }
     const double ratio = ratio_sum / count;
     table.add_row({std::to_string(point.pe), TablePrinter::num(ratio, 3),
                    TablePrinter::percent(ratio - 1.0), point.paper});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: the FlexLevel advantage must widen as P/E "

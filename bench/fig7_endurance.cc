@@ -15,11 +15,24 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
 
   std::printf("=== Fig. 7: endurance impact at P/E 6000 ===\n\n");
   flex::bench::ExperimentHarness harness;
+
+  std::vector<flex::bench::CellSpec> cells;
+  for (const auto workload : flex::trace::kAllWorkloads) {
+    for (const auto scheme : {flex::ssd::Scheme::kLdpcInSsd,
+                              flex::ssd::Scheme::kFlexLevel}) {
+      cells.push_back({.workload = workload,
+                       .scheme = scheme,
+                       .pe_cycles = 6000,
+                       .requests_override = requests});
+    }
+  }
+  const auto results = flex::bench::run_cells(harness, cells, jobs);
 
   TablePrinter table({"workload", "write increase", "erase increase",
                       "lifetime"});
@@ -27,12 +40,11 @@ int main(int argc, char** argv) {
   double erase_sum = 0.0;
   double life_sum = 0.0;
   int count = 0;
+  std::size_t cell = 0;
 
   for (const auto workload : flex::trace::kAllWorkloads) {
-    const auto ldpc =
-        harness.run(workload, flex::ssd::Scheme::kLdpcInSsd, 6000, requests);
-    const auto flexlevel =
-        harness.run(workload, flex::ssd::Scheme::kFlexLevel, 6000, requests);
+    const auto& ldpc = results[cell++];
+    const auto& flexlevel = results[cell++];
 
     const double write_ratio =
         static_cast<double>(flexlevel.ftl.nand_writes) /

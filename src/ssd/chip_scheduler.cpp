@@ -1,0 +1,64 @@
+#include "ssd/chip_scheduler.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace flex::ssd {
+
+ChipScheduler::ChipScheduler(std::size_t chips, EventQueue& events)
+    : events_(events), free_at_(chips, 0), in_flight_(chips, 0),
+      stats_(chips) {
+  FLEX_EXPECTS(chips >= 1);
+}
+
+SimTime ChipScheduler::submit(std::size_t chip, SimTime arrival,
+                              const ChipCommand& cmd) {
+  FLEX_EXPECTS(chip < chips());
+  const SimTime start = std::max(arrival, free_at_[chip]);
+  const SimTime completion = start + cmd.total();
+  free_at_[chip] = completion;
+
+  ChipStats& stats = stats_[chip];
+  ++stats.commands;
+  if (start > arrival) {
+    ++stats.queued_commands;
+    stats.wait_time += start - arrival;
+  }
+  stats.channel_busy += cmd.channel;
+  stats.die_busy += cmd.die;
+  stats.controller_busy += cmd.controller;
+
+  ++in_flight_[chip];
+  stats.max_queue_depth = std::max(stats.max_queue_depth, in_flight_[chip]);
+  events_.schedule(completion,
+                   [this, chip](SimTime) { --in_flight_[chip]; });
+  return completion;
+}
+
+void ChipScheduler::submit_background(SimTime now,
+                                      const ftl::WriteResult& result,
+                                      const LatencyModel& latency) {
+  // The host program lands on the chip that owns its physical page.
+  submit(chip_of(result.ppn), now, ChipCommand{.die = latency.program()});
+  // GC relocations read the victim page before reprogramming it.
+  const std::uint64_t moves =
+      result.page_programs > 0 ? result.page_programs - 1 : 0;
+  for (std::uint64_t i = 0; i < moves; ++i) {
+    next_background_chip_ = (next_background_chip_ + 1) % chips();
+    submit(next_background_chip_, now,
+           ChipCommand{.die = latency.program() +
+                              latency.spec.read_latency});
+  }
+  for (std::uint64_t i = 0; i < result.erases; ++i) {
+    next_background_chip_ = (next_background_chip_ + 1) % chips();
+    submit(next_background_chip_, now,
+           ChipCommand{.die = latency.erase()});
+  }
+}
+
+void ChipScheduler::reset_stats() {
+  std::fill(stats_.begin(), stats_.end(), ChipStats{});
+}
+
+}  // namespace flex::ssd

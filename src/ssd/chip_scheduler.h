@@ -1,0 +1,100 @@
+// Per-chip NAND command scheduling.
+//
+// Each chip serialises its commands: a command issued while the chip is
+// busy queues behind the in-flight work (FIFO, as in a real per-die command
+// queue). Occupancy is decomposed into channel-transfer time (the bus),
+// die-busy time (array sensing / program / erase) and controller time
+// (LDPC decode) so utilisation can be attributed per resource, and the
+// scheduler keeps per-chip queue-depth and wait accounting that surfaces
+// in SsdResults. Completion events are posted to the simulator's
+// EventQueue, which is where the in-flight gauge (and hence observed queue
+// depth) is maintained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "ftl/page_mapping.h"
+#include "ssd/event_queue.h"
+#include "ssd/latency_model.h"
+
+namespace flex::ssd {
+
+/// One NAND command's occupancy, split by resource. The chip is held for
+/// the sum (channel, die and controller work of one command do not overlap
+/// with each other — only commands on *different* chips overlap).
+struct ChipCommand {
+  Duration channel = 0;     ///< bus transfer
+  Duration die = 0;         ///< array busy (tR / tPROG / tBERS)
+  Duration controller = 0;  ///< ECC decode and similar controller work
+
+  Duration total() const { return channel + die + controller; }
+};
+
+/// Per-chip counters accumulated between reset_stats() calls.
+struct ChipStats {
+  std::uint64_t commands = 0;
+  /// Commands that found the chip busy and had to wait.
+  std::uint64_t queued_commands = 0;
+  /// Total time commands spent waiting for the chip (ns).
+  Duration wait_time = 0;
+  Duration channel_busy = 0;
+  Duration die_busy = 0;
+  Duration controller_busy = 0;
+  /// Highest number of simultaneously outstanding commands observed.
+  std::uint64_t max_queue_depth = 0;
+
+  Duration busy_time() const {
+    return channel_busy + die_busy + controller_busy;
+  }
+  /// Busy fraction over an observation window of `elapsed` ns.
+  double utilization(Duration elapsed) const {
+    return elapsed <= 0 ? 0.0
+                        : static_cast<double>(busy_time()) /
+                              static_cast<double>(elapsed);
+  }
+
+  bool operator==(const ChipStats&) const = default;
+};
+
+class ChipScheduler {
+ public:
+  ChipScheduler(std::size_t chips, EventQueue& events);
+
+  std::size_t chips() const { return free_at_.size(); }
+
+  /// Chip owning a physical page. Page-level channel striping (superblock
+  /// layout): consecutive pages of a block land on different chips, so
+  /// flush bursts and GC relocation trains parallelise across the array
+  /// instead of serialising behind one write frontier.
+  std::size_t chip_of(std::uint64_t ppn) const { return ppn % chips(); }
+
+  /// Issues one command to `chip` no earlier than `arrival`; returns its
+  /// completion time. Commands on one chip serialise in issue order.
+  SimTime submit(std::size_t chip, SimTime arrival, const ChipCommand& cmd);
+
+  /// Schedules a flush/GC write result's NAND operations: the host program
+  /// on its own chip, each GC relocation and erase on the next chip
+  /// round-robin, so background trains parallelise instead of stalling the
+  /// whole array.
+  void submit_background(SimTime now, const ftl::WriteResult& result,
+                         const LatencyModel& latency);
+
+  /// Earliest time `chip` can start new work.
+  SimTime free_at(std::size_t chip) const { return free_at_[chip]; }
+
+  const std::vector<ChipStats>& stats() const { return stats_; }
+  /// Clears the counters but keeps chip occupancy and in-flight state —
+  /// used by SsdSimulator::reset_measurements between warmup and measure.
+  void reset_stats();
+
+ private:
+  EventQueue& events_;
+  std::vector<SimTime> free_at_;
+  std::vector<std::uint64_t> in_flight_;
+  std::vector<ChipStats> stats_;
+  std::size_t next_background_chip_ = 0;
+};
+
+}  // namespace flex::ssd

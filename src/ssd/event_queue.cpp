@@ -1,0 +1,28 @@
+#include "ssd/event_queue.h"
+
+#include <utility>
+
+namespace flex::ssd {
+
+void EventQueue::schedule(SimTime when, Callback callback) {
+  heap_.push(Event{when, next_seq_++, std::move(callback)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // std::priority_queue::top() is const; the callback must be moved out
+  // before pop() so re-entrant schedule() calls from inside it are safe.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = event.when;
+  ++fired_;
+  event.callback(event.when);
+  return true;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace flex::ssd

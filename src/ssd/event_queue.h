@@ -1,0 +1,62 @@
+// Deterministic discrete-event kernel for the SSD simulator.
+//
+// A time-ordered priority queue of callbacks with stable sequence-number
+// tie-breaking: events scheduled for the same simulated instant execute in
+// the order they were scheduled. Determinism is load-bearing — identical
+// seeds must give bit-identical results, including when independent
+// simulations run on different threads of the bench harness — so the
+// kernel holds no global state and draws no entropy of its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace flex::ssd {
+
+class EventQueue {
+ public:
+  /// The callback receives the simulated time the event fires at.
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `callback` at `when`. Events at the same `when` fire in
+  /// scheduling order (sequence numbers never tie).
+  void schedule(SimTime when, Callback callback);
+
+  /// Pops and runs the earliest event; returns false when none is pending.
+  bool run_next();
+
+  /// Drains the queue, including events scheduled by running events.
+  void run_all();
+
+  /// Time of the most recently fired event.
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  /// Total events fired since construction.
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  // std::priority_queue is a max-heap: "greater" means "fires later".
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace flex::ssd

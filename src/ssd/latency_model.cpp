@@ -4,25 +4,30 @@
 
 namespace flex::ssd {
 
-Duration LatencyModel::read_fixed(int levels) const {
+ReadCost LatencyModel::read_fixed_cost(int levels) const {
   FLEX_EXPECTS(levels >= 0);
-  return spec.read_latency + spec.page_transfer_latency +
-         levels * (extra_sense_per_level + extra_transfer_per_level) +
-         decode_base + levels * decode_per_level;
+  return ReadCost{
+      .die = spec.read_latency + levels * extra_sense_per_level,
+      .channel = spec.page_transfer_latency +
+                 levels * extra_transfer_per_level,
+      .controller = decode_base + levels * decode_per_level,
+  };
 }
 
-Duration LatencyModel::read_progressive(
+ReadCost LatencyModel::read_progressive_cost(
     int required_levels,
     const reliability::SensingRequirement& ladder) const {
-  return read_progressive_from(0, required_levels, ladder);
+  return read_progressive_from_cost(0, required_levels, ladder);
 }
 
-Duration LatencyModel::read_progressive_from(
+ReadCost LatencyModel::read_progressive_from_cost(
     int start_levels, int required_levels,
     const reliability::SensingRequirement& ladder) const {
   FLEX_EXPECTS(start_levels >= 0);
   FLEX_EXPECTS(required_levels >= 0);
-  Duration total = spec.read_latency + spec.page_transfer_latency;
+  ReadCost cost{.die = spec.read_latency,
+                .channel = spec.page_transfer_latency,
+                .controller = 0};
   int sensed = 0;
   for (const auto& step : ladder.steps()) {
     if (step.extra_levels < start_levels) continue;
@@ -30,16 +35,17 @@ Duration LatencyModel::read_progressive_from(
     // only the new soft bits.
     const int delta = step.extra_levels - sensed;
     FLEX_ASSERT(delta >= 0);
-    total += delta * (extra_sense_per_level + extra_transfer_per_level);
+    cost.die += delta * extra_sense_per_level;
+    cost.channel += delta * extra_transfer_per_level;
     sensed = step.extra_levels;
     // Decode attempt at this step (full price whether it succeeds or not).
-    total += decode_base + sensed * decode_per_level;
-    if (sensed >= required_levels) return total;
+    cost.controller += decode_base + sensed * decode_per_level;
+    if (sensed >= required_levels) return cost;
   }
   // Even the deepest read fails to satisfy `required_levels`: the
   // controller has exhausted the ladder (treated as the deepest read; the
   // caller accounts the uncorrectable event separately).
-  return total;
+  return cost;
 }
 
 }  // namespace flex::ssd

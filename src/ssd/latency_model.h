@@ -17,6 +17,17 @@
 
 namespace flex::ssd {
 
+/// A read's cost split by the resource that pays it: die (array sensing),
+/// channel (data transfer) and controller (LDPC decode). The ChipScheduler
+/// occupies the chip for the sum but attributes utilisation per resource.
+struct ReadCost {
+  Duration die = 0;
+  Duration channel = 0;
+  Duration controller = 0;
+
+  Duration total() const { return die + channel + controller; }
+};
+
 struct LatencyModel {
   nand::NandSpec spec;
 
@@ -33,23 +44,35 @@ struct LatencyModel {
   Duration buffer_latency = 5 * kMicrosecond;
 
   /// One read attempt with `levels` extra sensing levels, start to finish.
-  Duration read_fixed(int levels) const;
+  ReadCost read_fixed_cost(int levels) const;
+  Duration read_fixed(int levels) const { return read_fixed_cost(levels).total(); }
 
   /// Progressive ladder read that ends at `required_levels`: every ladder
   /// step below it is a failed attempt whose sensing/transfer work is
   /// incremental but whose decode time is paid in full.
+  ReadCost read_progressive_cost(
+      int required_levels,
+      const reliability::SensingRequirement& ladder) const;
   Duration read_progressive(int required_levels,
                             const reliability::SensingRequirement& ladder)
-      const;
+      const {
+    return read_progressive_cost(required_levels, ladder).total();
+  }
 
   /// Progressive read that *starts* at `start_levels` (a remembered
   /// per-block hint, as in LDPC-in-SSD's fine-grained scheme): the first
   /// attempt senses start_levels at once; escalation continues up the
   /// ladder if `required_levels` is higher. A hint above the requirement
   /// wastes some sensing but saves the failed-decode retries.
-  Duration read_progressive_from(
+  ReadCost read_progressive_from_cost(
       int start_levels, int required_levels,
       const reliability::SensingRequirement& ladder) const;
+  Duration read_progressive_from(
+      int start_levels, int required_levels,
+      const reliability::SensingRequirement& ladder) const {
+    return read_progressive_from_cost(start_levels, required_levels, ladder)
+        .total();
+  }
 
   /// Page program / block erase passthroughs (Table 6).
   Duration program() const { return spec.program_latency; }

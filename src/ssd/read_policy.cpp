@@ -1,0 +1,180 @@
+#include "ssd/read_policy.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "flexlevel/access_eval.h"
+#include "ssd/simulator.h"
+
+namespace flex::ssd {
+namespace {
+
+/// kBaseline: the controller cannot tell fresh pages from stale ones, so
+/// every read is provisioned for the worst case it was qualified against —
+/// the pre-aged wear level at the rated retention age.
+class FixedWorstCasePolicy final : public ReadPolicy {
+ public:
+  FixedWorstCasePolicy(const LatencyModel& latency, int fixed_levels)
+      : latency_(latency), fixed_levels_(fixed_levels) {}
+
+  ReadCost read_cost(const ReadContext& ctx) override {
+    return latency_.read_fixed_cost(
+        std::max(ctx.required_levels, fixed_levels_));
+  }
+
+ private:
+  const LatencyModel& latency_;
+  int fixed_levels_;
+};
+
+/// kLdpcInSsd / kLevelAdjustOnly: ladder retry from a hard read. The
+/// storage mode parameterises LevelAdjust-only (whole drive reduced)
+/// without a separate class.
+class ProgressivePolicy : public ReadPolicy {
+ public:
+  ProgressivePolicy(const LatencyModel& latency,
+                    const reliability::SensingRequirement& ladder,
+                    ftl::PageMode storage_mode)
+      : latency_(latency), ladder_(ladder), storage_mode_(storage_mode) {}
+
+  ReadCost read_cost(const ReadContext& ctx) override {
+    return latency_.read_progressive_cost(ctx.required_levels, ladder_);
+  }
+
+  ftl::PageMode write_mode(std::uint64_t) const override {
+    return storage_mode_;
+  }
+  ftl::PageMode prefill_mode() const override { return storage_mode_; }
+
+ protected:
+  const LatencyModel& latency_;
+  const reliability::SensingRequirement& ladder_;
+
+ private:
+  ftl::PageMode storage_mode_;
+};
+
+/// Progressive retry with per-page retry-level memorization (LDPC-in-SSD's
+/// fine-grained scheme [2]): start the ladder at the physical page's last
+/// required depth.
+class ProgressiveHintPolicy final : public ProgressivePolicy {
+ public:
+  ProgressiveHintPolicy(const LatencyModel& latency,
+                        const reliability::SensingRequirement& ladder,
+                        ftl::PageMode storage_mode,
+                        std::uint64_t physical_pages)
+      : ProgressivePolicy(latency, ladder, storage_mode),
+        hint_(physical_pages, 0) {}
+
+  ReadCost read_cost(const ReadContext& ctx) override {
+    const auto page = static_cast<std::size_t>(ctx.ppn);
+    const ReadCost cost = latency_.read_progressive_from_cost(
+        hint_[page], ctx.required_levels, ladder_);
+    hint_[page] = static_cast<std::int8_t>(ctx.required_levels);
+    return cost;
+  }
+
+ private:
+  std::vector<std::int8_t> hint_;
+};
+
+/// kFlexLevel: a progressive read (plain or hinted — `inner`) plus the
+/// AccessEval controller. Migrations are deferrable single-page
+/// maintenance: the controller runs them in idle gaps with
+/// program-suspend, so they do not add to host-visible latency. Their NAND
+/// work still lands in the FTL statistics, which is where Fig. 7's
+/// write/erase/lifetime costs come from. (Buffer flushes, by contrast, are
+/// deadline work and do contend with reads — see the simulator's write
+/// path.)
+class FlexLevelPolicy final : public ReadPolicy {
+ public:
+  FlexLevelPolicy(std::unique_ptr<ReadPolicy> inner,
+                  const flexlevel::AccessEval::Config& access_eval,
+                  ftl::PageMappingFtl& ftl)
+      : inner_(std::move(inner)), access_eval_(access_eval), ftl_(ftl) {}
+
+  ReadCost read_cost(const ReadContext& ctx) override {
+    return inner_->read_cost(ctx);
+  }
+
+  void on_read_complete(const ReadContext& ctx) override {
+    const flexlevel::AccessDecision decision =
+        access_eval_.on_read(ctx.lpn, ctx.required_levels);
+    if (decision.migrate_to_reduced) {
+      ftl_.migrate(ctx.lpn, ftl::PageMode::kReduced, ctx.now);
+      ++migrations_to_reduced_;
+    }
+    if (decision.evicted.has_value()) {
+      ftl_.migrate(*decision.evicted, ftl::PageMode::kNormal, ctx.now);
+      ++migrations_to_normal_;
+    }
+  }
+
+  ftl::PageMode write_mode(std::uint64_t lpn) const override {
+    return access_eval_.is_reduced(lpn) ? ftl::PageMode::kReduced
+                                        : ftl::PageMode::kNormal;
+  }
+
+  ReadPolicyStats stats() const override {
+    return {.migrations_to_reduced = migrations_to_reduced_,
+            .migrations_to_normal = migrations_to_normal_,
+            .pool_pages = access_eval_.pool_size()};
+  }
+
+  void reset_stats() override {
+    migrations_to_reduced_ = 0;
+    migrations_to_normal_ = 0;
+  }
+
+ private:
+  std::unique_ptr<ReadPolicy> inner_;
+  flexlevel::AccessEval access_eval_;
+  ftl::PageMappingFtl& ftl_;
+  std::uint64_t migrations_to_reduced_ = 0;
+  std::uint64_t migrations_to_normal_ = 0;
+};
+
+std::unique_ptr<ReadPolicy> make_progressive(
+    const SsdConfig& config, const LatencyModel& latency,
+    const reliability::SensingRequirement& ladder, ftl::PageMode mode,
+    std::uint64_t physical_pages) {
+  if (config.sensing_hint) {
+    return std::make_unique<ProgressiveHintPolicy>(latency, ladder, mode,
+                                                   physical_pages);
+  }
+  return std::make_unique<ProgressivePolicy>(latency, ladder, mode);
+}
+
+}  // namespace
+
+std::unique_ptr<ReadPolicy> make_read_policy(
+    const SsdConfig& config, const LatencyModel& latency,
+    const reliability::SensingRequirement& ladder,
+    const reliability::BerModel& normal_model, std::uint64_t physical_pages,
+    ftl::PageMappingFtl& ftl) {
+  switch (config.scheme) {
+    case Scheme::kBaseline: {
+      const int fixed_levels = ladder.required_levels(normal_model.total_ber(
+          static_cast<int>(config.ftl.initial_pe_cycles),
+          config.baseline_retention_spec));
+      return std::make_unique<FixedWorstCasePolicy>(latency, fixed_levels);
+    }
+    case Scheme::kLdpcInSsd:
+      return make_progressive(config, latency, ladder,
+                              ftl::PageMode::kNormal, physical_pages);
+    case Scheme::kLevelAdjustOnly:
+      return make_progressive(config, latency, ladder,
+                              ftl::PageMode::kReduced, physical_pages);
+    case Scheme::kFlexLevel:
+      return std::make_unique<FlexLevelPolicy>(
+          make_progressive(config, latency, ladder, ftl::PageMode::kNormal,
+                           physical_pages),
+          config.access_eval, ftl);
+  }
+  FLEX_ASSERT(false && "unreachable");
+  return nullptr;
+}
+
+}  // namespace flex::ssd

@@ -1,0 +1,88 @@
+// Read-path policy strategies for the SSD simulator (the §6.2 schemes).
+//
+// The simulator core is scheme-agnostic: it resolves a read to a physical
+// page, derives the page's sensing requirement from wear and age, and asks
+// its ReadPolicy (chosen ONCE, at construction) two questions — what does
+// this NAND read cost, and what maintenance follows it. The four §6.2
+// systems become four strategies:
+//   * fixed worst-case        — kBaseline: one attempt provisioned for the
+//                               rated-retention worst case;
+//   * progressive             — kLdpcInSsd: ladder retry from a hard read;
+//   * progressive with hint   — any progressive scheme with
+//                               SsdConfig::sensing_hint: start the ladder
+//                               at the page's last known depth;
+//   * FlexLevel with migration— kFlexLevel: a progressive read plus the
+//                               AccessEval controller, whose pool
+//                               migrations run behind this boundary.
+// New policies (adaptive read thresholds, read-disturb-aware refresh…)
+// drop in here without touching the core.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ftl/page_mapping.h"
+#include "reliability/ber_model.h"
+#include "reliability/sensing_solver.h"
+#include "ssd/latency_model.h"
+
+namespace flex::ssd {
+
+struct SsdConfig;  // simulator.h; broken cycle — the factory takes it.
+
+/// Everything a policy may consult about one resolved read.
+struct ReadContext {
+  std::uint64_t lpn = 0;
+  std::uint64_t ppn = 0;
+  /// Extra soft-sensing levels this page's raw BER requires.
+  int required_levels = 0;
+  SimTime now = 0;
+};
+
+/// Counters a policy accumulates (zero for policies without maintenance).
+struct ReadPolicyStats {
+  std::uint64_t migrations_to_reduced = 0;
+  std::uint64_t migrations_to_normal = 0;
+  /// ReducedCell pool occupancy right now (gauge, not a counter).
+  std::uint64_t pool_pages = 0;
+};
+
+class ReadPolicy {
+ public:
+  virtual ~ReadPolicy() = default;
+
+  /// Cost of the NAND read(s) that retrieve this page.
+  virtual ReadCost read_cost(const ReadContext& ctx) = 0;
+
+  /// Post-read maintenance (e.g. AccessEval migrations). Runs after the
+  /// read has been scheduled; deferrable work that must not add to
+  /// host-visible latency belongs here.
+  virtual void on_read_complete(const ReadContext& ctx) { (void)ctx; }
+
+  /// Storage mode for a host write of `lpn`.
+  virtual ftl::PageMode write_mode(std::uint64_t lpn) const {
+    (void)lpn;
+    return ftl::PageMode::kNormal;
+  }
+
+  /// Storage mode for prefill / preconditioning writes.
+  virtual ftl::PageMode prefill_mode() const {
+    return ftl::PageMode::kNormal;
+  }
+
+  virtual ReadPolicyStats stats() const { return {}; }
+  /// Clears counters (not gauges or learned state) between measurement
+  /// windows.
+  virtual void reset_stats() {}
+};
+
+/// Builds the policy for `config.scheme` (the only place scheme is
+/// inspected on the read path). `physical_pages` sizes the sensing-hint
+/// table; `ftl` receives FlexLevel's migrations.
+std::unique_ptr<ReadPolicy> make_read_policy(
+    const SsdConfig& config, const LatencyModel& latency,
+    const reliability::SensingRequirement& ladder,
+    const reliability::BerModel& normal_model, std::uint64_t physical_pages,
+    ftl::PageMappingFtl& ftl);
+
+}  // namespace flex::ssd

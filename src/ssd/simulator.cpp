@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/assert.h"
 
@@ -25,27 +26,20 @@ std::string scheme_name(Scheme scheme) {
 SsdSimulator::SsdSimulator(SsdConfig config,
                            const reliability::BerModel& normal,
                            const reliability::BerModel& reduced)
-    : config_(config),
+    : config_(std::move(config)),
       normal_model_(normal),
       reduced_model_(reduced),
-      ftl_(config.ftl),
-      buffer_(config.write_buffer_pages, config.write_buffer_flush_batch),
-      access_eval_(config.access_eval),
-      chip_free_(config.ftl.spec.chips, 0),
-      rng_(config.seed) {
-  if (config_.sensing_hint) {
-    page_hint_.assign(ftl_.physical_blocks() *
-                          config_.ftl.spec.pages_per_block,
-                      0);
-  }
+      ftl_(config_.ftl),
+      buffer_(config_.write_buffer_pages, config_.write_buffer_flush_batch),
+      scheduler_(config_.ftl.spec.chips, events_),
+      policy_(make_read_policy(config_, config_.latency, ladder_,
+                               normal_model_,
+                               ftl_.physical_blocks() *
+                                   config_.ftl.spec.pages_per_block,
+                               ftl_)),
+      rng_(config_.seed) {
   FLEX_EXPECTS(config_.min_prefill_age > 0.0);
   FLEX_EXPECTS(config_.max_prefill_age >= config_.min_prefill_age);
-  // The baseline controller cannot tell fresh pages from stale ones, so it
-  // provisions every read for the worst case it was qualified against:
-  // the pre-aged wear level at the rated retention age.
-  baseline_fixed_levels_ = ladder_.required_levels(normal_model_.total_ber(
-      static_cast<int>(config_.ftl.initial_pe_cycles),
-      config_.baseline_retention_spec));
   results_.sensing_level_reads.assign(
       static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
 }
@@ -55,13 +49,13 @@ void SsdSimulator::reset_measurements() {
   results_.sensing_level_reads.assign(
       static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
   prefill_stats_ = ftl_.stats();
+  scheduler_.reset_stats();
+  policy_->reset_stats();
 }
 
 void SsdSimulator::prefill(std::uint64_t pages) {
   FLEX_EXPECTS(pages <= ftl_.logical_pages());
-  const ftl::PageMode mode = config_.scheme == Scheme::kLevelAdjustOnly
-                                 ? ftl::PageMode::kReduced
-                                 : ftl::PageMode::kNormal;
+  const ftl::PageMode mode = policy_->prefill_mode();
   const double log_min = std::log(config_.min_prefill_age);
   const double log_max = std::log(config_.max_prefill_age);
   FLEX_EXPECTS(config_.prefill_extent_pages >= 1);
@@ -109,63 +103,6 @@ int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
   return levels;
 }
 
-std::size_t SsdSimulator::chip_of(std::uint64_t ppn) const {
-  // Page-level channel striping (superblock layout): consecutive pages of
-  // a block land on different chips, so flush bursts and GC relocation
-  // trains parallelise across the array instead of serialising behind one
-  // write frontier.
-  return static_cast<std::size_t>(ppn % config_.ftl.spec.chips);
-}
-
-SimTime SsdSimulator::occupy(std::size_t chip, SimTime arrival,
-                             Duration busy) {
-  const SimTime start = std::max(arrival, chip_free_[chip]);
-  chip_free_[chip] = start + busy;
-  return start + busy;
-}
-
-ftl::PageMode SsdSimulator::write_mode_for(std::uint64_t lpn) const {
-  switch (config_.scheme) {
-    case Scheme::kLevelAdjustOnly:
-      return ftl::PageMode::kReduced;
-    case Scheme::kFlexLevel:
-      return access_eval_.is_reduced(lpn) ? ftl::PageMode::kReduced
-                                          : ftl::PageMode::kNormal;
-    case Scheme::kBaseline:
-    case Scheme::kLdpcInSsd:
-      return ftl::PageMode::kNormal;
-  }
-  FLEX_ASSERT(false && "unreachable");
-  return ftl::PageMode::kNormal;
-}
-
-Duration SsdSimulator::write_cost(const ftl::WriteResult& result) const {
-  // GC relocations read the victim page before reprogramming it.
-  const std::uint64_t gc_reads =
-      result.page_programs > 0 ? result.page_programs - 1 : 0;
-  return static_cast<Duration>(result.page_programs) *
-             config_.latency.program() +
-         static_cast<Duration>(result.erases) * config_.latency.erase() +
-         static_cast<Duration>(gc_reads) * config_.latency.spec.read_latency;
-}
-
-void SsdSimulator::schedule_background(SimTime now,
-                                       const ftl::WriteResult& result) {
-  occupy(chip_of(result.ppn), now, config_.latency.program());
-  const std::uint64_t moves =
-      result.page_programs > 0 ? result.page_programs - 1 : 0;
-  const std::size_t chips = chip_free_.size();
-  for (std::uint64_t i = 0; i < moves; ++i) {
-    next_background_chip_ = (next_background_chip_ + 1) % chips;
-    occupy(next_background_chip_, now,
-           config_.latency.program() + config_.latency.spec.read_latency);
-  }
-  for (std::uint64_t i = 0; i < result.erases; ++i) {
-    next_background_chip_ = (next_background_chip_ + 1) % chips;
-    occupy(next_background_chip_, now, config_.latency.erase());
-  }
-}
-
 Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
   if (buffer_.contains(lpn)) {
     ++results_.buffer_hits;
@@ -191,38 +128,17 @@ Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
   if (!correctable) ++results_.uncorrectable_reads;
   ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
 
-  Duration busy;
-  if (config_.scheme == Scheme::kBaseline) {
-    busy = config_.latency.read_fixed(
-        std::max(required, baseline_fixed_levels_));
-  } else if (config_.sensing_hint) {
-    const auto page = static_cast<std::size_t>(info->ppn);
-    busy = config_.latency.read_progressive_from(page_hint_[page], required,
-                                                 ladder_);
-    page_hint_[page] = static_cast<std::int8_t>(required);
-  } else {
-    busy = config_.latency.read_progressive(required, ladder_);
-  }
-  const SimTime completion = occupy(chip_of(info->ppn), now, busy);
-
-  if (config_.scheme == Scheme::kFlexLevel) {
-    const flexlevel::AccessDecision decision =
-        access_eval_.on_read(lpn, required);
-    // Migrations are deferrable single-page maintenance: the controller
-    // runs them in idle gaps with program-suspend, so they do not add to
-    // host-visible latency. Their NAND work still lands in the FTL
-    // statistics, which is where Fig. 7's write/erase/lifetime costs come
-    // from. (Buffer flushes, by contrast, are deadline work and do contend
-    // with reads — see service_write_page.)
-    if (decision.migrate_to_reduced) {
-      ftl_.migrate(lpn, ftl::PageMode::kReduced, now);
-      ++results_.migrations_to_reduced;
-    }
-    if (decision.evicted.has_value()) {
-      ftl_.migrate(*decision.evicted, ftl::PageMode::kNormal, now);
-      ++results_.migrations_to_normal;
-    }
-  }
+  const ReadContext ctx{.lpn = lpn,
+                        .ppn = info->ppn,
+                        .required_levels = required,
+                        .now = now};
+  const ReadCost cost = policy_->read_cost(ctx);
+  const SimTime completion =
+      scheduler_.submit(scheduler_.chip_of(info->ppn), now,
+                        ChipCommand{.channel = cost.channel,
+                                    .die = cost.die,
+                                    .controller = cost.controller});
+  policy_->on_read_complete(ctx);
   return completion - now;
 }
 
@@ -235,37 +151,50 @@ Duration SsdSimulator::service_write_page(std::uint64_t lpn, SimTime now) {
   // surfaces in the paper's Fig. 6(a).
   for (const std::uint64_t victim : flush) {
     const ftl::WriteResult result =
-        ftl_.write(victim, write_mode_for(victim), now);
-    schedule_background(now, result);
+        ftl_.write(victim, policy_->write_mode(victim), now);
+    scheduler_.submit_background(now, result, config_.latency);
   }
   return config_.latency.buffer_latency;
 }
 
-SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
+void SsdSimulator::service_request(const trace::Request& request,
+                                   SimTime now) {
   const std::uint64_t logical = ftl_.logical_pages();
-  for (const auto& request : requests) {
-    const SimTime arrival = request.arrival;
-    Duration response = 0;
-    for (std::uint32_t i = 0; i < request.pages; ++i) {
-      const std::uint64_t lpn = (request.lpn + i) % logical;
-      const Duration page_response =
-          request.is_write ? service_write_page(lpn, arrival)
-                           : service_read_page(lpn, arrival);
-      // Pages of one request are served concurrently on their chips; the
-      // request completes with its slowest page.
-      response = std::max(response, page_response);
-    }
-    const double seconds = to_seconds(response);
-    results_.all_response.add(seconds);
-    if (request.is_write) {
-      results_.write_response.add(seconds);
-    } else {
-      results_.read_response.add(seconds);
-      results_.read_latency_hist.add(seconds);
-    }
+  Duration response = 0;
+  for (std::uint32_t i = 0; i < request.pages; ++i) {
+    const std::uint64_t lpn = (request.lpn + i) % logical;
+    const Duration page_response = request.is_write
+                                       ? service_write_page(lpn, now)
+                                       : service_read_page(lpn, now);
+    // Pages of one request are served concurrently on their chips; the
+    // request completes with its slowest page.
+    response = std::max(response, page_response);
   }
+  const double seconds = to_seconds(response);
+  results_.all_response.add(seconds);
+  if (request.is_write) {
+    results_.write_response.add(seconds);
+  } else {
+    results_.read_response.add(seconds);
+    results_.read_latency_hist.add(seconds);
+  }
+}
 
-  results_.pool_pages = access_eval_.pool_size();
+SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
+  // Arrival events dispatch through the deterministic kernel: equal-time
+  // arrivals keep trace order via the queue's sequence tie-breaking.
+  for (const auto& request : requests) {
+    events_.schedule(request.arrival, [this, &request](SimTime now) {
+      service_request(request, now);
+    });
+  }
+  events_.run_all();
+
+  const ReadPolicyStats policy_stats = policy_->stats();
+  results_.migrations_to_reduced = policy_stats.migrations_to_reduced;
+  results_.migrations_to_normal = policy_stats.migrations_to_normal;
+  results_.pool_pages = policy_stats.pool_pages;
+  results_.chip_stats = scheduler_.stats();
   // Report trace-phase FTL activity only.
   const ftl::FtlStats& total = ftl_.stats();
   results_.ftl.host_writes = total.host_writes - prefill_stats_.host_writes;

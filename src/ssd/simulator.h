@@ -5,12 +5,23 @@
 //   kLevelAdjustOnly — the whole drive in reduced state (no AccessEval);
 //   kFlexLevel       — LevelAdjust + AccessEval (the paper's system).
 //
-// The simulator owns a page-mapping FTL, a write-back buffer, per-chip
-// service queues, the AccessEval controller, and per-mode BerModels; data
-// age and block wear drive the per-read sensing requirement.
+// The simulator is a thin conductor over composable layers:
+//   * EventQueue     — deterministic discrete-event kernel (stable
+//                      sequence-number tie-breaking: identical seeds give
+//                      bit-identical results);
+//   * ChipScheduler  — per-chip command queues with channel/die/controller
+//                      occupancy split and queue-depth accounting;
+//   * ReadPolicy     — the scheme's read path (fixed worst-case,
+//                      progressive, progressive-with-hint, FlexLevel with
+//                      AccessEval migrations), chosen once at construction
+//                      so no scheme branch survives in the per-read path;
+//   * FTL + write buffer + BerModels — data placement, wear, and the
+//                      per-read sensing requirement from age and P/E.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -22,7 +33,10 @@
 #include "ftl/write_buffer.h"
 #include "reliability/ber_model.h"
 #include "reliability/sensing_solver.h"
+#include "ssd/chip_scheduler.h"
+#include "ssd/event_queue.h"
 #include "ssd/latency_model.h"
+#include "ssd/read_policy.h"
 #include "trace/trace.h"
 
 namespace flex::ssd {
@@ -96,6 +110,9 @@ struct SsdResults {
   std::uint64_t pool_pages = 0;
   /// Distribution of extra sensing levels over NAND reads.
   std::vector<std::uint64_t> sensing_level_reads;
+  /// Per-chip command / queue-depth / occupancy counters for the measured
+  /// window (see ChipStats).
+  std::vector<ChipStats> chip_stats;
 };
 
 class SsdSimulator {
@@ -112,33 +129,22 @@ class SsdSimulator {
   /// Runs a trace segment; results accumulate across calls.
   SsdResults run(const std::vector<trace::Request>& requests);
 
-  /// Clears accumulated measurements (response stats, counters, FTL deltas)
-  /// while keeping all simulator state — call between a warmup pass and the
-  /// measured pass to observe steady-state behaviour.
+  /// Clears accumulated measurements (response stats, counters, FTL deltas,
+  /// chip counters) while keeping all simulator state — call between a
+  /// warmup pass and the measured pass to observe steady-state behaviour.
   void reset_measurements();
 
   const ftl::PageMappingFtl& ftl() const { return ftl_; }
+  const ChipScheduler& scheduler() const { return scheduler_; }
 
  private:
+  void service_request(const trace::Request& request, SimTime now);
   Duration service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
-  /// Chip owning a physical page (page-striped across channels), for the
-  /// per-chip busy-time queues.
-  std::size_t chip_of(std::uint64_t ppn) const;
-  /// Occupies `chip` for `busy` starting no earlier than `arrival`; returns
-  /// the completion time.
-  SimTime occupy(std::size_t chip, SimTime arrival, Duration busy);
-  ftl::PageMode write_mode_for(std::uint64_t lpn) const;
   /// Sensing requirement with an (age-bucketed) cache — the analytic BER
   /// integral is far too slow to evaluate per simulated read.
   int required_levels_cached(bool reduced, std::uint32_t pe, Hours age,
                              bool* correctable);
-  /// NAND time of an FTL write result (program + GC reads/programs/erases).
-  Duration write_cost(const ftl::WriteResult& result) const;
-  /// Schedules a flush/GC result's NAND operations: the host program on its
-  /// own chip, each GC relocation and erase on the next chip round-robin,
-  /// so background trains parallelise instead of stalling the whole array.
-  void schedule_background(SimTime now, const ftl::WriteResult& result);
 
   SsdConfig config_;
   const reliability::BerModel& normal_model_;
@@ -146,15 +152,12 @@ class SsdSimulator {
   reliability::SensingRequirement ladder_;
   ftl::PageMappingFtl ftl_;
   ftl::WriteBuffer buffer_;
-  flexlevel::AccessEval access_eval_;
-  std::vector<SimTime> chip_free_;
+  EventQueue events_;
+  ChipScheduler scheduler_;
+  std::unique_ptr<ReadPolicy> policy_;
   /// Per-LBA data birth time for AgeModel::kStaticPerLba (prefill only).
   std::vector<SimTime> static_birth_;
-  /// Last required sensing depth per physical page (sensing_hint).
-  std::vector<std::int8_t> page_hint_;
-  std::size_t next_background_chip_ = 0;
   Rng rng_;
-  int baseline_fixed_levels_ = 0;  ///< worst-case provision for kBaseline
   // (pe, age-bucket) -> packed {levels, correctable}; one map per cell mode.
   std::unordered_map<std::uint64_t, int> level_cache_[2];
   SsdResults results_;
