@@ -1,0 +1,95 @@
+// Read-disturb / refresh-threshold ablation (no paper figure — the DAC'15
+// evaluation pre-dates disturb-aware provisioning; the model follows Cai
+// et al., DSN'15, see PAPERS.md and reliability/read_disturb.h).
+//
+// Web-1 is the stress case: 99% reads with Zipf(0.9) skew concentrate a
+// quarter of all reads on a few dozen pages, so their blocks accumulate
+// pass-voltage stress far faster than the drive average. With disturb
+// enabled and no refresh, those read-hot blocks climb the sensing ladder
+// (and eventually go uncorrectable); a refresh scrub relocates their valid
+// pages and erases the block, resetting the disturb term at the cost of
+// extra NAND writes/erases. The sweep shows the latency/endurance
+// trade-off as the refresh threshold tightens.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "trace/workloads.h"
+
+int main(int argc, char** argv) {
+  using flex::TablePrinter;
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
+  std::uint64_t requests = 100'000;
+  if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
+
+  std::printf(
+      "=== Read-disturb refresh ablation (web-1, P/E 6000, %llu requests) "
+      "===\n\n",
+      static_cast<unsigned long long>(requests));
+  flex::bench::ExperimentHarness harness;
+
+  // Accelerated stress (see ReadDisturbModel::Params): web-1's hottest
+  // blocks reach a few hundred to ~2k reads at bench scale, so the
+  // per-read shift is set to put the erased-state ladder crossing near
+  // ~300 block reads and near-uncorrectable BER around ~700.
+  flex::reliability::ReadDisturbModel::Params stress;
+  stress.vth_shift_per_read = 1.8e-4;
+
+  struct Variant {
+    std::string label;
+    bool disturb = false;
+    std::uint64_t threshold = 0;  ///< 0 = no refresh
+  };
+  std::vector<Variant> variants = {
+      {.label = "no disturb (reference)"},
+      {.label = "disturb, no refresh", .disturb = true},
+      {.label = "refresh @ 1600", .disturb = true, .threshold = 1600},
+      {.label = "refresh @ 800", .disturb = true, .threshold = 800},
+      {.label = "refresh @ 400", .disturb = true, .threshold = 400},
+      {.label = "refresh @ 200", .disturb = true, .threshold = 200},
+  };
+
+  const auto all = flex::bench::run_indexed(
+      variants.size(),
+      [&](std::size_t i) {
+        flex::ssd::SsdConfig cfg = flex::bench::ExperimentHarness::
+            drive_config(flex::ssd::Scheme::kLdpcInSsd, 6000);
+        cfg.read_disturb.enabled = variants[i].disturb;
+        cfg.read_disturb.model = stress;
+        cfg.read_disturb.refresh_threshold = variants[i].threshold;
+        return harness.run_with(cfg, flex::trace::Workload::kWeb1,
+                                requests);
+      },
+      jobs);
+  const auto& reference = all.front();
+
+  TablePrinter table({"variant", "norm mean read", "norm p99 read",
+                      "uncorrectable", "refreshes", "pages moved",
+                      "NAND erases"});
+  const double ref_mean = reference.read_response.mean();
+  const double ref_p99 = reference.read_latency_hist.quantile(0.99);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = all[i];
+    table.add_row(
+        {variants[i].label,
+         TablePrinter::num(r.read_response.mean() / ref_mean, 3),
+         TablePrinter::num(r.read_latency_hist.quantile(0.99) / ref_p99, 3),
+         std::to_string(r.uncorrectable_reads),
+         std::to_string(r.refresh_blocks),
+         std::to_string(r.refresh_page_moves),
+         std::to_string(r.ftl.nand_erases)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Unchecked disturb drags the read-hot tail up the sensing ladder; a "
+      "tighter refresh threshold buys the tail back with background "
+      "relocation work (pages moved / erases). The scrub itself is "
+      "deferrable maintenance and never appears in host-visible latency. "
+      "Aggressive thresholds can even beat the no-disturb reference: the "
+      "relocation reprograms hot pages, so under the physical age model "
+      "their retention clock restarts too.\n");
+  return 0;
+}

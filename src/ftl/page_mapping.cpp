@@ -66,6 +66,13 @@ std::uint64_t PageMappingFtl::make_ppn(std::uint32_t block,
          page;
 }
 
+std::uint32_t PageMappingFtl::block_of(std::uint64_t ppn) const {
+  const auto block_id =
+      static_cast<std::uint32_t>(ppn / config_.spec.pages_per_block);
+  FLEX_EXPECTS(block_id < blocks_.size());
+  return block_id;
+}
+
 std::optional<PageInfo> PageMappingFtl::lookup(std::uint64_t lpn) const {
   FLEX_EXPECTS(lpn < logical_pages_);
   const std::uint64_t ppn = map_[lpn];
@@ -80,7 +87,16 @@ std::optional<PageInfo> PageMappingFtl::lookup(std::uint64_t lpn) const {
   return PageInfo{.ppn = ppn,
                   .mode = block.mode,
                   .write_time = page.write_time,
-                  .pe_cycles = block.erase_count};
+                  .pe_cycles = block.erase_count,
+                  .block_reads = block.read_count};
+}
+
+void PageMappingFtl::record_read(std::uint64_t ppn) {
+  ++blocks_[block_of(ppn)].read_count;
+}
+
+std::uint64_t PageMappingFtl::block_read_count(std::uint64_t ppn) const {
+  return blocks_[block_of(ppn)].read_count;
 }
 
 void PageMappingFtl::invalidate(std::uint64_t lpn) {
@@ -178,6 +194,37 @@ std::optional<std::uint32_t> PageMappingFtl::pick_wear_leveling_victim()
   return best;
 }
 
+void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
+                                   std::uint64_t* page_moves,
+                                   std::uint64_t* programs) {
+  BlockMeta& victim = blocks_[block_id];
+  // Mark as open so relocation's invalidate path skips bucket updates.
+  victim.open = true;
+  for (std::uint32_t p = 0; p < victim.next_page; ++p) {
+    PageMeta& page = victim.pages[p];
+    if (!page.valid) continue;
+    const std::uint64_t lpn = page.lpn;
+    // Relocation reprograms the data into fresh cells, so its retention
+    // clock restarts at `now`; only the logical identity is preserved.
+    page.valid = false;
+    page.lpn = kInvalid;
+    --victim.valid_count;
+    map_[lpn] = kInvalid;
+    append(lpn, victim.mode, now, programs);
+    ++*page_moves;
+  }
+  FLEX_ASSERT(victim.valid_count == 0);
+  for (auto& page : victim.pages) page = PageMeta{};
+  victim.next_page = 0;
+  victim.open = false;
+  ++victim.erase_count;
+  // Erase renews the cells: the accumulated pass-voltage stress is gone.
+  victim.read_count = 0;
+  ++stats_.nand_erases;
+  free_list_.push_back(block_id);
+  ++free_count_;
+}
+
 void PageMappingFtl::maybe_garbage_collect(SimTime now,
                                            std::uint64_t* programs,
                                            std::uint64_t* erases) {
@@ -191,34 +238,37 @@ void PageMappingFtl::maybe_garbage_collect(SimTime now,
     if (!victim_id) victim_id = pick_gc_victim();
     FLEX_ASSERT(victim_id.has_value() &&
                 "no GC victim: drive is over-committed");
-    BlockMeta& victim = blocks_[*victim_id];
-    candidate_remove(*victim_id, victim.valid_count);
-    // Mark as open so relocation's invalidate path skips bucket updates.
-    victim.open = true;
+    candidate_remove(*victim_id, blocks_[*victim_id].valid_count);
     ++stats_.gc_runs;
-    for (std::uint32_t p = 0; p < victim.next_page; ++p) {
-      PageMeta& page = victim.pages[p];
-      if (!page.valid) continue;
-      const std::uint64_t lpn = page.lpn;
-      // Relocation reprograms the data into fresh cells, so its retention
-      // clock restarts at `now`; only the logical identity is preserved.
-      page.valid = false;
-      page.lpn = kInvalid;
-      --victim.valid_count;
-      map_[lpn] = kInvalid;
-      append(lpn, victim.mode, now, programs);
-      ++stats_.gc_page_moves;
-    }
-    FLEX_ASSERT(victim.valid_count == 0);
-    for (auto& page : victim.pages) page = PageMeta{};
-    victim.next_page = 0;
-    victim.open = false;
-    ++victim.erase_count;
-    ++stats_.nand_erases;
+    std::uint64_t moves = 0;
+    reclaim_block(*victim_id, now, &moves, programs);
+    stats_.gc_page_moves += moves;
     ++*erases;
-    free_list_.push_back(*victim_id);
-    ++free_count_;
   }
+}
+
+std::optional<RefreshResult> PageMappingFtl::refresh_block(std::uint64_t ppn,
+                                                           SimTime now) {
+  const std::uint32_t block_id = block_of(ppn);
+  if (blocks_[block_id].open || blocks_[block_id].next_page == 0) {
+    return std::nullopt;
+  }
+  RefreshResult result;
+  // Top up free blocks first so the relocations below cannot exhaust the
+  // frontier. GC may reclaim (and thereby renew, its read count cleared)
+  // the target block itself or reopen it as a frontier; the refresh is
+  // then moot (the GC side work stays accounted in stats_).
+  maybe_garbage_collect(now, &result.page_programs, &result.erases);
+  BlockMeta& block = blocks_[block_id];
+  if (block.open || block.next_page == 0) return std::nullopt;
+  candidate_remove(block_id, block.valid_count);
+  ++stats_.refresh_runs;
+  std::uint64_t moves = 0;
+  reclaim_block(block_id, now, &moves, &result.page_programs);
+  stats_.refresh_page_moves += moves;
+  result.pages_moved = moves;
+  ++result.erases;
+  return result;
 }
 
 WriteResult PageMappingFtl::write(std::uint64_t lpn, PageMode mode,

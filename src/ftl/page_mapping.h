@@ -46,6 +46,8 @@ struct FtlStats {
   std::uint64_t gc_runs = 0;
   std::uint64_t gc_page_moves = 0;
   std::uint64_t mode_migrations = 0;  ///< explicit normal<->reduced rewrites
+  std::uint64_t refresh_runs = 0;        ///< read-disturb block refreshes
+  std::uint64_t refresh_page_moves = 0;  ///< valid pages relocated by them
 
   double write_amplification() const {
     return host_writes == 0
@@ -70,6 +72,19 @@ struct PageInfo {
   PageMode mode = PageMode::kNormal;
   SimTime write_time = 0;
   std::uint32_t pe_cycles = 0;  ///< erase count of the containing block
+  /// Reads of the containing block since its last erase — the disturb
+  /// stress every page of the block has accumulated.
+  std::uint64_t block_reads = 0;
+};
+
+/// Result of refreshing one block: its valid pages relocated to fresh
+/// cells and the block erased. `page_programs`/`erases` include any GC the
+/// relocations triggered (for latency/endurance accounting, like
+/// WriteResult).
+struct RefreshResult {
+  std::uint64_t pages_moved = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t erases = 0;
 };
 
 class PageMappingFtl {
@@ -92,6 +107,21 @@ class PageMappingFtl {
   /// cell charge, so the stored age restarts; we model the restart).
   WriteResult migrate(std::uint64_t lpn, PageMode mode, SimTime now);
 
+  /// Records one read of the page at `ppn`: every read stresses the whole
+  /// containing block with the pass-through voltage, so the counter lives
+  /// per block and is cleared by erase (GC, refresh).
+  void record_read(std::uint64_t ppn);
+
+  /// Reads accumulated by the block containing `ppn` since its last erase.
+  std::uint64_t block_read_count(std::uint64_t ppn) const;
+
+  /// Relocates every valid page of the block containing `ppn` into fresh
+  /// cells (same storage mode; retention and disturb clocks restart) and
+  /// erases the block. Returns nullopt without side effects when the block
+  /// is an open write frontier — refreshing the append target is
+  /// meaningless, and frontier data is freshly programmed anyway.
+  std::optional<RefreshResult> refresh_block(std::uint64_t ppn, SimTime now);
+
   const FtlStats& stats() const { return stats_; }
   std::uint32_t free_blocks() const { return free_count_; }
   std::uint32_t min_erase_count() const;
@@ -112,6 +142,7 @@ class PageMappingFtl {
     std::uint32_t next_page = 0;   ///< write pointer within the block
     std::uint32_t valid_count = 0;
     bool open = false;             ///< is a write frontier
+    std::uint64_t read_count = 0;  ///< reads since last erase (disturb)
     std::vector<PageMeta> pages;
   };
 
@@ -119,6 +150,12 @@ class PageMappingFtl {
 
   std::uint32_t usable_pages(const BlockMeta& block) const;
   std::uint64_t make_ppn(std::uint32_t block, std::uint32_t page) const;
+  std::uint32_t block_of(std::uint64_t ppn) const;
+  /// Relocates `block`'s valid pages, erases it, and returns it to the
+  /// free list (shared tail of GC and refresh). The caller must have
+  /// removed it from the GC candidate buckets.
+  void reclaim_block(std::uint32_t block_id, SimTime now,
+                     std::uint64_t* page_moves, std::uint64_t* programs);
   void invalidate(std::uint64_t lpn);
   std::uint32_t allocate_block(PageMode mode);
   /// Appends to the frontier of `mode`; assumes space exists.

@@ -42,7 +42,9 @@ BerModel::BerModel(nand::LevelConfig level_config, const BitMapper& mapper,
   // occupancy and the expected bit damage of a one-level retention drop.
   occupancy_.assign(static_cast<std::size_t>(levels), 0.0);
   drop_damage_.assign(static_cast<std::size_t>(levels), 0.0);
+  bump_damage_.assign(static_cast<std::size_t>(levels), 0.0);
   std::vector<double> drop_events(static_cast<std::size_t>(levels), 0.0);
+  std::vector<double> bump_events(static_cast<std::size_t>(levels), 0.0);
   std::vector<std::uint8_t> bits(static_cast<std::size_t>(group_bits));
   std::vector<std::uint8_t> read_bits(static_cast<std::size_t>(group_bits));
   std::vector<int> group_levels(static_cast<std::size_t>(group_cells));
@@ -60,30 +62,48 @@ BerModel::BerModel(nand::LevelConfig level_config, const BitMapper& mapper,
       FLEX_ASSERT(level >= 0 && level < levels);
       occupancy_[static_cast<std::size_t>(level)] += 1.0;
       ++cells_total;
-      if (level == 0) continue;
-      dropped.assign(group_levels.begin(), group_levels.end());
-      --dropped[static_cast<std::size_t>(c)];
-      mapper.to_bits(dropped, read_bits);
-      int diff = 0;
-      for (int i = 0; i < group_bits; ++i) {
-        if (read_bits[static_cast<std::size_t>(i)] !=
-            bits[static_cast<std::size_t>(i)]) {
-          ++diff;
+      auto bit_diff_after = [&](const std::vector<int>& shifted) {
+        mapper.to_bits(shifted, read_bits);
+        int diff = 0;
+        for (int i = 0; i < group_bits; ++i) {
+          if (read_bits[static_cast<std::size_t>(i)] !=
+              bits[static_cast<std::size_t>(i)]) {
+            ++diff;
+          }
         }
+        return diff;
+      };
+      if (level > 0) {
+        dropped.assign(group_levels.begin(), group_levels.end());
+        --dropped[static_cast<std::size_t>(c)];
+        drop_damage_[static_cast<std::size_t>(level)] +=
+            bit_diff_after(dropped);
+        drop_events[static_cast<std::size_t>(level)] += 1.0;
       }
-      drop_damage_[static_cast<std::size_t>(level)] += diff;
-      drop_events[static_cast<std::size_t>(level)] += 1.0;
+      if (level < levels - 1) {
+        dropped.assign(group_levels.begin(), group_levels.end());
+        ++dropped[static_cast<std::size_t>(c)];
+        bump_damage_[static_cast<std::size_t>(level)] +=
+            bit_diff_after(dropped);
+        bump_events[static_cast<std::size_t>(level)] += 1.0;
+      }
     }
   }
+  // Average bit flips per event, expressed per stored bit of the group,
+  // times cells-per-group so per-cell terms sum into a per-bit BER.
   for (int l = 0; l < levels; ++l) {
     occupancy_[static_cast<std::size_t>(l)] /=
         static_cast<double>(cells_total);
     if (drop_events[static_cast<std::size_t>(l)] > 0.0) {
-      // Average bit flips per drop, expressed per stored bit of the group,
-      // times cells-per-group so retention_ber can sum per-cell terms.
       drop_damage_[static_cast<std::size_t>(l)] =
           drop_damage_[static_cast<std::size_t>(l)] /
           drop_events[static_cast<std::size_t>(l)] *
+          static_cast<double>(group_cells) / static_cast<double>(group_bits);
+    }
+    if (bump_events[static_cast<std::size_t>(l)] > 0.0) {
+      bump_damage_[static_cast<std::size_t>(l)] =
+          bump_damage_[static_cast<std::size_t>(l)] /
+          bump_events[static_cast<std::size_t>(l)] *
           static_cast<double>(group_cells) / static_cast<double>(group_bits);
     }
   }

@@ -49,6 +49,10 @@ class BerModel {
   /// stored at l) * cells_per_group / bits_per_group, so that
   /// retention_ber = sum_l occupancy[l] * P(drop | l) * drop_damage[l].
   const std::vector<double>& drop_damage() const { return drop_damage_; }
+  /// Same, for a one-level upward bump (read-disturb's direction): per
+  /// level l < levels-1, the per-bit damage of a cell at l crossing its
+  /// upper read reference. The top level has no upper reference (zero).
+  const std::vector<double>& bump_damage() const { return bump_damage_; }
 
   const nand::LevelConfig& level_config() const { return level_config_; }
 
@@ -58,6 +62,7 @@ class BerModel {
   double c2c_ber_ = 0.0;
   std::vector<double> occupancy_;
   std::vector<double> drop_damage_;
+  std::vector<double> bump_damage_;
 };
 
 }  // namespace flex::reliability

@@ -136,6 +136,65 @@ class FlexLevelPolicy final : public ReadPolicy {
   std::uint64_t migrations_to_normal_ = 0;
 };
 
+/// Read-disturb-aware refresh (scrub) decorator: once the block under a
+/// completed read has accumulated `threshold` reads since its last erase,
+/// its valid pages are relocated to fresh cells and the block erased,
+/// zeroing the disturb term for all of them. Like FlexLevel's migrations,
+/// the scrub is deferrable single-block maintenance the controller runs in
+/// idle gaps — it must not add host-visible latency, so its NAND work
+/// lands only in the FTL statistics (endurance cost), never on the chip
+/// queues of the triggering read. Wraps any scheme policy.
+class RefreshPolicy final : public ReadPolicy {
+ public:
+  RefreshPolicy(std::unique_ptr<ReadPolicy> inner, std::uint64_t threshold,
+                ftl::PageMappingFtl& ftl)
+      : inner_(std::move(inner)), threshold_(threshold), ftl_(ftl) {
+    FLEX_EXPECTS(threshold_ > 0);
+  }
+
+  ReadCost read_cost(const ReadContext& ctx) override {
+    return inner_->read_cost(ctx);
+  }
+
+  void on_read_complete(const ReadContext& ctx) override {
+    // Inner maintenance first: a FlexLevel migration may move the *data*,
+    // but the stressed block (and its read counter) stays where it is.
+    inner_->on_read_complete(ctx);
+    if (ftl_.block_read_count(ctx.ppn) < threshold_) return;
+    if (const auto scrub = ftl_.refresh_block(ctx.ppn, ctx.now)) {
+      ++refresh_blocks_;
+      refresh_page_moves_ += scrub->pages_moved;
+    }
+  }
+
+  ftl::PageMode write_mode(std::uint64_t lpn) const override {
+    return inner_->write_mode(lpn);
+  }
+  ftl::PageMode prefill_mode() const override {
+    return inner_->prefill_mode();
+  }
+
+  ReadPolicyStats stats() const override {
+    ReadPolicyStats stats = inner_->stats();
+    stats.refresh_blocks = refresh_blocks_;
+    stats.refresh_page_moves = refresh_page_moves_;
+    return stats;
+  }
+
+  void reset_stats() override {
+    inner_->reset_stats();
+    refresh_blocks_ = 0;
+    refresh_page_moves_ = 0;
+  }
+
+ private:
+  std::unique_ptr<ReadPolicy> inner_;
+  std::uint64_t threshold_;
+  ftl::PageMappingFtl& ftl_;
+  std::uint64_t refresh_blocks_ = 0;
+  std::uint64_t refresh_page_moves_ = 0;
+};
+
 std::unique_ptr<ReadPolicy> make_progressive(
     const SsdConfig& config, const LatencyModel& latency,
     const reliability::SensingRequirement& ladder, ftl::PageMode mode,
@@ -147,9 +206,7 @@ std::unique_ptr<ReadPolicy> make_progressive(
   return std::make_unique<ProgressivePolicy>(latency, ladder, mode);
 }
 
-}  // namespace
-
-std::unique_ptr<ReadPolicy> make_read_policy(
+std::unique_ptr<ReadPolicy> make_scheme_policy(
     const SsdConfig& config, const LatencyModel& latency,
     const reliability::SensingRequirement& ladder,
     const reliability::BerModel& normal_model, std::uint64_t physical_pages,
@@ -175,6 +232,22 @@ std::unique_ptr<ReadPolicy> make_read_policy(
   }
   FLEX_ASSERT(false && "unreachable");
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<ReadPolicy> make_read_policy(
+    const SsdConfig& config, const LatencyModel& latency,
+    const reliability::SensingRequirement& ladder,
+    const reliability::BerModel& normal_model, std::uint64_t physical_pages,
+    ftl::PageMappingFtl& ftl) {
+  std::unique_ptr<ReadPolicy> policy = make_scheme_policy(
+      config, latency, ladder, normal_model, physical_pages, ftl);
+  if (config.read_disturb.refresh_threshold > 0) {
+    policy = std::make_unique<RefreshPolicy>(
+        std::move(policy), config.read_disturb.refresh_threshold, ftl);
+  }
+  return policy;
 }
 
 }  // namespace flex::ssd

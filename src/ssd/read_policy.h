@@ -14,8 +14,11 @@
 //   * FlexLevel with migration— kFlexLevel: a progressive read plus the
 //                               AccessEval controller, whose pool
 //                               migrations run behind this boundary.
-// New policies (adaptive read thresholds, read-disturb-aware refresh…)
-// drop in here without touching the core.
+// Orthogonal maintenance decorates a scheme policy the same way FlexLevel
+// decorates progressive: RefreshPolicy (read-disturb-aware scrub) wraps
+// any of the four schemes when SsdConfig::read_disturb asks for it. New
+// policies (adaptive read thresholds…) drop in here without touching the
+// core.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,10 @@ struct ReadContext {
   std::uint64_t ppn = 0;
   /// Extra soft-sensing levels this page's raw BER requires.
   int required_levels = 0;
+  /// Pass-voltage stress events the containing block had accumulated
+  /// before this read (the disturb term already folded into
+  /// `required_levels`).
+  std::uint64_t block_reads = 0;
   SimTime now = 0;
 };
 
@@ -45,6 +52,10 @@ struct ReadPolicyStats {
   std::uint64_t migrations_to_normal = 0;
   /// ReducedCell pool occupancy right now (gauge, not a counter).
   std::uint64_t pool_pages = 0;
+  /// Blocks scrubbed by the read-disturb refresh decorator, and the valid
+  /// pages those scrubs relocated (counters).
+  std::uint64_t refresh_blocks = 0;
+  std::uint64_t refresh_page_moves = 0;
 };
 
 class ReadPolicy {

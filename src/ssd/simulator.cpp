@@ -40,14 +40,23 @@ SsdSimulator::SsdSimulator(SsdConfig config,
       rng_(config_.seed) {
   FLEX_EXPECTS(config_.min_prefill_age > 0.0);
   FLEX_EXPECTS(config_.max_prefill_age >= config_.min_prefill_age);
+  if (config_.read_disturb.enabled) {
+    disturb_[0] = std::make_unique<reliability::ReadDisturbModel>(
+        config_.read_disturb.model, normal_model_);
+    disturb_[1] = std::make_unique<reliability::ReadDisturbModel>(
+        config_.read_disturb.model, reduced_model_);
+  }
+  clear_results();
+}
+
+void SsdSimulator::clear_results() {
+  results_ = SsdResults{};
   results_.sensing_level_reads.assign(
       static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
 }
 
 void SsdSimulator::reset_measurements() {
-  results_ = SsdResults{};
-  results_.sensing_level_reads.assign(
-      static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
+  clear_results();
   prefill_stats_ = ftl_.stats();
   scheduler_.reset_stats();
   policy_->reset_stats();
@@ -83,24 +92,29 @@ void SsdSimulator::prefill(std::uint64_t pages) {
 }
 
 int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
-                                         Hours age, bool* correctable) {
+                                         Hours age,
+                                         std::uint64_t block_reads,
+                                         bool* correctable) {
   // ~1.5% age resolution per bucket: far finer than the ladder's BER steps.
   const auto bucket = static_cast<std::uint64_t>(
       age <= 0.0 ? 0 : 1 + std::llround(48.0 * std::log2(1.0 + age)));
   const std::uint64_t key = (static_cast<std::uint64_t>(pe) << 16) | bucket;
-  auto& cache = level_cache_[reduced ? 1 : 0];
+  auto& cache = ber_cache_[reduced ? 1 : 0];
+  double ber;
   if (const auto it = cache.find(key); it != cache.end()) {
-    *correctable = (it->second & 0x100) != 0;
-    return it->second & 0xFF;
+    ber = it->second;
+  } else {
+    const reliability::BerModel& model =
+        reduced ? reduced_model_ : normal_model_;
+    ber = model.total_ber(static_cast<int>(pe), age);
+    cache.emplace(key, ber);
   }
-  const reliability::BerModel& model =
-      reduced ? reduced_model_ : normal_model_;
-  bool ok = true;
-  const int levels = ladder_.required_levels(
-      model.total_ber(static_cast<int>(pe), age), &ok);
-  cache.emplace(key, levels | (ok ? 0x100 : 0));
-  *correctable = ok;
-  return levels;
+  // Disturb is closed-form (no integral), so it is evaluated exactly per
+  // read instead of being folded into the cache key.
+  if (disturb_[reduced ? 1 : 0]) {
+    ber += disturb_[reduced ? 1 : 0]->ber(block_reads);
+  }
+  return ladder_.required_levels(ber, correctable);
 }
 
 Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
@@ -123,14 +137,16 @@ Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
   const Hours age = static_cast<double>(now - birth) / (3600.0 * 1e9);
   const bool reduced = info->mode == ftl::PageMode::kReduced;
   bool correctable = true;
-  const int required = required_levels_cached(
-      reduced, info->pe_cycles, std::max(age, 0.0), &correctable);
+  const int required =
+      required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
+                             info->block_reads, &correctable);
   if (!correctable) ++results_.uncorrectable_reads;
   ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
 
   const ReadContext ctx{.lpn = lpn,
                         .ppn = info->ppn,
                         .required_levels = required,
+                        .block_reads = info->block_reads,
                         .now = now};
   const ReadCost cost = policy_->read_cost(ctx);
   const SimTime completion =
@@ -138,6 +154,9 @@ Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
                         ChipCommand{.channel = cost.channel,
                                     .die = cost.die,
                                     .controller = cost.controller});
+  // This read's own pass-voltage stress lands on the block before any
+  // post-read maintenance (RefreshPolicy) inspects the counter.
+  ftl_.record_read(info->ppn);
   policy_->on_read_complete(ctx);
   return completion - now;
 }
@@ -193,6 +212,8 @@ SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
   const ReadPolicyStats policy_stats = policy_->stats();
   results_.migrations_to_reduced = policy_stats.migrations_to_reduced;
   results_.migrations_to_normal = policy_stats.migrations_to_normal;
+  results_.refresh_blocks = policy_stats.refresh_blocks;
+  results_.refresh_page_moves = policy_stats.refresh_page_moves;
   results_.pool_pages = policy_stats.pool_pages;
   results_.chip_stats = scheduler_.stats();
   // Report trace-phase FTL activity only.
@@ -205,6 +226,9 @@ SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
       total.gc_page_moves - prefill_stats_.gc_page_moves;
   results_.ftl.mode_migrations =
       total.mode_migrations - prefill_stats_.mode_migrations;
+  results_.ftl.refresh_runs = total.refresh_runs - prefill_stats_.refresh_runs;
+  results_.ftl.refresh_page_moves =
+      total.refresh_page_moves - prefill_stats_.refresh_page_moves;
   return results_;
 }
 

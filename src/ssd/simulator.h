@@ -32,6 +32,7 @@
 #include "ftl/page_mapping.h"
 #include "ftl/write_buffer.h"
 #include "reliability/ber_model.h"
+#include "reliability/read_disturb.h"
 #include "reliability/sensing_solver.h"
 #include "ssd/chip_scheduler.h"
 #include "ssd/event_queue.h"
@@ -56,6 +57,21 @@ enum class AgeModel {
   /// depends only on P/E count and the storage-time axis of Tables 4/5 —
   /// not on FTL write recency.
   kStaticPerLba,
+};
+
+/// Read-disturb modelling knobs. Off by default: the paper's evaluation
+/// has no disturb term, and every seed figure (Fig. 6/7, Tables 4/5) is
+/// reproduced with it off, bit-identically.
+struct ReadDisturbConfig {
+  /// Adds the per-block disturb BER term (reliability/read_disturb) to
+  /// every NAND read's sensing requirement.
+  bool enabled = false;
+  reliability::ReadDisturbModel::Params model;
+  /// Block read count at which the RefreshPolicy decorator scrubs the
+  /// block (relocate valid pages, erase). 0 disables refresh; enabling
+  /// refresh without `enabled` scrubs blocks that never pay a latency
+  /// penalty, which is legal but pointless.
+  std::uint64_t refresh_threshold = 0;
 };
 
 struct SsdConfig {
@@ -90,6 +106,7 @@ struct SsdConfig {
   /// retry-level memorization [2]). Applies to every progressive-read
   /// scheme; the baseline's fixed read is unaffected.
   bool sensing_hint = false;
+  ReadDisturbConfig read_disturb;
   std::uint64_t seed = 0x5EED;
 };
 
@@ -106,6 +123,9 @@ struct SsdResults {
   std::uint64_t uncorrectable_reads = 0;
   std::uint64_t migrations_to_reduced = 0;
   std::uint64_t migrations_to_normal = 0;
+  /// Read-disturb scrubs in the measured window (RefreshPolicy only).
+  std::uint64_t refresh_blocks = 0;
+  std::uint64_t refresh_page_moves = 0;
   /// ReducedCell pool occupancy at the end of the run (FlexLevel only).
   std::uint64_t pool_pages = 0;
   /// Distribution of extra sensing levels over NAND reads.
@@ -141,10 +161,14 @@ class SsdSimulator {
   void service_request(const trace::Request& request, SimTime now);
   Duration service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
-  /// Sensing requirement with an (age-bucketed) cache — the analytic BER
-  /// integral is far too slow to evaluate per simulated read.
+  /// Resets `results_` to empty, with `sensing_level_reads` sized to the
+  /// ladder (shared by the constructor and reset_measurements()).
+  void clear_results();
+  /// Sensing requirement. The wear/age BER integral is far too slow to
+  /// evaluate per simulated read, so it is cached by (P/E, age bucket);
+  /// the disturb term is cheap and exact, added per read on top.
   int required_levels_cached(bool reduced, std::uint32_t pe, Hours age,
-                             bool* correctable);
+                             std::uint64_t block_reads, bool* correctable);
 
   SsdConfig config_;
   const reliability::BerModel& normal_model_;
@@ -155,11 +179,13 @@ class SsdSimulator {
   EventQueue events_;
   ChipScheduler scheduler_;
   std::unique_ptr<ReadPolicy> policy_;
+  /// Per-mode disturb models (normal, reduced); null when disabled.
+  std::unique_ptr<reliability::ReadDisturbModel> disturb_[2];
   /// Per-LBA data birth time for AgeModel::kStaticPerLba (prefill only).
   std::vector<SimTime> static_birth_;
   Rng rng_;
-  // (pe, age-bucket) -> packed {levels, correctable}; one map per cell mode.
-  std::unordered_map<std::uint64_t, int> level_cache_[2];
+  // (pe, age-bucket) -> wear/age raw BER; one map per cell mode.
+  std::unordered_map<std::uint64_t, double> ber_cache_[2];
   SsdResults results_;
   ftl::FtlStats prefill_stats_;
 };

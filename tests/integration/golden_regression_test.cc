@@ -1,0 +1,140 @@
+// Golden read-response regression: small deterministic runs per scheme
+// with the mean and p99 read response pinned to exact doubles.
+//
+// The simulator is a deterministic discrete-event system — same config,
+// same trace, same binary semantics must give bit-identical statistics.
+// These goldens catch silent behavioural drift that property tests miss:
+// any intentional change to placement, scheduling, BER evaluation, or
+// latency accounting shows up here and must update the constants in the
+// same commit, making the drift reviewable. (Values are pure IEEE-double
+// arithmetic on a fixed event sequence, not hardware-dependent noise.)
+//
+// To regenerate after an intentional change:
+//   build/tests/integration_test --gtest_filter='*Golden*' also prints the
+//   actual values on failure with full precision.
+#include <iomanip>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flexlevel/nunma.h"
+#include "flexlevel/reduce_mapper.h"
+#include "nand/level_config.h"
+#include "ssd/simulator.h"
+#include "trace/workloads.h"
+
+namespace flex::ssd {
+namespace {
+
+class GoldenRegression : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(2718);
+    const reliability::BerEngine::Config mc{
+        .wordlines = 32, .bitlines = 128, .rounds = 2, .coupling = {}};
+    static const reliability::GrayMapper gray;
+    static const flexlevel::ReduceCodeMapper reduce;
+    normal_ = new reliability::BerModel(nand::LevelConfig::baseline_mlc(),
+                                        gray, reliability::RetentionModel{},
+                                        mc, rng);
+    reduced_ = new reliability::BerModel(
+        flexlevel::nunma_config(flexlevel::NunmaScheme::kNunma3), reduce,
+        reliability::RetentionModel{}, mc, rng);
+  }
+  static void TearDownTestSuite() {
+    delete normal_;
+    delete reduced_;
+    normal_ = nullptr;
+    reduced_ = nullptr;
+  }
+
+  static SsdConfig config(Scheme scheme) {
+    SsdConfig cfg;
+    cfg.scheme = scheme;
+    cfg.ftl.spec.page_size_bytes = 4096;
+    cfg.ftl.spec.pages_per_block = 32;
+    cfg.ftl.spec.blocks_per_chip = 64;
+    cfg.ftl.spec.chips = 4;
+    cfg.ftl.initial_pe_cycles = 6000;
+    cfg.ftl.gc_low_watermark = 4;
+    cfg.min_prefill_age = kDay;
+    cfg.max_prefill_age = kMonth;
+    cfg.write_buffer_pages = 64;
+    cfg.write_buffer_flush_batch = 8;
+    cfg.access_eval.pool_capacity_pages = 1024;
+    cfg.access_eval.hotness = {.filter_count = 4,
+                               .bits_per_filter = 1 << 14,
+                               .hashes = 2,
+                               .window_accesses = 512};
+    return cfg;
+  }
+
+  static SsdResults run_scheme(SsdConfig cfg) {
+    trace::WorkloadParams params;
+    params.name = "golden";
+    params.read_fraction = 0.85;
+    params.zipf_theta = 0.95;
+    params.footprint_pages = 4000;
+    params.mean_request_pages = 1.4;
+    params.max_request_pages = 8;
+    params.iops = 1500;
+    params.requests = 10'000;
+    const auto trace = trace::generate(params, 777);
+    SsdSimulator sim(std::move(cfg), *normal_, *reduced_);
+    sim.prefill(4000);
+    return sim.run(trace);
+  }
+
+  static void expect_golden(const SsdResults& results, double mean,
+                            double p99) {
+    // max_digits10 so a printed value pasted back round-trips exactly.
+    EXPECT_DOUBLE_EQ(results.read_response.mean(), mean)
+        << std::setprecision(17) << "actual mean "
+        << results.read_response.mean();
+    EXPECT_DOUBLE_EQ(results.read_latency_hist.quantile(0.99), p99)
+        << std::setprecision(17) << "actual p99 "
+        << results.read_latency_hist.quantile(0.99);
+  }
+
+  static reliability::BerModel* normal_;
+  static reliability::BerModel* reduced_;
+};
+
+reliability::BerModel* GoldenRegression::normal_ = nullptr;
+reliability::BerModel* GoldenRegression::reduced_ = nullptr;
+
+TEST_F(GoldenRegression, Baseline) {
+  expect_golden(run_scheme(config(Scheme::kBaseline)),
+                /*mean=*/0.00059511423166295064, /*p99=*/0.00247664583333333);
+}
+
+TEST_F(GoldenRegression, LdpcInSsd) {
+  expect_golden(run_scheme(config(Scheme::kLdpcInSsd)),
+                /*mean=*/0.00032234478699683089, /*p99=*/0.002069299999999997);
+}
+
+TEST_F(GoldenRegression, LevelAdjustOnly) {
+  expect_golden(run_scheme(config(Scheme::kLevelAdjustOnly)),
+                /*mean=*/0.00018581624539373305, /*p99=*/0.0018808636363636321);
+}
+
+TEST_F(GoldenRegression, FlexLevel) {
+  expect_golden(run_scheme(config(Scheme::kFlexLevel)),
+                /*mean=*/0.00028164889789930771, /*p99=*/0.0020789499999999956);
+}
+
+TEST_F(GoldenRegression, LdpcInSsdWithRefresh) {
+  // Disturb + refresh enabled: pins the new read path end to end.
+  auto cfg = config(Scheme::kLdpcInSsd);
+  // Accelerated stress: the hottest blocks of this trace accumulate
+  // ~100-170 reads, so the knee must sit inside that range to exercise
+  // both the ladder climb and the scrub.
+  cfg.read_disturb.enabled = true;
+  cfg.read_disturb.model.vth_shift_per_read = 8.0e-4;
+  cfg.read_disturb.refresh_threshold = 100;
+  expect_golden(run_scheme(std::move(cfg)),
+                /*mean=*/0.00033390406454641421, /*p99=*/0.0020876538461538428);
+}
+
+}  // namespace
+}  // namespace flex::ssd

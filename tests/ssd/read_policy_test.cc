@@ -1,0 +1,234 @@
+// Unit tests for the ReadPolicy strategies in isolation (no simulator):
+// each §6.2 scheme's cost rule, storage modes, and maintenance counters,
+// plus the RefreshPolicy read-disturb decorator.
+#include "ssd/read_policy.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nand/level_config.h"
+#include "ssd/simulator.h"
+
+namespace flex::ssd {
+namespace {
+
+class ReadPolicyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(4242);
+    const reliability::BerEngine::Config mc{
+        .wordlines = 32, .bitlines = 128, .rounds = 2, .coupling = {}};
+    static const reliability::GrayMapper gray;
+    normal_ = new reliability::BerModel(nand::LevelConfig::baseline_mlc(),
+                                        gray, reliability::RetentionModel{},
+                                        mc, rng);
+  }
+  static void TearDownTestSuite() {
+    delete normal_;
+    normal_ = nullptr;
+  }
+
+  // Tiny drive: 1 chip x 32 blocks x 4 pages = 128 physical pages.
+  static SsdConfig config(Scheme scheme) {
+    SsdConfig cfg;
+    cfg.scheme = scheme;
+    cfg.ftl.spec.page_size_bytes = 4096;
+    cfg.ftl.spec.pages_per_block = 4;
+    cfg.ftl.spec.blocks_per_chip = 32;
+    cfg.ftl.spec.chips = 1;
+    cfg.ftl.gc_low_watermark = 2;
+    cfg.ftl.initial_pe_cycles = 3000;
+    cfg.access_eval.pool_capacity_pages = 16;
+    cfg.access_eval.hotness = {.filter_count = 4,
+                               .bits_per_filter = 1 << 10,
+                               .hashes = 2,
+                               .window_accesses = 64};
+    return cfg;
+  }
+
+  struct Fixture {
+    explicit Fixture(SsdConfig cfg_in)
+        : cfg(std::move(cfg_in)),
+          ftl(cfg.ftl),
+          policy(make_read_policy(
+              cfg, cfg.latency, ladder, *normal_,
+              ftl.physical_blocks() * cfg.ftl.spec.pages_per_block, ftl)) {}
+
+    SsdConfig cfg;
+    reliability::SensingRequirement ladder;
+    ftl::PageMappingFtl ftl;
+    std::unique_ptr<ReadPolicy> policy;
+  };
+
+  static ReadContext read_of(std::uint64_t lpn, std::uint64_t ppn,
+                             int required) {
+    return {.lpn = lpn, .ppn = ppn, .required_levels = required, .now = 100};
+  }
+
+  static reliability::BerModel* normal_;
+};
+
+reliability::BerModel* ReadPolicyTest::normal_ = nullptr;
+
+TEST_F(ReadPolicyTest, BaselineProvisionsForRatedRetention) {
+  Fixture f(config(Scheme::kBaseline));
+  // The fixed attempt is sized for the rated-retention worst case of the
+  // pre-aged drive, independent of what this page actually needs.
+  const int fixed = f.ladder.required_levels(normal_->total_ber(
+      static_cast<int>(f.cfg.ftl.initial_pe_cycles),
+      f.cfg.baseline_retention_spec));
+  const ReadCost easy = f.policy->read_cost(read_of(1, 1, 0));
+  EXPECT_EQ(easy.total(), f.cfg.latency.read_fixed(fixed));
+  // A page whose requirement exceeds the provision escalates past it.
+  const int top = f.ladder.steps().back().extra_levels;
+  if (top > fixed) {
+    const ReadCost hard = f.policy->read_cost(read_of(2, 2, top));
+    EXPECT_EQ(hard.total(), f.cfg.latency.read_fixed(top));
+  }
+  EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kNormal);
+  EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kNormal);
+}
+
+TEST_F(ReadPolicyTest, ProgressiveClimbsTheLadder) {
+  Fixture f(config(Scheme::kLdpcInSsd));
+  for (const auto& step : f.ladder.steps()) {
+    const ReadCost cost =
+        f.policy->read_cost(read_of(1, 1, step.extra_levels));
+    EXPECT_EQ(cost.total(),
+              f.cfg.latency.read_progressive(step.extra_levels, f.ladder));
+  }
+  // Deeper requirements cost strictly more (failed attempts accumulate).
+  EXPECT_LT(f.policy->read_cost(read_of(1, 1, 0)).total(),
+            f.policy->read_cost(read_of(1, 1, 6)).total());
+  EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kNormal);
+  EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kNormal);
+}
+
+TEST_F(ReadPolicyTest, LevelAdjustOnlyStoresEverythingReduced) {
+  Fixture f(config(Scheme::kLevelAdjustOnly));
+  EXPECT_EQ(f.policy->write_mode(7), ftl::PageMode::kReduced);
+  EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kReduced);
+}
+
+TEST_F(ReadPolicyTest, SensingHintRemembersLastDepth) {
+  auto cfg = config(Scheme::kLdpcInSsd);
+  cfg.sensing_hint = true;
+  Fixture f(std::move(cfg));
+  // First read of the page: no hint yet, full ladder climb.
+  const ReadCost cold = f.policy->read_cost(read_of(1, 9, 4));
+  EXPECT_EQ(cold.total(), f.cfg.latency.read_progressive(4, f.ladder));
+  // Second read starts at the remembered depth: no failed attempts.
+  const ReadCost warm = f.policy->read_cost(read_of(1, 9, 4));
+  EXPECT_EQ(warm.total(), f.cfg.latency.read_progressive_from(4, 4, f.ladder));
+  EXPECT_LT(warm.total(), cold.total());
+  // The hint is per physical page: another page still climbs from zero.
+  const ReadCost other = f.policy->read_cost(read_of(2, 10, 4));
+  EXPECT_EQ(other.total(), cold.total());
+}
+
+TEST_F(ReadPolicyTest, FlexLevelMigratesHotSoftPages) {
+  Fixture f(config(Scheme::kFlexLevel));
+  // Map a page so the migration has something to move.
+  f.ftl.write(5, ftl::PageMode::kNormal, 0);
+  // Hot (repeated) + high-sensing reads cross the HLO threshold. Hotness
+  // counts the Bloom-window filters containing the page, and the window
+  // rotates every window_accesses (= 64) reads — so the page must recur
+  // across at least two windows before it registers as hot.
+  for (int i = 0; i < 80; ++i) {
+    f.policy->on_read_complete(read_of(5, f.ftl.lookup(5)->ppn, 6));
+  }
+  const ReadPolicyStats stats = f.policy->stats();
+  EXPECT_GT(stats.migrations_to_reduced, 0u);
+  EXPECT_GT(stats.pool_pages, 0u);
+  EXPECT_EQ(f.ftl.lookup(5)->mode, ftl::PageMode::kReduced);
+  // Pool members write back into reduced state.
+  EXPECT_EQ(f.policy->write_mode(5), ftl::PageMode::kReduced);
+  EXPECT_EQ(f.policy->write_mode(6), ftl::PageMode::kNormal);
+  // reset_stats clears the migration counters but not the pool gauge.
+  f.policy->reset_stats();
+  const ReadPolicyStats after = f.policy->stats();
+  EXPECT_EQ(after.migrations_to_reduced, 0u);
+  EXPECT_EQ(after.pool_pages, stats.pool_pages);
+}
+
+TEST_F(ReadPolicyTest, RefreshScrubsAtThreshold) {
+  auto cfg = config(Scheme::kLdpcInSsd);
+  cfg.read_disturb.enabled = true;
+  cfg.read_disturb.refresh_threshold = 5;
+  Fixture f(std::move(cfg));
+  // Fill two blocks so lpn 0's block is closed (not a write frontier).
+  for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+    f.ftl.write(lpn, ftl::PageMode::kNormal, 0);
+  }
+  const std::uint64_t ppn = f.ftl.lookup(0)->ppn;
+  // Below threshold: reads complete without maintenance.
+  for (int i = 0; i < 4; ++i) {
+    f.ftl.record_read(ppn);
+    f.policy->on_read_complete(read_of(0, ppn, 0));
+  }
+  EXPECT_EQ(f.policy->stats().refresh_blocks, 0u);
+  EXPECT_EQ(f.ftl.stats().refresh_runs, 0u);
+  // The threshold-crossing read triggers the scrub.
+  f.ftl.record_read(ppn);
+  f.policy->on_read_complete(read_of(0, ppn, 0));
+  const ReadPolicyStats stats = f.policy->stats();
+  EXPECT_EQ(stats.refresh_blocks, 1u);
+  EXPECT_GT(stats.refresh_page_moves, 0u);
+  EXPECT_EQ(f.ftl.stats().refresh_runs, 1u);
+  // The block was erased (stress gone) and the data relocated.
+  EXPECT_EQ(f.ftl.block_read_count(ppn), 0u);
+  EXPECT_NE(f.ftl.lookup(0)->ppn, ppn);
+  EXPECT_EQ(f.ftl.lookup(0)->block_reads, 0u);
+}
+
+TEST_F(ReadPolicyTest, RefreshSkipsOpenFrontier) {
+  auto cfg = config(Scheme::kLdpcInSsd);
+  cfg.read_disturb.refresh_threshold = 3;
+  Fixture f(std::move(cfg));
+  // A single write leaves lpn 0 on the open frontier block.
+  f.ftl.write(0, ftl::PageMode::kNormal, 0);
+  const std::uint64_t ppn = f.ftl.lookup(0)->ppn;
+  for (int i = 0; i < 10; ++i) {
+    f.ftl.record_read(ppn);
+    f.policy->on_read_complete(read_of(0, ppn, 0));
+  }
+  // Frontier blocks are never scrubbed; the stress stays on the counter.
+  EXPECT_EQ(f.policy->stats().refresh_blocks, 0u);
+  EXPECT_EQ(f.ftl.block_read_count(ppn), 10u);
+}
+
+TEST_F(ReadPolicyTest, RefreshForwardsInnerPolicy) {
+  auto cfg = config(Scheme::kLevelAdjustOnly);
+  cfg.read_disturb.refresh_threshold = 100;
+  Fixture f(std::move(cfg));
+  // Decoration must not change the scheme's cost rule or storage modes.
+  EXPECT_EQ(f.policy->read_cost(read_of(1, 1, 2)).total(),
+            f.cfg.latency.read_progressive(2, f.ladder));
+  EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kReduced);
+  EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kReduced);
+}
+
+TEST_F(ReadPolicyTest, RefreshStatsResetKeepsFtlState) {
+  auto cfg = config(Scheme::kLdpcInSsd);
+  cfg.read_disturb.refresh_threshold = 2;
+  Fixture f(std::move(cfg));
+  for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+    f.ftl.write(lpn, ftl::PageMode::kNormal, 0);
+  }
+  const std::uint64_t ppn = f.ftl.lookup(0)->ppn;
+  f.ftl.record_read(ppn);
+  f.ftl.record_read(ppn);
+  f.policy->on_read_complete(read_of(0, ppn, 0));
+  ASSERT_EQ(f.policy->stats().refresh_blocks, 1u);
+  // Measurement counters clear; the FTL's cumulative stats do not (the
+  // simulator differences them against a prefill snapshot instead).
+  f.policy->reset_stats();
+  EXPECT_EQ(f.policy->stats().refresh_blocks, 0u);
+  EXPECT_EQ(f.policy->stats().refresh_page_moves, 0u);
+  EXPECT_EQ(f.ftl.stats().refresh_runs, 1u);
+}
+
+}  // namespace
+}  // namespace flex::ssd

@@ -1,5 +1,8 @@
 // Cross-cutting simulator properties: determinism, scheme-invariant
 // accounting, and the age-model semantics.
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -161,6 +164,98 @@ TEST_F(SimulatorProperty, HintNeverChangesSensingRequirements) {
   const auto plain = run_hint(false);
   const auto hinted = run_hint(true);
   EXPECT_EQ(plain.sensing_level_reads, hinted.sensing_level_reads);
+}
+
+TEST_F(SimulatorProperty, ResetMeasurementsEqualsAccumulatedDelta) {
+  // reset_measurements() must only clear the measurement window, never
+  // simulator state: a warmup/measure split on one simulator must report
+  // exactly what an identical simulator accumulating both passes reports
+  // as the difference. FlexLevel with disturb + refresh covers every
+  // counter class (response stats, FTL deltas, policy maintenance).
+  auto cfg = config(Scheme::kFlexLevel);
+  cfg.read_disturb.enabled = true;
+  cfg.read_disturb.model.vth_shift_per_read = 1.0e-4;
+  cfg.read_disturb.refresh_threshold = 300;
+  const auto trace = trace_for(0.9);
+  const auto split =
+      trace.begin() + static_cast<std::ptrdiff_t>(trace.size() / 2);
+  const std::vector<trace::Request> warmup{trace.begin(), split};
+  const std::vector<trace::Request> measured{split, trace.end()};
+
+  SsdSimulator a(cfg, *normal_, *reduced_);
+  a.prefill(4000);
+  a.run(warmup);
+  a.reset_measurements();
+  const SsdResults ra = a.run(measured);
+
+  SsdSimulator b(cfg, *normal_, *reduced_);
+  b.prefill(4000);
+  const SsdResults rb1 = b.run(warmup);
+  const SsdResults rb2 = b.run(measured);  // accumulates, no reset
+
+  // Host-visible counts and response sums.
+  EXPECT_EQ(ra.all_response.count(),
+            rb2.all_response.count() - rb1.all_response.count());
+  const double sum_a = ra.read_response.mean() *
+                       static_cast<double>(ra.read_response.count());
+  const double sum_b =
+      rb2.read_response.mean() *
+          static_cast<double>(rb2.read_response.count()) -
+      rb1.read_response.mean() *
+          static_cast<double>(rb1.read_response.count());
+  EXPECT_NEAR(sum_a, sum_b, 1e-9 * std::abs(sum_b));
+
+  // Counters: the reset window equals the accumulated difference.
+  EXPECT_EQ(ra.buffer_hits, rb2.buffer_hits - rb1.buffer_hits);
+  EXPECT_EQ(ra.uncorrectable_reads,
+            rb2.uncorrectable_reads - rb1.uncorrectable_reads);
+  EXPECT_EQ(ra.migrations_to_reduced,
+            rb2.migrations_to_reduced - rb1.migrations_to_reduced);
+  EXPECT_EQ(ra.migrations_to_normal,
+            rb2.migrations_to_normal - rb1.migrations_to_normal);
+  EXPECT_EQ(ra.refresh_blocks, rb2.refresh_blocks - rb1.refresh_blocks);
+  EXPECT_EQ(ra.refresh_page_moves,
+            rb2.refresh_page_moves - rb1.refresh_page_moves);
+  EXPECT_EQ(ra.ftl.nand_writes, rb2.ftl.nand_writes - rb1.ftl.nand_writes);
+  EXPECT_EQ(ra.ftl.nand_erases, rb2.ftl.nand_erases - rb1.ftl.nand_erases);
+  EXPECT_EQ(ra.ftl.gc_runs, rb2.ftl.gc_runs - rb1.ftl.gc_runs);
+  EXPECT_EQ(ra.ftl.refresh_runs,
+            rb2.ftl.refresh_runs - rb1.ftl.refresh_runs);
+  EXPECT_EQ(ra.ftl.refresh_page_moves,
+            rb2.ftl.refresh_page_moves - rb1.ftl.refresh_page_moves);
+  ASSERT_EQ(ra.sensing_level_reads.size(), rb2.sensing_level_reads.size());
+  for (std::size_t l = 0; l < ra.sensing_level_reads.size(); ++l) {
+    EXPECT_EQ(ra.sensing_level_reads[l],
+              rb2.sensing_level_reads[l] - rb1.sensing_level_reads[l])
+        << l;
+  }
+
+  // Gauges are NOT windowed: the pool occupancy reflects the simulator's
+  // full history on both sides, identically.
+  EXPECT_EQ(ra.pool_pages, rb2.pool_pages);
+}
+
+TEST_F(SimulatorProperty, ResetClearsCountersButNotLearnedState) {
+  // After reset_measurements() the counters start from zero, but learned
+  // state (AccessEval pool and hotness, sensing hints, block wear) must
+  // survive — that is the entire point of a warmup pass.
+  auto cfg = config(Scheme::kFlexLevel);
+  cfg.sensing_hint = true;
+  const auto trace = trace_for(0.95);
+  const auto split =
+      trace.begin() + static_cast<std::ptrdiff_t>(trace.size() / 2);
+  SsdSimulator sim(cfg, *normal_, *reduced_);
+  sim.prefill(4000);
+  const SsdResults warm = sim.run({trace.begin(), split});
+  ASSERT_GT(warm.migrations_to_reduced, 0u);
+  ASSERT_GT(warm.pool_pages, 0u);
+  sim.reset_measurements();
+  // The second half revisits the same Zipf-hot set: the pool carries over
+  // (gauge), so the already-migrated pages need no migrating again
+  // (counter restarts and stays low).
+  const SsdResults steady = sim.run({split, trace.end()});
+  EXPECT_GE(steady.pool_pages, warm.pool_pages);
+  EXPECT_LT(steady.migrations_to_reduced, warm.migrations_to_reduced);
 }
 
 TEST_F(SimulatorProperty, PercentilesBracketTheMean) {
