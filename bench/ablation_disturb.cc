@@ -17,10 +17,13 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "telemetry/telemetry.h"
 #include "trace/workloads.h"
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
   const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 100'000;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
       {.label = "refresh @ 200", .disturb = true, .threshold = 200},
   };
 
+  const bool collect =
+      !outputs.trace_out.empty() || !outputs.metrics_out.empty();
   const auto all = flex::bench::run_indexed(
       variants.size(),
       [&](std::size_t i) {
@@ -60,8 +65,15 @@ int main(int argc, char** argv) {
         cfg.read_disturb.enabled = variants[i].disturb;
         cfg.read_disturb.model = stress;
         cfg.read_disturb.refresh_threshold = variants[i].threshold;
-        return harness.run_with(cfg, flex::trace::Workload::kWeb1,
-                                requests);
+        if (!collect) {
+          return harness.run_with(cfg, flex::trace::Workload::kWeb1,
+                                  requests);
+        }
+        flex::telemetry::Telemetry telemetry;
+        telemetry.pid = static_cast<std::int32_t>(i + 1);
+        telemetry.trace = !outputs.trace_out.empty();
+        return harness.run_with(cfg, flex::trace::Workload::kWeb1, requests,
+                                &telemetry);
       },
       jobs);
   const auto& reference = all.front();
@@ -91,5 +103,19 @@ int main(int argc, char** argv) {
       "Aggressive thresholds can even beat the no-disturb reference: the "
       "relocation reprograms hot pages, so under the physical age model "
       "their retention clock restarts too.\n");
+
+  if (collect) {
+    std::vector<flex::bench::RunLabel> runs;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      runs.push_back(
+          {"web-1/" + variants[i].label, static_cast<std::int32_t>(i + 1)});
+    }
+    if (!outputs.trace_out.empty()) {
+      flex::bench::write_trace_file(outputs.trace_out, runs, all);
+    }
+    if (!outputs.metrics_out.empty()) {
+      flex::bench::write_metrics_file(outputs.metrics_out, runs, all);
+    }
+  }
   return 0;
 }

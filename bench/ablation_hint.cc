@@ -8,10 +8,13 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "telemetry/telemetry.h"
 #include "trace/workloads.h"
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
   const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
@@ -26,6 +29,7 @@ int main(int argc, char** argv) {
       flex::trace::Workload::kWin2};
   struct Variant {
     flex::trace::Workload workload;
+    const char* policy;
     flex::ssd::SsdConfig cfg;
   };
   std::vector<Variant> variants;
@@ -33,19 +37,28 @@ int main(int argc, char** argv) {
     auto cfg = flex::bench::ExperimentHarness::drive_config(
         flex::ssd::Scheme::kLdpcInSsd, 6000);
     cfg.age_model = flex::ssd::AgeModel::kStaticPerLba;
-    variants.push_back({workload, cfg});
+    variants.push_back({workload, "ladder", cfg});
     cfg.sensing_hint = true;
-    variants.push_back({workload, cfg});
+    variants.push_back({workload, "hint", cfg});
     auto flex_cfg = flex::bench::ExperimentHarness::drive_config(
         flex::ssd::Scheme::kFlexLevel, 6000);
     flex_cfg.age_model = flex::ssd::AgeModel::kStaticPerLba;
-    variants.push_back({workload, flex_cfg});
+    variants.push_back({workload, "flexlevel", flex_cfg});
   }
+  const bool collect =
+      !outputs.trace_out.empty() || !outputs.metrics_out.empty();
   const auto results = flex::bench::run_indexed(
       variants.size(),
       [&](std::size_t i) {
+        if (!collect) {
+          return harness.run_with(variants[i].cfg, variants[i].workload,
+                                  requests);
+        }
+        flex::telemetry::Telemetry telemetry;
+        telemetry.pid = static_cast<std::int32_t>(i + 1);
+        telemetry.trace = !outputs.trace_out.empty();
         return harness.run_with(variants[i].cfg, variants[i].workload,
-                                requests);
+                                requests, &telemetry);
       },
       jobs);
 
@@ -72,5 +85,20 @@ int main(int argc, char** argv) {
       "The block hint removes the failed-decode retries of the ladder but "
       "still pays the soft\nsensing itself; FlexLevel removes the soft "
       "sensing for the data that matters.\n");
+
+  if (collect) {
+    std::vector<flex::bench::RunLabel> runs;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      runs.push_back({flex::trace::workload_name(variants[i].workload) +
+                          "/" + variants[i].policy,
+                      static_cast<std::int32_t>(i + 1)});
+    }
+    if (!outputs.trace_out.empty()) {
+      flex::bench::write_trace_file(outputs.trace_out, runs, results);
+    }
+    if (!outputs.metrics_out.empty()) {
+      flex::bench::write_metrics_file(outputs.metrics_out, runs, results);
+    }
+  }
   return 0;
 }

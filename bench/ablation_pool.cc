@@ -12,6 +12,8 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
   const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
@@ -31,14 +33,21 @@ int main(int argc, char** argv) {
   cells.push_back({.workload = flex::trace::Workload::kWeb1,
                    .scheme = flex::ssd::Scheme::kLdpcInSsd,
                    .pe_cycles = 6000,
-                   .requests_override = requests});
+                   .requests_override = requests,
+                   .collect_metrics = !outputs.metrics_out.empty(),
+                   .collect_spans = !outputs.trace_out.empty(),
+                   .telemetry_pid = 1});
   for (const double share : shares) {
     cells.push_back({.workload = flex::trace::Workload::kWeb1,
                      .scheme = flex::ssd::Scheme::kFlexLevel,
                      .pe_cycles = 6000,
                      .requests_override = requests,
                      .pool_override_pages =
-                         static_cast<std::uint64_t>(raw_pages * share)});
+                         static_cast<std::uint64_t>(raw_pages * share),
+                     .collect_metrics = !outputs.metrics_out.empty(),
+                     .collect_spans = !outputs.trace_out.empty(),
+                     .telemetry_pid =
+                         static_cast<std::int32_t>(cells.size() + 1)});
   }
   const auto all = flex::bench::run_cells(harness, cells, jobs);
   const auto& reference = all.front();
@@ -64,5 +73,22 @@ int main(int argc, char** argv) {
   std::printf("The paper's 25%% pool bounds capacity loss at ~6%% while "
               "capturing the hot soft-read set; small pools thrash or leave "
               "hot data un-migrated, trading speed for capacity.\n");
+
+  if (!outputs.trace_out.empty() || !outputs.metrics_out.empty()) {
+    // Scheme/workload alone doesn't distinguish the pool sizes, so label
+    // runs by pool share instead of cell_label.
+    std::vector<flex::bench::RunLabel> runs = {{"web-1/ldpc-in-ssd", 1}};
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      runs.push_back({"web-1/flexlevel/pool" +
+                          TablePrinter::num(shares[i] * 100.0, 2) + "%",
+                      static_cast<std::int32_t>(i + 2)});
+    }
+    if (!outputs.trace_out.empty()) {
+      flex::bench::write_trace_file(outputs.trace_out, runs, all);
+    }
+    if (!outputs.metrics_out.empty()) {
+      flex::bench::write_metrics_file(outputs.metrics_out, runs, all);
+    }
+  }
   return 0;
 }

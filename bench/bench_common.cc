@@ -3,13 +3,20 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "common/rng.h"
 #include "flexlevel/nunma.h"
 #include "flexlevel/reduce_mapper.h"
 #include "nand/level_config.h"
+
+#ifndef FLEX_GIT_SHA
+#define FLEX_GIT_SHA "unknown"
+#endif
 
 namespace flex::bench {
 namespace {
@@ -88,14 +95,24 @@ ssd::SsdResults ExperimentHarness::run(trace::Workload workload,
 }
 
 ssd::SsdResults ExperimentHarness::run(const CellSpec& cell) const {
-  return run(cell.workload, cell.scheme, cell.pe_cycles,
-             cell.requests_override, cell.age_model,
-             cell.pool_override_pages);
+  ssd::SsdConfig cfg = drive_config(cell.scheme, cell.pe_cycles);
+  cfg.age_model = cell.age_model;
+  if (cell.pool_override_pages > 0) {
+    cfg.access_eval.pool_capacity_pages = cell.pool_override_pages;
+  }
+  if (!cell.collect_metrics && !cell.collect_spans) {
+    return run_with(std::move(cfg), cell.workload, cell.requests_override);
+  }
+  telemetry::Telemetry telemetry;
+  telemetry.pid = cell.telemetry_pid;
+  telemetry.trace = cell.collect_spans;
+  return run_with(std::move(cfg), cell.workload, cell.requests_override,
+                  &telemetry);
 }
 
 ssd::SsdResults ExperimentHarness::run_with(
     ssd::SsdConfig cfg, trace::Workload workload,
-    std::uint64_t requests_override) const {
+    std::uint64_t requests_override, telemetry::Telemetry* telemetry) const {
   trace::WorkloadParams params = trace::workload_params(workload);
   if (requests_override > 0) params.requests = requests_override;
   // The drive is scaled to 1/8 of the paper's chip count; scale the arrival
@@ -116,6 +133,10 @@ ssd::SsdResults ExperimentHarness::run_with(
                      static_cast<std::ptrdiff_t>(requests.size() / 3);
   sim.run({requests.begin(), split});
   sim.reset_measurements();
+  // Telemetry attaches after warmup so metrics and spans cover exactly
+  // the measured window. Observation-only: results are bit-identical
+  // with or without it.
+  if (telemetry) sim.attach_telemetry(telemetry);
   return sim.run({split, requests.end()});
 }
 
@@ -157,6 +178,170 @@ std::vector<ssd::SsdResults> run_cells(const ExperimentHarness& harness,
   return run_indexed(
       cells.size(),
       [&](std::size_t i) { return harness.run(cells[i]); }, jobs);
+}
+
+OutputOptions parse_outputs(int* argc, char** argv) {
+  OutputOptions options;
+  const struct {
+    const char* flag;
+    std::string* dest;
+  } flags[] = {{"--trace-out", &options.trace_out},
+               {"--metrics-out", &options.metrics_out},
+               {"--bench-out", &options.bench_out}};
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    bool consumed = false;
+    for (const auto& [flag, dest] : flags) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+        *dest = argv[++i];
+        consumed = true;
+        break;
+      }
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+        *dest = argv[i] + len + 1;
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) argv[out++] = argv[i];
+  }
+  *argc = out;
+  return options;
+}
+
+std::string cell_label(const CellSpec& cell) {
+  return trace::workload_name(cell.workload) + "/" +
+         ssd::scheme_name(cell.scheme) + "/pe" +
+         std::to_string(cell.pe_cycles);
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<RunLabel>& runs,
+                      const std::vector<ssd::SsdResults>& results) {
+  std::vector<telemetry::Span> spans;
+  std::vector<telemetry::TrackLabel> labels;
+  std::set<std::pair<std::int32_t, std::int32_t>> tracks;
+  for (std::size_t i = 0; i < runs.size() && i < results.size(); ++i) {
+    if (results[i].spans.empty()) continue;
+    labels.push_back(
+        {.pid = runs[i].pid, .thread = false, .name = runs[i].label});
+    for (const telemetry::Span& span : results[i].spans) {
+      spans.push_back(span);
+      tracks.emplace(span.pid, span.tid);
+    }
+  }
+  for (const auto& [pid, tid] : tracks) {
+    telemetry::TrackLabel label{.pid = pid, .tid = tid, .thread = true};
+    if (tid == telemetry::kHostTrack) {
+      label.name = "host";
+    } else if (tid == telemetry::kFtlTrack) {
+      label.name = "ftl";
+    } else {
+      label.name = "chip " + std::to_string(tid);
+    }
+    labels.push_back(std::move(label));
+  }
+  std::ofstream out(path);
+  telemetry::write_chrome_trace(out, spans, labels);
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<CellSpec>& cells,
+                      const std::vector<ssd::SsdResults>& results) {
+  std::vector<RunLabel> runs;
+  runs.reserve(cells.size());
+  for (const CellSpec& cell : cells) {
+    runs.push_back({cell_label(cell), cell.telemetry_pid});
+  }
+  write_trace_file(path, runs, results);
+}
+
+void write_metrics_file(const std::string& path,
+                        const std::vector<RunLabel>& runs,
+                        const std::vector<ssd::SsdResults>& results) {
+  std::ofstream out(path);
+  telemetry::MetricsSnapshot merged;
+  for (std::size_t i = 0; i < runs.size() && i < results.size(); ++i) {
+    if (results[i].metrics.empty()) continue;
+    telemetry::write_metrics_jsonl(out, runs[i].label, results[i].metrics);
+    // Index-order fold: deterministic whatever --jobs produced them.
+    merged.merge(results[i].metrics);
+  }
+  if (!merged.empty()) {
+    telemetry::write_metrics_jsonl(out, "_merged", merged);
+  }
+}
+
+void write_metrics_file(const std::string& path,
+                        const std::vector<CellSpec>& cells,
+                        const std::vector<ssd::SsdResults>& results) {
+  std::vector<RunLabel> runs;
+  runs.reserve(cells.size());
+  for (const CellSpec& cell : cells) {
+    runs.push_back({cell_label(cell), cell.telemetry_pid});
+  }
+  write_metrics_file(path, runs, results);
+}
+
+void write_bench_json(const std::string& path, const std::string& bench,
+                      std::uint64_t requests_override, int jobs,
+                      const std::vector<CellSpec>& cells,
+                      const std::vector<ssd::SsdResults>& results) {
+  using telemetry::format_double;
+  using telemetry::json_escape;
+  std::ofstream out(path);
+  const ssd::SsdConfig cfg =
+      ExperimentHarness::drive_config(ssd::Scheme::kLdpcInSsd, 6000);
+  out << "{\n\"bench\":\"" << json_escape(bench) << "\",\n"
+      << "\"git_sha\":\"" << json_escape(FLEX_GIT_SHA) << "\",\n"
+      << "\"config\":{"
+      << "\"chips\":" << cfg.ftl.spec.chips
+      << ",\"blocks_per_chip\":" << cfg.ftl.spec.blocks_per_chip
+      << ",\"pages_per_block\":" << cfg.ftl.spec.pages_per_block
+      << ",\"page_size_bytes\":" << cfg.ftl.spec.page_size_bytes
+      << ",\"over_provisioning\":"
+      << format_double(cfg.ftl.over_provisioning)
+      << ",\"requests_override\":" << requests_override
+      << ",\"jobs\":" << jobs << "},\n\"cells\":[";
+  for (std::size_t i = 0; i < cells.size() && i < results.size(); ++i) {
+    const CellSpec& cell = cells[i];
+    const ssd::SsdResults& r = results[i];
+    const ssd::ReadBreakdown& b = r.read_breakdown;
+    const double total = static_cast<double>(b.total());
+    out << (i == 0 ? "\n" : ",\n") << "{\"workload\":\""
+        << json_escape(trace::workload_name(cell.workload))
+        << "\",\"scheme\":\"" << json_escape(ssd::scheme_name(cell.scheme))
+        << "\",\"pe_cycles\":" << cell.pe_cycles << ",\"age_model\":\""
+        << (cell.age_model == ssd::AgeModel::kStaticPerLba ? "static"
+                                                           : "physical")
+        << "\",\"requests\":" << r.all_response.count()
+        << ",\"all_mean_s\":" << format_double(r.all_response.mean())
+        << ",\"read_mean_s\":" << format_double(r.read_response.mean())
+        << ",\"read_p99_s\":"
+        << format_double(r.read_latency_hist.quantile(0.99))
+        << ",\"read_total_s\":" << format_double(r.read_response.sum())
+        << ",\"breakdown_s\":{";
+    const std::pair<const char*, Duration> parts[] = {
+        {"queue_wait", b.queue_wait},
+        {"sensing", b.sensing},
+        {"transfer", b.transfer},
+        {"decode", b.decode},
+        {"buffer", b.buffer}};
+    for (std::size_t p = 0; p < std::size(parts); ++p) {
+      out << (p == 0 ? "" : ",") << '"' << parts[p].first
+          << "\":" << format_double(to_seconds(parts[p].second));
+    }
+    out << "},\"breakdown_share\":{";
+    for (std::size_t p = 0; p < std::size(parts); ++p) {
+      const double share =
+          total > 0.0 ? static_cast<double>(parts[p].second) / total : 0.0;
+      out << (p == 0 ? "" : ",") << '"' << parts[p].first
+          << "\":" << format_double(share);
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
 }
 
 int parse_jobs(int* argc, char** argv) {

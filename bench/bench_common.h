@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "reliability/ber_model.h"
 #include "ssd/simulator.h"
+#include "telemetry/export.h"
 #include "trace/workloads.h"
 
 namespace flex::bench {
@@ -33,6 +35,15 @@ struct CellSpec {
   ssd::AgeModel age_model = ssd::AgeModel::kStaticPerLba;
   /// 0 = keep the drive default ReducedCell pool size.
   std::uint64_t pool_override_pages = 0;
+  /// Attach a telemetry context for the measured pass (warmup excluded);
+  /// its snapshot lands in SsdResults::metrics. Observation-only: the
+  /// simulated results are bit-identical either way.
+  bool collect_metrics = false;
+  /// Additionally record per-request spans (implies a metrics context);
+  /// they land in SsdResults::spans.
+  bool collect_spans = false;
+  /// Chrome-trace process id for this cell's spans (one track per cell).
+  std::int32_t telemetry_pid = 0;
 };
 
 class ExperimentHarness {
@@ -55,8 +66,11 @@ class ExperimentHarness {
 
   /// Runs an arbitrary SsdConfig under the harness methodology (scaled
   /// arrival rate, standing population, preconditioning, warmup pass).
+  /// `telemetry` (optional) is attached for the measured pass only, so
+  /// its metrics and spans cover exactly the measurement window.
   ssd::SsdResults run_with(ssd::SsdConfig config, trace::Workload workload,
-                           std::uint64_t requests_override = 0) const;
+                           std::uint64_t requests_override = 0,
+                           telemetry::Telemetry* telemetry = nullptr) const;
 
   const reliability::BerModel& normal_model() const { return *normal_; }
   const reliability::BerModel& reduced_model() const { return *reduced_; }
@@ -89,5 +103,53 @@ std::vector<ssd::SsdResults> run_cells(const ExperimentHarness& harness,
 /// back to the FLEX_BENCH_JOBS environment variable; defaults to 1.
 /// 0 means "one job per hardware thread".
 int parse_jobs(int* argc, char** argv);
+
+/// Telemetry/export destinations for a bench run (empty string = off).
+struct OutputOptions {
+  std::string trace_out;    ///< Chrome trace-event JSON
+  std::string metrics_out;  ///< metrics JSONL (per cell + merged)
+  std::string bench_out;    ///< BENCH_*.json override (benches default it)
+};
+
+/// Extracts `--trace-out PATH`, `--metrics-out PATH` and `--bench-out
+/// PATH` (also the `--flag=PATH` spellings) from argv, compacting it.
+OutputOptions parse_outputs(int* argc, char** argv);
+
+/// "workload/scheme/peNNNN" identity of a cell (trace process names,
+/// metrics line tags, bench JSON rows).
+std::string cell_label(const CellSpec& cell);
+
+/// Label + Chrome process id of one telemetry-collecting run, for benches
+/// whose variants are not CellSpecs (custom-config ablations).
+struct RunLabel {
+  std::string label;
+  std::int32_t pid = 0;
+};
+
+/// Writes one Chrome trace-event file combining every run's spans, one
+/// process track per run.
+void write_trace_file(const std::string& path,
+                      const std::vector<RunLabel>& runs,
+                      const std::vector<ssd::SsdResults>& results);
+void write_trace_file(const std::string& path,
+                      const std::vector<CellSpec>& cells,
+                      const std::vector<ssd::SsdResults>& results);
+
+/// Writes metrics JSONL: every run's snapshot tagged with its label (in
+/// index order), then the fold of all snapshots tagged "_merged" — the
+/// deterministic-merge artifact that must not depend on --jobs.
+void write_metrics_file(const std::string& path,
+                        const std::vector<RunLabel>& runs,
+                        const std::vector<ssd::SsdResults>& results);
+void write_metrics_file(const std::string& path,
+                        const std::vector<CellSpec>& cells,
+                        const std::vector<ssd::SsdResults>& results);
+
+/// Writes the machine-readable BENCH_<name>.json summary: git SHA, drive
+/// config, and per-cell mean/p99/latency-breakdown rows.
+void write_bench_json(const std::string& path, const std::string& bench,
+                      std::uint64_t requests_override, int jobs,
+                      const std::vector<CellSpec>& cells,
+                      const std::vector<ssd::SsdResults>& results);
 
 }  // namespace flex::bench

@@ -11,7 +11,12 @@
 //
 // Pass `--jobs N` (or set FLEX_BENCH_JOBS) to fan the 28 independent
 // (workload, scheme) cells across N threads; results are identical to a
-// serial run.
+// serial run. `--trace-out t.json` records per-request latency-breakdown
+// spans of the primary table's measured window (Chrome trace-event
+// format); `--metrics-out m.jsonl` dumps its metrics snapshots. Both are
+// observation-only: stdout is byte-identical with or without them. A
+// machine-readable summary always lands in BENCH_fig6a.json
+// (`--bench-out` overrides the path).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,26 +27,31 @@
 
 namespace {
 
-void run_table(const flex::bench::ExperimentHarness& harness,
-               flex::ssd::AgeModel age_model, std::uint64_t requests,
-               int jobs) {
-  using flex::TablePrinter;
+std::vector<flex::bench::CellSpec> make_cells(
+    flex::ssd::AgeModel age_model, std::uint64_t requests,
+    const flex::bench::OutputOptions& outputs) {
   const std::vector<flex::ssd::Scheme> schemes = {
       flex::ssd::Scheme::kBaseline, flex::ssd::Scheme::kLdpcInSsd,
       flex::ssd::Scheme::kLevelAdjustOnly, flex::ssd::Scheme::kFlexLevel};
-
   std::vector<flex::bench::CellSpec> cells;
   for (const auto workload : flex::trace::kAllWorkloads) {
     for (const auto scheme : schemes) {
-      cells.push_back({.workload = workload,
-                       .scheme = scheme,
-                       .pe_cycles = 6000,
-                       .requests_override = requests,
-                       .age_model = age_model});
+      cells.push_back(
+          {.workload = workload,
+           .scheme = scheme,
+           .pe_cycles = 6000,
+           .requests_override = requests,
+           .age_model = age_model,
+           .collect_metrics = !outputs.metrics_out.empty(),
+           .collect_spans = !outputs.trace_out.empty(),
+           .telemetry_pid = static_cast<std::int32_t>(cells.size() + 1)});
     }
   }
-  const auto results = flex::bench::run_cells(harness, cells, jobs);
+  return cells;
+}
 
+void print_table(const std::vector<flex::ssd::SsdResults>& results) {
+  using flex::TablePrinter;
   TablePrinter table({"workload", "baseline", "LDPC-in-SSD",
                       "LevelAdjust-only", "LevelAdjust+AccessEval"});
   double flex_vs_base = 0.0;
@@ -52,7 +62,7 @@ void run_table(const flex::bench::ExperimentHarness& harness,
 
   for (const auto workload : flex::trace::kAllWorkloads) {
     std::vector<double> means;
-    for (std::size_t s = 0; s < schemes.size(); ++s) {
+    for (std::size_t s = 0; s < 4; ++s) {
       means.push_back(results[cell++].all_response.mean());
     }
     const double base = means[0];
@@ -82,6 +92,8 @@ void run_table(const flex::bench::ExperimentHarness& harness,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
   const int jobs = flex::bench::parse_jobs(&argc, argv);
   // Optional request-count override for quick runs.
   std::uint64_t requests = 0;
@@ -103,10 +115,26 @@ int main(int argc, char** argv) {
 
   std::printf("=== Fig. 6(a): normalized overall response time, P/E 6000 "
               "(paper's static storage-time axis, 1 day .. 1 month) ===\n\n");
-  run_table(harness, flex::ssd::AgeModel::kStaticPerLba, requests, jobs);
+  // Telemetry (if requested) covers the primary, paper-setting table.
+  const auto cells =
+      make_cells(flex::ssd::AgeModel::kStaticPerLba, requests, outputs);
+  const auto results = flex::bench::run_cells(harness, cells, jobs);
+  print_table(results);
 
   std::printf("=== Extension: same experiment with physically tracked "
               "per-page ages (rewritten data is fresh) ===\n\n");
-  run_table(harness, flex::ssd::AgeModel::kPhysical, requests, jobs);
+  const auto physical_cells = make_cells(flex::ssd::AgeModel::kPhysical,
+                                         requests, flex::bench::OutputOptions{});
+  print_table(flex::bench::run_cells(harness, physical_cells, jobs));
+
+  if (!outputs.trace_out.empty()) {
+    flex::bench::write_trace_file(outputs.trace_out, cells, results);
+  }
+  if (!outputs.metrics_out.empty()) {
+    flex::bench::write_metrics_file(outputs.metrics_out, cells, results);
+  }
+  flex::bench::write_bench_json(
+      outputs.bench_out.empty() ? "BENCH_fig6a.json" : outputs.bench_out,
+      "fig6a", requests, jobs, cells, results);
   return 0;
 }

@@ -5,6 +5,9 @@
 //
 // The 42 (P/E, workload, scheme) cells are independent; `--jobs N` (or
 // FLEX_BENCH_JOBS) fans them across a thread pool with identical results.
+// `--trace-out`/`--metrics-out` export the measured window's spans and
+// metrics (observation-only; stdout unchanged); a machine-readable
+// summary always lands in BENCH_fig6b.json (`--bench-out` overrides).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +17,8 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
   const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
@@ -33,10 +38,14 @@ int main(int argc, char** argv) {
     for (const auto workload : flex::trace::kAllWorkloads) {
       for (const auto scheme : {flex::ssd::Scheme::kLdpcInSsd,
                                 flex::ssd::Scheme::kFlexLevel}) {
-        cells.push_back({.workload = workload,
-                         .scheme = scheme,
-                         .pe_cycles = point.pe,
-                         .requests_override = requests});
+        cells.push_back(
+            {.workload = workload,
+             .scheme = scheme,
+             .pe_cycles = point.pe,
+             .requests_override = requests,
+             .collect_metrics = !outputs.metrics_out.empty(),
+             .collect_spans = !outputs.trace_out.empty(),
+             .telemetry_pid = static_cast<std::int32_t>(cells.size() + 1)});
       }
     }
   }
@@ -61,5 +70,15 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: the FlexLevel advantage must widen as P/E "
               "grows.\n");
+
+  if (!outputs.trace_out.empty()) {
+    flex::bench::write_trace_file(outputs.trace_out, cells, results);
+  }
+  if (!outputs.metrics_out.empty()) {
+    flex::bench::write_metrics_file(outputs.metrics_out, cells, results);
+  }
+  flex::bench::write_bench_json(
+      outputs.bench_out.empty() ? "BENCH_fig6b.json" : outputs.bench_out,
+      "fig6b", requests, jobs, cells, results);
   return 0;
 }

@@ -15,6 +15,8 @@
 
 int main(int argc, char** argv) {
   using flex::TablePrinter;
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
   const int jobs = flex::bench::parse_jobs(&argc, argv);
   std::uint64_t requests = 0;
   if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
@@ -29,7 +31,11 @@ int main(int argc, char** argv) {
       cells.push_back({.workload = workload,
                        .scheme = scheme,
                        .pe_cycles = 6000,
-                       .requests_override = requests});
+                       .requests_override = requests,
+                       .collect_metrics = !outputs.metrics_out.empty(),
+                       .collect_spans = !outputs.trace_out.empty(),
+                       .telemetry_pid =
+                           static_cast<std::int32_t>(cells.size() + 1)});
     }
   }
   const auto results = flex::bench::run_cells(harness, cells, jobs);
@@ -76,5 +82,12 @@ int main(int argc, char** argv) {
               TablePrinter::percent(life_sum / count).c_str());
   std::printf("\n(LDPC-in-SSD itself adds no writes or erases — the deltas "
               "come from AccessEval's pool migrations.)\n");
+
+  if (!outputs.trace_out.empty()) {
+    flex::bench::write_trace_file(outputs.trace_out, cells, results);
+  }
+  if (!outputs.metrics_out.empty()) {
+    flex::bench::write_metrics_file(outputs.metrics_out, cells, results);
+  }
   return 0;
 }

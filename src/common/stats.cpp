@@ -66,12 +66,24 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   FLEX_EXPECTS(bins > 0);
 }
 
+Histogram Histogram::log_spaced(double lo, double hi, std::size_t bins) {
+  FLEX_EXPECTS(lo > 0.0);
+  Histogram h(lo, hi, bins);
+  h.log_ = true;
+  h.log_lo_ = std::log(lo);
+  h.log_width_ = (std::log(hi) - h.log_lo_) / static_cast<double>(bins);
+  return h;
+}
+
 void Histogram::add(double x) {
   std::size_t idx;
   if (x < lo_) {
     idx = 0;
   } else if (x >= hi_) {
     idx = counts_.size() - 1;
+  } else if (log_) {
+    idx = static_cast<std::size_t>((std::log(x) - log_lo_) / log_width_);
+    idx = std::min(idx, counts_.size() - 1);
   } else {
     idx = static_cast<std::size_t>((x - lo_) / width_);
     idx = std::min(idx, counts_.size() - 1);
@@ -80,12 +92,35 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+bool Histogram::same_shape(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ && log_ == other.log_ &&
+         counts_.size() == other.counts_.size();
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  return same_shape(other) && total_ == other.total_ &&
+         counts_ == other.counts_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  FLEX_EXPECTS(same_shape(other));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::bin_low(std::size_t i) const {
-  return lo_ + width_ * static_cast<double>(i);
+  if (!log_) return lo_ + width_ * static_cast<double>(i);
+  // Pin the outer edges exactly; exp(log(lo)) can be off by an ulp.
+  if (i == 0) return lo_;
+  return std::exp(log_lo_ + log_width_ * static_cast<double>(i));
 }
 
 double Histogram::bin_high(std::size_t i) const {
-  return lo_ + width_ * static_cast<double>(i + 1);
+  if (!log_) return lo_ + width_ * static_cast<double>(i + 1);
+  if (i + 1 == counts_.size()) return hi_;
+  return std::exp(log_lo_ + log_width_ * static_cast<double>(i + 1));
 }
 
 double Histogram::quantile(double q) const {
@@ -100,7 +135,7 @@ double Histogram::quantile(double q) const {
           counts_[i] == 0
               ? 0.0
               : (target - cumulative) / static_cast<double>(counts_[i]);
-      return bin_low(i) + frac * width_;
+      return bin_low(i) + frac * (bin_high(i) - bin_low(i));
     }
     cumulative = next;
   }

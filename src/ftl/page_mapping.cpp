@@ -154,6 +154,7 @@ std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
   const std::uint64_t ppn = make_ppn(frontier, page_id);
   map_[lpn] = ppn;
   ++stats_.nand_writes;
+  if (telemetry_) ++metrics_.nand_writes->value;
   ++*programs;
   return ppn;
 }
@@ -221,6 +222,7 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
   // Erase renews the cells: the accumulated pass-voltage stress is gone.
   victim.read_count = 0;
   ++stats_.nand_erases;
+  if (telemetry_) ++metrics_.nand_erases->value;
   free_list_.push_back(block_id);
   ++free_count_;
 }
@@ -244,6 +246,19 @@ void PageMappingFtl::maybe_garbage_collect(SimTime now,
     reclaim_block(*victim_id, now, &moves, programs);
     stats_.gc_page_moves += moves;
     ++*erases;
+    if (telemetry_) {
+      ++metrics_.gc_runs->value;
+      metrics_.gc_page_moves->value += moves;
+      if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+        tracer->record({.name = "gc",
+                        .cat = "ftl",
+                        .pid = telemetry_->pid,
+                        .tid = telemetry::kFtlTrack,
+                        .start = now,
+                        .arg0_key = "pages_moved",
+                        .arg0 = static_cast<double>(moves)});
+      }
+    }
   }
 }
 
@@ -266,6 +281,10 @@ std::optional<RefreshResult> PageMappingFtl::refresh_block(std::uint64_t ppn,
   std::uint64_t moves = 0;
   reclaim_block(block_id, now, &moves, &result.page_programs);
   stats_.refresh_page_moves += moves;
+  if (telemetry_) {
+    ++metrics_.refresh_runs->value;
+    metrics_.refresh_page_moves->value += moves;
+  }
   result.pages_moved = moves;
   ++result.erases;
   return result;
@@ -277,6 +296,7 @@ WriteResult PageMappingFtl::write(std::uint64_t lpn, PageMode mode,
   WriteResult result;
   result.page_programs = 0;
   ++stats_.host_writes;
+  if (telemetry_) ++metrics_.host_writes->value;
   invalidate(lpn);
   maybe_garbage_collect(now, &result.page_programs, &result.erases);
   result.ppn = append(lpn, mode, now, &result.page_programs);
@@ -291,11 +311,29 @@ WriteResult PageMappingFtl::migrate(std::uint64_t lpn, PageMode mode,
   WriteResult result;
   result.page_programs = 0;
   ++stats_.mode_migrations;
+  if (telemetry_) ++metrics_.mode_migrations->value;
   invalidate(lpn);
   maybe_garbage_collect(now, &result.page_programs, &result.erases);
   result.ppn = append(lpn, mode, now, &result.page_programs);
   result.mode = mode;
   return result;
+}
+
+void PageMappingFtl::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    metrics_ = Metrics{};
+    return;
+  }
+  telemetry::MetricsRegistry& registry = telemetry_->metrics;
+  metrics_.host_writes = &registry.counter("ftl.host_writes");
+  metrics_.nand_writes = &registry.counter("ftl.nand_writes");
+  metrics_.nand_erases = &registry.counter("ftl.nand_erases");
+  metrics_.gc_runs = &registry.counter("ftl.gc_runs");
+  metrics_.gc_page_moves = &registry.counter("ftl.gc_page_moves");
+  metrics_.mode_migrations = &registry.counter("ftl.mode_migrations");
+  metrics_.refresh_runs = &registry.counter("ftl.refresh_runs");
+  metrics_.refresh_page_moves = &registry.counter("ftl.refresh_page_moves");
 }
 
 std::uint32_t PageMappingFtl::min_erase_count() const {

@@ -16,6 +16,7 @@
 
 #include "common/units.h"
 #include "nand/geometry.h"
+#include "telemetry/telemetry.h"
 
 namespace flex::ftl {
 
@@ -123,6 +124,12 @@ class PageMappingFtl {
   std::optional<RefreshResult> refresh_block(std::uint64_t ppn, SimTime now);
 
   const FtlStats& stats() const { return stats_; }
+
+  /// Binds the FTL's write/GC/refresh counters into `telemetry` and
+  /// enables GC trace spans (see telemetry.h for the null-sink contract);
+  /// nullptr detaches.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
   std::uint32_t free_blocks() const { return free_count_; }
   std::uint32_t min_erase_count() const;
   std::uint32_t max_erase_count() const;
@@ -184,6 +191,20 @@ class PageMappingFtl {
   std::vector<std::vector<std::uint32_t>> gc_buckets_;  // by valid_count
   std::vector<std::uint32_t> gc_bucket_pos_;  // block -> index in its bucket
   FtlStats stats_;
+
+  /// Bound metric handles mirroring FtlStats (null when detached).
+  struct Metrics {
+    telemetry::MetricsRegistry::Counter* host_writes = nullptr;
+    telemetry::MetricsRegistry::Counter* nand_writes = nullptr;
+    telemetry::MetricsRegistry::Counter* nand_erases = nullptr;
+    telemetry::MetricsRegistry::Counter* gc_runs = nullptr;
+    telemetry::MetricsRegistry::Counter* gc_page_moves = nullptr;
+    telemetry::MetricsRegistry::Counter* mode_migrations = nullptr;
+    telemetry::MetricsRegistry::Counter* refresh_runs = nullptr;
+    telemetry::MetricsRegistry::Counter* refresh_page_moves = nullptr;
+  };
+  telemetry::Telemetry* telemetry_ = nullptr;
+  Metrics metrics_;
 };
 
 }  // namespace flex::ftl

@@ -13,7 +13,7 @@ ChipScheduler::ChipScheduler(std::size_t chips, EventQueue& events)
 }
 
 SimTime ChipScheduler::submit(std::size_t chip, SimTime arrival,
-                              const ChipCommand& cmd) {
+                              const ChipCommand& cmd, const char* op) {
   FLEX_EXPECTS(chip < chips());
   const SimTime start = std::max(arrival, free_at_[chip]);
   const SimTime completion = start + cmd.total();
@@ -29,6 +29,31 @@ SimTime ChipScheduler::submit(std::size_t chip, SimTime arrival,
   stats.die_busy += cmd.die;
   stats.controller_busy += cmd.controller;
 
+  if (telemetry_) {
+    ++commands_metric_->value;
+    if (start > arrival) {
+      ++queued_metric_->value;
+      wait_hist_->add(static_cast<double>(start - arrival) / 1000.0);
+    }
+    if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+      const auto tid = static_cast<std::int32_t>(chip);
+      if (start > arrival) {
+        tracer->record({.name = "wait",
+                        .cat = "chip",
+                        .pid = telemetry_->pid,
+                        .tid = tid,
+                        .start = arrival,
+                        .dur = start - arrival});
+      }
+      tracer->record({.name = op,
+                      .cat = "chip",
+                      .pid = telemetry_->pid,
+                      .tid = tid,
+                      .start = start,
+                      .dur = cmd.total()});
+    }
+  }
+
   ++in_flight_[chip];
   stats.max_queue_depth = std::max(stats.max_queue_depth, in_flight_[chip]);
   events_.schedule(completion,
@@ -40,7 +65,8 @@ void ChipScheduler::submit_background(SimTime now,
                                       const ftl::WriteResult& result,
                                       const LatencyModel& latency) {
   // The host program lands on the chip that owns its physical page.
-  submit(chip_of(result.ppn), now, ChipCommand{.die = latency.program()});
+  submit(chip_of(result.ppn), now, ChipCommand{.die = latency.program()},
+         "program");
   // GC relocations read the victim page before reprogramming it.
   const std::uint64_t moves =
       result.page_programs > 0 ? result.page_programs - 1 : 0;
@@ -48,17 +74,36 @@ void ChipScheduler::submit_background(SimTime now,
     next_background_chip_ = (next_background_chip_ + 1) % chips();
     submit(next_background_chip_, now,
            ChipCommand{.die = latency.program() +
-                              latency.spec.read_latency});
+                              latency.spec.read_latency},
+           "gc_move");
   }
   for (std::uint64_t i = 0; i < result.erases; ++i) {
     next_background_chip_ = (next_background_chip_ + 1) % chips();
     submit(next_background_chip_, now,
-           ChipCommand{.die = latency.erase()});
+           ChipCommand{.die = latency.erase()}, "erase");
   }
 }
 
 void ChipScheduler::reset_stats() {
   std::fill(stats_.begin(), stats_.end(), ChipStats{});
+}
+
+void ChipScheduler::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    commands_metric_ = nullptr;
+    queued_metric_ = nullptr;
+    wait_hist_ = nullptr;
+    return;
+  }
+  commands_metric_ = &telemetry_->metrics.counter("chip.commands");
+  queued_metric_ = &telemetry_->metrics.counter("chip.queued_commands");
+  // Queueing waits span sub-µs bus gaps to ms-scale GC trains; log bins
+  // keep relative resolution across the whole range (values in µs).
+  wait_hist_ = &telemetry_->metrics.histogram(
+      "chip.wait_us",
+      telemetry::HistogramSpec{
+          .lo = 1e-2, .hi = 1e6, .bins = 160, .log_spaced = true});
 }
 
 }  // namespace flex::ssd

@@ -71,8 +71,11 @@ class ChipScheduler {
   std::size_t chip_of(std::uint64_t ppn) const { return ppn % chips(); }
 
   /// Issues one command to `chip` no earlier than `arrival`; returns its
-  /// completion time. Commands on one chip serialise in issue order.
-  SimTime submit(std::size_t chip, SimTime arrival, const ChipCommand& cmd);
+  /// completion time. Commands on one chip serialise in issue order. `op`
+  /// names the command on the chip's trace track when tracing is enabled
+  /// (static-lifetime string; unused otherwise).
+  SimTime submit(std::size_t chip, SimTime arrival, const ChipCommand& cmd,
+                 const char* op = "cmd");
 
   /// Schedules a flush/GC write result's NAND operations: the host program
   /// on its own chip, each GC relocation and erase on the next chip
@@ -89,12 +92,20 @@ class ChipScheduler {
   /// used by SsdSimulator::reset_measurements between warmup and measure.
   void reset_stats();
 
+  /// Binds command/wait metrics and enables per-chip trace spans (see
+  /// telemetry.h for the null-sink contract); nullptr detaches.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   EventQueue& events_;
   std::vector<SimTime> free_at_;
   std::vector<std::uint64_t> in_flight_;
   std::vector<ChipStats> stats_;
   std::size_t next_background_chip_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::MetricsRegistry::Counter* commands_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* queued_metric_ = nullptr;
+  Histogram* wait_hist_ = nullptr;
 };
 
 }  // namespace flex::ssd

@@ -6,6 +6,7 @@ namespace flex::ssd {
 
 void EventQueue::schedule(SimTime when, Callback callback) {
   heap_.push(Event{when, next_seq_++, std::move(callback)});
+  if (scheduled_metric_) ++scheduled_metric_->value;
 }
 
 bool EventQueue::run_next() {
@@ -16,6 +17,7 @@ bool EventQueue::run_next() {
   heap_.pop();
   now_ = event.when;
   ++fired_;
+  if (fired_metric_) ++fired_metric_->value;
   event.callback(event.when);
   return true;
 }
@@ -23,6 +25,16 @@ bool EventQueue::run_next() {
 void EventQueue::run_all() {
   while (run_next()) {
   }
+}
+
+void EventQueue::attach_telemetry(telemetry::Telemetry* telemetry) {
+  if (!telemetry) {
+    scheduled_metric_ = nullptr;
+    fired_metric_ = nullptr;
+    return;
+  }
+  scheduled_metric_ = &telemetry->metrics.counter("event_queue.scheduled");
+  fired_metric_ = &telemetry->metrics.counter("event_queue.fired");
 }
 
 }  // namespace flex::ssd

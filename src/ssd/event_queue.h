@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "telemetry/telemetry.h"
 
 namespace flex::ssd {
 
@@ -39,6 +40,10 @@ class EventQueue {
   /// Total events fired since construction.
   std::uint64_t fired() const { return fired_; }
 
+  /// Binds the kernel's counters into `telemetry` (see telemetry.h for
+  /// the null-sink contract); nullptr detaches.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   struct Event {
     SimTime when;
@@ -57,6 +62,8 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   SimTime now_ = 0;
+  telemetry::MetricsRegistry::Counter* scheduled_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* fired_metric_ = nullptr;
 };
 
 }  // namespace flex::ssd

@@ -48,4 +48,41 @@ ReadCost LatencyModel::read_progressive_from_cost(
   return cost;
 }
 
+std::vector<ReadAttempt> LatencyModel::read_progressive_attempts(
+    int start_levels, int required_levels,
+    const reliability::SensingRequirement& ladder) const {
+  FLEX_EXPECTS(start_levels >= 0);
+  FLEX_EXPECTS(required_levels >= 0);
+  std::vector<ReadAttempt> attempts;
+  bool first = true;
+  int sensed = 0;
+  for (const auto& step : ladder.steps()) {
+    if (step.extra_levels < start_levels) continue;
+    const int delta = step.extra_levels - sensed;
+    FLEX_ASSERT(delta >= 0);
+    ReadAttempt attempt;
+    attempt.levels = step.extra_levels;
+    attempt.cost.die = delta * extra_sense_per_level;
+    attempt.cost.channel = delta * extra_transfer_per_level;
+    if (first) {
+      attempt.cost.die += spec.read_latency;
+      attempt.cost.channel += spec.page_transfer_latency;
+      first = false;
+    }
+    sensed = step.extra_levels;
+    attempt.cost.controller = decode_base + sensed * decode_per_level;
+    attempts.push_back(attempt);
+    if (sensed >= required_levels) return attempts;
+  }
+  if (first) {
+    // Every ladder step sits below start_levels: read_progressive_from_cost
+    // charges the base sense/transfer and no decode; mirror that.
+    attempts.push_back(
+        ReadAttempt{.levels = start_levels,
+                    .cost = {.die = spec.read_latency,
+                             .channel = spec.page_transfer_latency}});
+  }
+  return attempts;
+}
+
 }  // namespace flex::ssd

@@ -11,6 +11,8 @@
 //    decode failure (LDPC-in-SSD [2]).
 #pragma once
 
+#include <vector>
+
 #include "common/units.h"
 #include "nand/geometry.h"
 #include "reliability/sensing_solver.h"
@@ -26,6 +28,16 @@ struct ReadCost {
   Duration controller = 0;
 
   Duration total() const { return die + channel + controller; }
+};
+
+/// One decode attempt of a (possibly progressive) read, for telemetry:
+/// `levels` is the sensing depth the decode ran at and `cost` the
+/// *incremental* occupancy of this attempt (the first attempt carries the
+/// base sense and transfer). Summed over a read's attempts, the costs
+/// reproduce the closed-form ReadCost exactly — both are integer ns.
+struct ReadAttempt {
+  int levels = 0;
+  ReadCost cost;
 };
 
 struct LatencyModel {
@@ -73,6 +85,13 @@ struct LatencyModel {
     return read_progressive_from_cost(start_levels, required_levels, ladder)
         .total();
   }
+
+  /// Per-attempt decomposition of read_progressive_from_cost: one entry
+  /// per decode attempt, mirroring that routine's ladder walk step for
+  /// step, so the attempt costs sum exactly to the closed form.
+  std::vector<ReadAttempt> read_progressive_attempts(
+      int start_levels, int required_levels,
+      const reliability::SensingRequirement& ladder) const;
 
   /// Page program / block erase passthroughs (Table 6).
   Duration program() const { return spec.program_latency; }

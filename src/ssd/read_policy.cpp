@@ -24,6 +24,13 @@ class FixedWorstCasePolicy final : public ReadPolicy {
         std::max(ctx.required_levels, fixed_levels_));
   }
 
+  std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const override {
+    const int levels = std::max(ctx.required_levels, fixed_levels_);
+    return {ReadAttempt{.levels = levels,
+                        .cost = latency_.read_fixed_cost(levels)}};
+  }
+
  private:
   const LatencyModel& latency_;
   int fixed_levels_;
@@ -41,6 +48,12 @@ class ProgressivePolicy : public ReadPolicy {
 
   ReadCost read_cost(const ReadContext& ctx) override {
     return latency_.read_progressive_cost(ctx.required_levels, ladder_);
+  }
+
+  std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const override {
+    return latency_.read_progressive_attempts(0, ctx.required_levels,
+                                              ladder_);
   }
 
   ftl::PageMode write_mode(std::uint64_t) const override {
@@ -76,6 +89,15 @@ class ProgressiveHintPolicy final : public ProgressivePolicy {
     return cost;
   }
 
+  std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const override {
+    // Reads the hint but must not update it: the simulator calls this
+    // before read_cost, which performs the update.
+    return latency_.read_progressive_attempts(
+        hint_[static_cast<std::size_t>(ctx.ppn)], ctx.required_levels,
+        ladder_);
+  }
+
  private:
   std::vector<std::int8_t> hint_;
 };
@@ -99,17 +121,45 @@ class FlexLevelPolicy final : public ReadPolicy {
     return inner_->read_cost(ctx);
   }
 
+  std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const override {
+    return inner_->trace_attempts(ctx);
+  }
+
   void on_read_complete(const ReadContext& ctx) override {
     const flexlevel::AccessDecision decision =
         access_eval_.on_read(ctx.lpn, ctx.required_levels);
     if (decision.migrate_to_reduced) {
       ftl_.migrate(ctx.lpn, ftl::PageMode::kReduced, ctx.now);
       ++migrations_to_reduced_;
+      record_migration(ctx.now, "migrate_to_reduced", ctx.lpn,
+                       to_reduced_metric_);
     }
     if (decision.evicted.has_value()) {
       ftl_.migrate(*decision.evicted, ftl::PageMode::kNormal, ctx.now);
       ++migrations_to_normal_;
+      record_migration(ctx.now, "migrate_to_normal", *decision.evicted,
+                       to_normal_metric_);
     }
+    if (telemetry_) {
+      pool_gauge_->value = static_cast<double>(access_eval_.pool_size());
+    }
+  }
+
+  void attach_telemetry(telemetry::Telemetry* telemetry) override {
+    inner_->attach_telemetry(telemetry);
+    telemetry_ = telemetry;
+    if (!telemetry_) {
+      to_reduced_metric_ = nullptr;
+      to_normal_metric_ = nullptr;
+      pool_gauge_ = nullptr;
+      return;
+    }
+    to_reduced_metric_ =
+        &telemetry_->metrics.counter("policy.migrations_to_reduced");
+    to_normal_metric_ =
+        &telemetry_->metrics.counter("policy.migrations_to_normal");
+    pool_gauge_ = &telemetry_->metrics.gauge("policy.pool_pages");
   }
 
   ftl::PageMode write_mode(std::uint64_t lpn) const override {
@@ -129,11 +179,30 @@ class FlexLevelPolicy final : public ReadPolicy {
   }
 
  private:
+  void record_migration(SimTime now, const char* name, std::uint64_t lpn,
+                        telemetry::MetricsRegistry::Counter* metric) {
+    if (!telemetry_) return;
+    ++metric->value;
+    if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+      tracer->record({.name = name,
+                      .cat = "policy",
+                      .pid = telemetry_->pid,
+                      .tid = telemetry::kFtlTrack,
+                      .start = now,
+                      .arg0_key = "lpn",
+                      .arg0 = static_cast<double>(lpn)});
+    }
+  }
+
   std::unique_ptr<ReadPolicy> inner_;
   flexlevel::AccessEval access_eval_;
   ftl::PageMappingFtl& ftl_;
   std::uint64_t migrations_to_reduced_ = 0;
   std::uint64_t migrations_to_normal_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::MetricsRegistry::Counter* to_reduced_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* to_normal_metric_ = nullptr;
+  telemetry::MetricsRegistry::Gauge* pool_gauge_ = nullptr;
 };
 
 /// Read-disturb-aware refresh (scrub) decorator: once the block under a
@@ -156,6 +225,11 @@ class RefreshPolicy final : public ReadPolicy {
     return inner_->read_cost(ctx);
   }
 
+  std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const override {
+    return inner_->trace_attempts(ctx);
+  }
+
   void on_read_complete(const ReadContext& ctx) override {
     // Inner maintenance first: a FlexLevel migration may move the *data*,
     // but the stressed block (and its read counter) stays where it is.
@@ -164,7 +238,35 @@ class RefreshPolicy final : public ReadPolicy {
     if (const auto scrub = ftl_.refresh_block(ctx.ppn, ctx.now)) {
       ++refresh_blocks_;
       refresh_page_moves_ += scrub->pages_moved;
+      if (telemetry_) {
+        ++refresh_blocks_metric_->value;
+        refresh_moves_metric_->value += scrub->pages_moved;
+        if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+          tracer->record({.name = "refresh",
+                          .cat = "policy",
+                          .pid = telemetry_->pid,
+                          .tid = telemetry::kFtlTrack,
+                          .start = ctx.now,
+                          .arg0_key = "pages_moved",
+                          .arg0 =
+                              static_cast<double>(scrub->pages_moved)});
+        }
+      }
     }
+  }
+
+  void attach_telemetry(telemetry::Telemetry* telemetry) override {
+    inner_->attach_telemetry(telemetry);
+    telemetry_ = telemetry;
+    if (!telemetry_) {
+      refresh_blocks_metric_ = nullptr;
+      refresh_moves_metric_ = nullptr;
+      return;
+    }
+    refresh_blocks_metric_ =
+        &telemetry_->metrics.counter("policy.refresh_blocks");
+    refresh_moves_metric_ =
+        &telemetry_->metrics.counter("policy.refresh_page_moves");
   }
 
   ftl::PageMode write_mode(std::uint64_t lpn) const override {
@@ -193,6 +295,9 @@ class RefreshPolicy final : public ReadPolicy {
   ftl::PageMappingFtl& ftl_;
   std::uint64_t refresh_blocks_ = 0;
   std::uint64_t refresh_page_moves_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::MetricsRegistry::Counter* refresh_blocks_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* refresh_moves_metric_ = nullptr;
 };
 
 std::unique_ptr<ReadPolicy> make_progressive(

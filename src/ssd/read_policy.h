@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ftl/page_mapping.h"
 #include "reliability/ber_model.h"
 #include "reliability/sensing_solver.h"
 #include "ssd/latency_model.h"
+#include "telemetry/telemetry.h"
 
 namespace flex::ssd {
 
@@ -85,6 +87,23 @@ class ReadPolicy {
   /// Clears counters (not gauges or learned state) between measurement
   /// windows.
   virtual void reset_stats() {}
+
+  /// The decode attempts read_cost(ctx) *would* charge, for latency-
+  /// breakdown tracing. Must not mutate policy state (it is called before
+  /// read_cost on the same context); decorators forward to their scheme
+  /// policy. The attempt costs sum exactly to read_cost's ReadCost.
+  virtual std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const {
+    (void)ctx;
+    return {};
+  }
+
+  /// Binds maintenance counters/gauges and enables maintenance spans (see
+  /// telemetry.h for the null-sink contract); nullptr detaches. Decorators
+  /// forward to their inner policy.
+  virtual void attach_telemetry(telemetry::Telemetry* telemetry) {
+    (void)telemetry;
+  }
 };
 
 /// Builds the policy for `config.scheme` (the only place scheme is

@@ -60,6 +60,39 @@ void SsdSimulator::reset_measurements() {
   prefill_stats_ = ftl_.stats();
   scheduler_.reset_stats();
   policy_->reset_stats();
+  if (telemetry_) {
+    telemetry_->metrics.zero();
+    telemetry_->spans.clear();
+  }
+}
+
+void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  events_.attach_telemetry(telemetry);
+  scheduler_.attach_telemetry(telemetry);
+  ftl_.attach_telemetry(telemetry);
+  policy_->attach_telemetry(telemetry);
+  if (!telemetry_) {
+    requests_metric_ = nullptr;
+    reads_metric_ = nullptr;
+    writes_metric_ = nullptr;
+    buffer_hits_metric_ = nullptr;
+    unmapped_metric_ = nullptr;
+    uncorrectable_metric_ = nullptr;
+    read_latency_us_hist_ = nullptr;
+    return;
+  }
+  telemetry::MetricsRegistry& registry = telemetry_->metrics;
+  requests_metric_ = &registry.counter("ssd.requests");
+  reads_metric_ = &registry.counter("ssd.reads");
+  writes_metric_ = &registry.counter("ssd.writes");
+  buffer_hits_metric_ = &registry.counter("ssd.buffer_hits");
+  unmapped_metric_ = &registry.counter("ssd.unmapped_reads");
+  uncorrectable_metric_ = &registry.counter("ssd.uncorrectable_reads");
+  read_latency_us_hist_ = &registry.histogram(
+      "ssd.read_latency_us",
+      telemetry::HistogramSpec{
+          .lo = 1.0, .hi = 1e6, .bins = 240, .log_spaced = true});
 }
 
 void SsdSimulator::prefill(std::uint64_t pages) {
@@ -117,16 +150,21 @@ int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
   return ladder_.required_levels(ber, correctable);
 }
 
-Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
+SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
+                                                          SimTime now) {
   if (buffer_.contains(lpn)) {
     ++results_.buffer_hits;
-    return config_.latency.buffer_latency;
+    if (telemetry_) ++buffer_hits_metric_->value;
+    return {.response = config_.latency.buffer_latency,
+            .buffer = config_.latency.buffer_latency};
   }
   const auto info = ftl_.lookup(lpn);
   if (!info.has_value()) {
     // Read of never-written data: served from the mapping table alone.
     ++results_.unmapped_reads;
-    return config_.latency.buffer_latency;
+    if (telemetry_) ++unmapped_metric_->value;
+    return {.response = config_.latency.buffer_latency,
+            .buffer = config_.latency.buffer_latency};
   }
 
   const SimTime birth =
@@ -140,7 +178,10 @@ Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
   const int required =
       required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
                              info->block_reads, &correctable);
-  if (!correctable) ++results_.uncorrectable_reads;
+  if (!correctable) {
+    ++results_.uncorrectable_reads;
+    if (telemetry_) ++uncorrectable_metric_->value;
+  }
   ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
 
   const ReadContext ctx{.lpn = lpn,
@@ -148,17 +189,60 @@ Duration SsdSimulator::service_read_page(std::uint64_t lpn, SimTime now) {
                         .required_levels = required,
                         .block_reads = info->block_reads,
                         .now = now};
+  telemetry::SpanRecorder* tracer =
+      telemetry_ ? telemetry_->tracer() : nullptr;
+  std::vector<ReadAttempt> attempts;
+  if (tracer) {
+    // Must run before read_cost: the hint policy updates its per-page
+    // memory there, and trace_attempts reproduces the pre-update walk.
+    attempts = policy_->trace_attempts(ctx);
+  }
   const ReadCost cost = policy_->read_cost(ctx);
   const SimTime completion =
       scheduler_.submit(scheduler_.chip_of(info->ppn), now,
                         ChipCommand{.channel = cost.channel,
                                     .die = cost.die,
-                                    .controller = cost.controller});
+                                    .controller = cost.controller},
+                        "read");
+  const SimTime start = completion - cost.total();
+  if (tracer) {
+    // Child spans partition [start, completion] attempt by attempt; they
+    // are recorded after the scheduler's enclosing "read" span, so the
+    // exporter's stable sort keeps parent-before-child nesting.
+    const auto tid =
+        static_cast<std::int32_t>(scheduler_.chip_of(info->ppn));
+    SimTime cursor = start;
+    for (std::size_t round = 0; round < attempts.size(); ++round) {
+      const ReadAttempt& attempt = attempts[round];
+      const auto levels = static_cast<double>(attempt.levels);
+      for (const auto& [name, dur] :
+           {std::pair{"sense", attempt.cost.die},
+            std::pair{"xfer", attempt.cost.channel},
+            std::pair{"decode", attempt.cost.controller}}) {
+        if (dur <= 0) continue;
+        tracer->record({.name = name,
+                        .cat = "read",
+                        .pid = telemetry_->pid,
+                        .tid = tid,
+                        .start = cursor,
+                        .dur = dur,
+                        .arg0_key = "levels",
+                        .arg0 = levels,
+                        .arg1_key = "round",
+                        .arg1 = static_cast<double>(round)});
+        cursor += dur;
+      }
+    }
+  }
   // This read's own pass-voltage stress lands on the block before any
   // post-read maintenance (RefreshPolicy) inspects the counter.
   ftl_.record_read(info->ppn);
   policy_->on_read_complete(ctx);
-  return completion - now;
+  return {.response = completion - now,
+          .wait = start - now,
+          .sense = cost.die,
+          .transfer = cost.channel,
+          .decode = cost.controller};
 }
 
 Duration SsdSimulator::service_write_page(std::uint64_t lpn, SimTime now) {
@@ -180,15 +264,20 @@ void SsdSimulator::service_request(const trace::Request& request,
                                    SimTime now) {
   const std::uint64_t logical = ftl_.logical_pages();
   Duration response = 0;
+  // Pages of one request are served concurrently on their chips; the
+  // request completes with its slowest page. The first slowest page (ties
+  // broken by page order) supplies the read's latency decomposition.
+  PageService slowest;
   for (std::uint32_t i = 0; i < request.pages; ++i) {
     const std::uint64_t lpn = (request.lpn + i) % logical;
-    const Duration page_response = request.is_write
-                                       ? service_write_page(lpn, now)
-                                       : service_read_page(lpn, now);
-    // Pages of one request are served concurrently on their chips; the
-    // request completes with its slowest page.
-    response = std::max(response, page_response);
+    if (request.is_write) {
+      response = std::max(response, service_write_page(lpn, now));
+    } else {
+      const PageService page = service_read_page(lpn, now);
+      if (page.response > slowest.response) slowest = page;
+    }
   }
+  if (!request.is_write) response = slowest.response;
   const double seconds = to_seconds(response);
   results_.all_response.add(seconds);
   if (request.is_write) {
@@ -196,6 +285,39 @@ void SsdSimulator::service_request(const trace::Request& request,
   } else {
     results_.read_response.add(seconds);
     results_.read_latency_hist.add(seconds);
+    results_.read_breakdown.queue_wait += slowest.wait;
+    results_.read_breakdown.sensing += slowest.sense;
+    results_.read_breakdown.transfer += slowest.transfer;
+    results_.read_breakdown.decode += slowest.decode;
+    results_.read_breakdown.buffer += slowest.buffer;
+    if (response > 0) {
+      const auto total = static_cast<double>(response);
+      results_.wait_share_hist.add(slowest.wait / total);
+      results_.sensing_share_hist.add(slowest.sense / total);
+      results_.transfer_share_hist.add(slowest.transfer / total);
+      results_.decode_share_hist.add(slowest.decode / total);
+    }
+  }
+  if (telemetry_) {
+    ++requests_metric_->value;
+    if (request.is_write) {
+      ++writes_metric_->value;
+    } else {
+      ++reads_metric_->value;
+      read_latency_us_hist_->add(seconds * 1e6);
+    }
+    if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+      tracer->record({.name = request.is_write ? "write" : "read",
+                      .cat = "request",
+                      .pid = telemetry_->pid,
+                      .tid = telemetry::kHostTrack,
+                      .start = now,
+                      .dur = response,
+                      .arg0_key = "lpn",
+                      .arg0 = static_cast<double>(request.lpn),
+                      .arg1_key = "pages",
+                      .arg1 = static_cast<double>(request.pages)});
+    }
   }
 }
 
@@ -229,6 +351,10 @@ SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
   results_.ftl.refresh_runs = total.refresh_runs - prefill_stats_.refresh_runs;
   results_.ftl.refresh_page_moves =
       total.refresh_page_moves - prefill_stats_.refresh_page_moves;
+  if (telemetry_) {
+    results_.metrics = telemetry_->metrics.snapshot();
+    results_.spans = telemetry_->spans.spans();
+  }
   return results_;
 }
 

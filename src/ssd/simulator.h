@@ -38,6 +38,7 @@
 #include "ssd/event_queue.h"
 #include "ssd/latency_model.h"
 #include "ssd/read_policy.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace.h"
 
 namespace flex::ssd {
@@ -110,13 +111,40 @@ struct SsdConfig {
   std::uint64_t seed = 0x5EED;
 };
 
+/// Where read-response time went, summed over the measured window
+/// (integer ns, so the identity holds exactly): each read request
+/// contributes its slowest page's decomposition, and the five components
+/// sum to that page's response — total() equals the read_response sum.
+struct ReadBreakdown {
+  Duration queue_wait = 0;  ///< waiting for the chip to go idle
+  Duration sensing = 0;     ///< array busy (tR + soft strobes)
+  Duration transfer = 0;    ///< channel transfer (page + soft bits)
+  Duration decode = 0;      ///< LDPC decode attempts
+  Duration buffer = 0;      ///< DRAM service (buffer hits, unmapped reads)
+
+  Duration total() const {
+    return queue_wait + sensing + transfer + decode + buffer;
+  }
+  bool operator==(const ReadBreakdown&) const = default;
+};
+
 struct SsdResults {
   RunningStats read_response;   ///< seconds
   RunningStats write_response;  ///< seconds
   RunningStats all_response;    ///< seconds
-  /// Read-response distribution (seconds, 20 ms cap) for tail latency:
-  /// use read_latency_hist.quantile(0.99) etc.
-  Histogram read_latency_hist{0.0, 0.02, 400};
+  /// Read-response distribution (seconds) for tail latency: use
+  /// read_latency_hist.quantile(0.99) etc. Log-spaced from 1 µs to 1 s
+  /// (80 bins per decade) so the far tail keeps relative resolution
+  /// instead of saturating a linear grid's edge bin.
+  Histogram read_latency_hist = Histogram::log_spaced(1e-6, 1.0, 480);
+  /// Component sums of read-response time (see ReadBreakdown).
+  ReadBreakdown read_breakdown;
+  /// Per-request component shares (component / response, in [0, 1]), one
+  /// sample per read request — the shape behind the breakdown sums.
+  Histogram wait_share_hist{0.0, 1.0, 50};
+  Histogram sensing_share_hist{0.0, 1.0, 50};
+  Histogram transfer_share_hist{0.0, 1.0, 50};
+  Histogram decode_share_hist{0.0, 1.0, 50};
   ftl::FtlStats ftl;            ///< trace-phase deltas (prefill excluded)
   std::uint64_t buffer_hits = 0;
   std::uint64_t unmapped_reads = 0;
@@ -133,6 +161,11 @@ struct SsdResults {
   /// Per-chip command / queue-depth / occupancy counters for the measured
   /// window (see ChipStats).
   std::vector<ChipStats> chip_stats;
+  /// Snapshot of the attached telemetry context's metrics at run() end;
+  /// empty when no context was attached.
+  telemetry::MetricsSnapshot metrics;
+  /// Spans recorded by the attached context (empty unless tracing).
+  std::vector<telemetry::Span> spans;
 };
 
 class SsdSimulator {
@@ -157,9 +190,26 @@ class SsdSimulator {
   const ftl::PageMappingFtl& ftl() const { return ftl_; }
   const ChipScheduler& scheduler() const { return scheduler_; }
 
+  /// Attaches a telemetry context to every layer (event kernel, chip
+  /// scheduler, FTL, read policy, and the simulator's own counters);
+  /// nullptr detaches. Instrumentation only observes: results are
+  /// bit-identical with and without a context attached (see telemetry.h).
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
  private:
+  /// One page read's response and its component decomposition (integer
+  /// ns; the components sum to `response` exactly).
+  struct PageService {
+    Duration response = 0;
+    Duration wait = 0;      ///< chip-queue wait
+    Duration sense = 0;     ///< die busy
+    Duration transfer = 0;  ///< channel busy
+    Duration decode = 0;    ///< controller busy
+    Duration buffer = 0;    ///< DRAM service (buffer hit / unmapped)
+  };
+
   void service_request(const trace::Request& request, SimTime now);
-  Duration service_read_page(std::uint64_t lpn, SimTime now);
+  PageService service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
   /// Resets `results_` to empty, with `sensing_level_reads` sized to the
   /// ladder (shared by the constructor and reset_measurements()).
@@ -188,6 +238,14 @@ class SsdSimulator {
   std::unordered_map<std::uint64_t, double> ber_cache_[2];
   SsdResults results_;
   ftl::FtlStats prefill_stats_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::MetricsRegistry::Counter* requests_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* reads_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* writes_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* buffer_hits_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* unmapped_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* uncorrectable_metric_ = nullptr;
+  Histogram* read_latency_us_hist_ = nullptr;
 };
 
 }  // namespace flex::ssd

@@ -1,0 +1,107 @@
+// Deterministic metrics registry for the telemetry subsystem.
+//
+// Components bind *handles* (stable references to a counter/gauge/
+// histogram) once, at attach time, so the per-event cost of an enabled
+// metric is one integer increment — and the cost of a *disabled* one is a
+// single null-pointer check at the instrumentation site (the null-sink
+// fast path; see telemetry.h).
+//
+// Snapshots are ordered maps, so serialising one is deterministic, and
+// merging shards in a fixed order (the bench harness folds cells in index
+// order) gives bit-identical results whatever thread count produced them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace flex::telemetry {
+
+/// Shortest decimal representation of `v` that parses back to exactly the
+/// same double — deterministic, locale-free JSON number formatting.
+std::string format_double(double v);
+
+/// Binning of a registry histogram, kept as plain data so snapshots can be
+/// compared and merged without a live Histogram.
+struct HistogramSpec {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t bins = 1;
+  bool log_spaced = false;
+
+  Histogram make() const {
+    return log_spaced ? Histogram::log_spaced(lo, hi, bins)
+                      : Histogram(lo, hi, bins);
+  }
+  bool operator==(const HistogramSpec&) const = default;
+};
+
+struct HistogramData {
+  HistogramSpec spec;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+/// Value-type snapshot of a registry. Merge is associative: counters and
+/// gauges add, histograms add bin-wise (specs must match).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  void merge(const MetricsSnapshot& other);
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// One JSON object per line, counters then gauges then histograms, each
+  /// alphabetical — byte-deterministic for identical snapshots.
+  /// `line_prefix` is inserted verbatim after each opening brace (callers
+  /// use it to tag every line with its experiment cell).
+  void write_jsonl(std::ostream& out, std::string_view line_prefix = {}) const;
+  std::string to_jsonl() const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  struct Counter {
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    double value = 0.0;
+  };
+
+  /// Get-or-create. The returned reference is stable for the registry's
+  /// lifetime (map nodes never move), so hot paths bind once and bump a
+  /// plain integer thereafter.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Get-or-create; an existing histogram must have been created with the
+  /// same spec.
+  Histogram& histogram(std::string_view name, const HistogramSpec& spec);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every value in place; handles stay valid. Used to scope
+  /// metrics to a measurement window (warmup vs measured pass).
+  void zero();
+
+ private:
+  struct HistEntry {
+    HistogramSpec spec;
+    Histogram hist;
+  };
+
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, HistEntry, std::less<>> histograms_;
+};
+
+}  // namespace flex::telemetry

@@ -1,0 +1,53 @@
+// Per-request latency-breakdown spans in *simulated* time.
+//
+// A Span is one completed interval (or instant event, dur == 0) on a
+// track. Tracks mirror the Chrome trace-event model: `pid` is the process
+// track (one per experiment cell in a bench sweep) and `tid` the thread
+// track within it (one per chip, plus the host and FTL-maintenance
+// tracks). Name/category/arg-key strings are static-lifetime C strings:
+// spans are recorded on simulation hot paths and must not allocate per
+// event beyond the vector push.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace flex::telemetry {
+
+/// Thread-track ids within a cell's process track. Chips occupy
+/// [0, chips); these synthetic tracks sit far above any real chip count.
+constexpr std::int32_t kHostTrack = 1000;  ///< host request lifetimes
+constexpr std::int32_t kFtlTrack = 1001;   ///< GC / refresh / migrations
+
+struct Span {
+  const char* name = "";
+  const char* cat = "";
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  SimTime start = 0;  ///< ns of simulated time
+  Duration dur = 0;   ///< ns; 0 = instant event
+  /// Up to two numeric args, exported into the Chrome "args" object when
+  /// the key is non-null.
+  const char* arg0_key = nullptr;
+  double arg0 = 0.0;
+  const char* arg1_key = nullptr;
+  double arg1 = 0.0;
+};
+
+/// Append-only span sink. Recording order is preserved; the exporter
+/// stable-sorts by start time, so spans recorded parent-before-child at
+/// the same instant keep their nesting order.
+class SpanRecorder {
+ public:
+  void record(const Span& span) { spans_.push_back(span); }
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+  void clear() { spans_.clear(); }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace flex::telemetry

@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -102,6 +103,71 @@ TEST(HistogramTest, QuantileOfUniformData) {
 TEST(HistogramTest, QuantileEmpty) {
   Histogram h(2.0, 4.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, LogSpacedBinEdgesAreGeometric) {
+  // Three decades, one bin per decade: edges land on powers of ten.
+  const Histogram h = Histogram::log_spaced(1e-3, 1.0, 3);
+  EXPECT_TRUE(h.log_bins());
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 1e-3);
+  EXPECT_NEAR(h.bin_high(0), 1e-2, 1e-12);
+  EXPECT_NEAR(h.bin_low(1), 1e-2, 1e-12);
+  EXPECT_NEAR(h.bin_high(1), 1e-1, 1e-13);
+  // Outer edges are pinned exactly, not via exp(log(...)).
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 1.0);
+}
+
+TEST(HistogramTest, LogSpacedBinning) {
+  Histogram h = Histogram::log_spaced(1.0, 1000.0, 3);
+  h.add(2.0);     // bin 0: [1, 10)
+  h.add(50.0);    // bin 1: [10, 100)
+  h.add(999.0);   // bin 2: [100, 1000)
+  h.add(0.5);     // below lo: saturates into bin 0
+  h.add(5000.0);  // above hi: saturates into bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 2u);
+}
+
+TEST(HistogramTest, LogSpacedQuantileOfLogUniformData) {
+  // Log-uniform samples over [1 us, 1 s]: a log-spaced histogram holds
+  // constant relative resolution, so quantiles across 6 decades all
+  // resolve — the failure mode of a linear grid (every sub-tail sample
+  // in bin 0) would be off by orders of magnitude.
+  Histogram h = Histogram::log_spaced(1e-6, 1.0, 480);
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100'000; ++i) {
+    xs.push_back(std::exp(rng.uniform(std::log(1e-6), std::log(1.0))));
+    h.add(xs.back());
+  }
+  std::sort(xs.begin(), xs.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = xs[static_cast<std::size_t>(q * xs.size())];
+    EXPECT_NEAR(h.quantile(q) / exact, 1.0, 0.05) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeAddsBinWise) {
+  Histogram a = Histogram::log_spaced(1.0, 100.0, 10);
+  Histogram b = Histogram::log_spaced(1.0, 100.0, 10);
+  a.add(2.0);
+  a.add(30.0);
+  b.add(30.0);
+  b.add(99.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  Histogram whole = Histogram::log_spaced(1.0, 100.0, 10);
+  for (const double x : {2.0, 30.0, 30.0, 99.0}) whole.add(x);
+  EXPECT_TRUE(a == whole);
+}
+
+TEST(HistogramTest, SameShapeDistinguishesSpacing) {
+  const Histogram linear(1.0, 100.0, 10);
+  const Histogram log = Histogram::log_spaced(1.0, 100.0, 10);
+  EXPECT_FALSE(linear.same_shape(log));
+  EXPECT_TRUE(log.same_shape(Histogram::log_spaced(1.0, 100.0, 10)));
 }
 
 TEST(RateEstimatorTest, BasicRate) {

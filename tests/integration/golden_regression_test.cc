@@ -12,7 +12,10 @@
 // To regenerate after an intentional change:
 //   build/tests/integration_test --gtest_filter='*Golden*' also prints the
 //   actual values on failure with full precision.
+#include <cstdint>
 #include <iomanip>
+#include <iterator>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -69,7 +72,8 @@ class GoldenRegression : public ::testing::Test {
     return cfg;
   }
 
-  static SsdResults run_scheme(SsdConfig cfg) {
+  static SsdResults run_scheme(SsdConfig cfg,
+                               telemetry::Telemetry* telemetry = nullptr) {
     trace::WorkloadParams params;
     params.name = "golden";
     params.read_fraction = 0.85;
@@ -82,6 +86,7 @@ class GoldenRegression : public ::testing::Test {
     const auto trace = trace::generate(params, 777);
     SsdSimulator sim(std::move(cfg), *normal_, *reduced_);
     sim.prefill(4000);
+    sim.attach_telemetry(telemetry);
     return sim.run(trace);
   }
 
@@ -105,22 +110,22 @@ reliability::BerModel* GoldenRegression::reduced_ = nullptr;
 
 TEST_F(GoldenRegression, Baseline) {
   expect_golden(run_scheme(config(Scheme::kBaseline)),
-                /*mean=*/0.00059511423166295064, /*p99=*/0.00247664583333333);
+                /*mean=*/0.00059511423166295064, /*p99=*/0.0024815173388835457);
 }
 
 TEST_F(GoldenRegression, LdpcInSsd) {
   expect_golden(run_scheme(config(Scheme::kLdpcInSsd)),
-                /*mean=*/0.00032234478699683089, /*p99=*/0.002069299999999997);
+                /*mean=*/0.00032234478699683089, /*p99=*/0.0020694821166842431);
 }
 
 TEST_F(GoldenRegression, LevelAdjustOnly) {
   expect_golden(run_scheme(config(Scheme::kLevelAdjustOnly)),
-                /*mean=*/0.00018581624539373305, /*p99=*/0.0018808636363636321);
+                /*mean=*/0.00018581624539373305, /*p99=*/0.0018824020865489581);
 }
 
 TEST_F(GoldenRegression, FlexLevel) {
   expect_golden(run_scheme(config(Scheme::kFlexLevel)),
-                /*mean=*/0.00028164889789930771, /*p99=*/0.0020789499999999956);
+                /*mean=*/0.00028164889789930771, /*p99=*/0.0020824576629127501);
 }
 
 TEST_F(GoldenRegression, LdpcInSsdWithRefresh) {
@@ -133,7 +138,50 @@ TEST_F(GoldenRegression, LdpcInSsdWithRefresh) {
   cfg.read_disturb.model.vth_shift_per_read = 8.0e-4;
   cfg.read_disturb.refresh_threshold = 100;
   expect_golden(run_scheme(std::move(cfg)),
-                /*mean=*/0.00033390406454641421, /*p99=*/0.0020876538461538428);
+                /*mean=*/0.00033390406454641421, /*p99=*/0.0020880572435739253);
+}
+
+TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
+  // Pinned telemetry counters for the FlexLevel golden run: silent
+  // instrumentation drift (a counter bumped twice, a site dropped) is
+  // caught the same way behavioural drift is. Regenerate like the latency
+  // goldens — the failure message prints every actual value.
+  telemetry::Telemetry telemetry;
+  const SsdResults results =
+      run_scheme(config(Scheme::kFlexLevel), &telemetry);
+  const std::pair<const char*, std::uint64_t> expected[] = {
+      {"chip.commands", 11639},
+      {"chip.queued_commands", 2748},
+      {"event_queue.fired", 21639},
+      {"event_queue.scheduled", 21639},
+      {"ftl.gc_page_moves", 0},
+      {"ftl.gc_runs", 0},
+      {"ftl.host_writes", 1568},
+      {"ftl.mode_migrations", 533},
+      {"ftl.nand_erases", 0},
+      {"ftl.nand_writes", 2101},
+      {"ftl.refresh_page_moves", 0},
+      {"ftl.refresh_runs", 0},
+      {"policy.migrations_to_normal", 0},
+      {"policy.migrations_to_reduced", 533},
+      {"ssd.buffer_hits", 1971},
+      {"ssd.reads", 8521},
+      {"ssd.requests", 10000},
+      {"ssd.uncorrectable_reads", 0},
+      {"ssd.unmapped_reads", 0},
+      {"ssd.writes", 1479},
+  };
+  ASSERT_EQ(results.metrics.counters.size(), std::size(expected));
+  for (const auto& [name, value] : expected) {
+    ASSERT_TRUE(results.metrics.counters.contains(name)) << name;
+    EXPECT_EQ(results.metrics.counters.at(name), value) << name;
+  }
+  // The snapshot's own cross-checks against SsdResults.
+  EXPECT_EQ(results.metrics.counters.at("ssd.reads"),
+            results.read_response.count());
+  EXPECT_EQ(results.metrics.counters.at("ftl.gc_runs"), results.ftl.gc_runs);
+  EXPECT_EQ(results.metrics.histograms.at("ssd.read_latency_us").total,
+            results.read_response.count());
 }
 
 }  // namespace

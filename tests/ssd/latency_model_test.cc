@@ -66,6 +66,34 @@ TEST(LatencyModelTest, ProgressiveMonotoneInRequiredLevels) {
   }
 }
 
+TEST(LatencyModelTest, AttemptsSumToClosedFormCost) {
+  // The telemetry decomposition must be exact: summing each attempt's
+  // incremental cost reproduces read_progressive_from_cost component by
+  // component (all integer ns, so equality is strict).
+  const LatencyModel model;
+  const reliability::SensingRequirement ladder;
+  for (const int start : {0, 1, 2, 4, 6}) {
+    for (const int required : {0, 1, 2, 4, 6}) {
+      const ReadCost closed =
+          model.read_progressive_from_cost(start, required, ladder);
+      const auto attempts =
+          model.read_progressive_attempts(start, required, ladder);
+      ASSERT_FALSE(attempts.empty()) << start << "/" << required;
+      ReadCost sum;
+      for (const auto& attempt : attempts) {
+        sum.die += attempt.cost.die;
+        sum.channel += attempt.cost.channel;
+        sum.controller += attempt.cost.controller;
+      }
+      EXPECT_EQ(sum.die, closed.die) << start << "/" << required;
+      EXPECT_EQ(sum.channel, closed.channel) << start << "/" << required;
+      EXPECT_EQ(sum.controller, closed.controller) << start << "/" << required;
+      // The final attempt decodes at (at least) the required depth.
+      EXPECT_GE(attempts.back().levels, required);
+    }
+  }
+}
+
 TEST(LatencyModelTest, Table6Passthroughs) {
   const LatencyModel model;
   EXPECT_EQ(model.program(), 1000 * kMicrosecond);
