@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -121,7 +122,17 @@ ssd::SsdResults ExperimentHarness::run_with(
   params.iops *= 0.45;
   const auto requests = trace::generate(params, /*seed=*/2015);
 
-  ssd::SsdSimulator sim(std::move(cfg), *normal_, *reduced_);
+  // Builder path: a bad configuration surfaces its Status message and a
+  // clean nonzero exit — every bench front-end funnels through here.
+  auto built = ssd::SsdSimulator::Builder(*normal_, *reduced_)
+                   .config(std::move(cfg))
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "bench configuration rejected: %s\n",
+                 built.status().to_string().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  ssd::SsdSimulator& sim = **built;
   // The drive carries a realistic standing population (80% of the logical
   // space mapped): high enough that reduced-state storage genuinely eats
   // into over-provisioning headroom, low enough that the resulting GC
@@ -131,13 +142,16 @@ ssd::SsdResults ExperimentHarness::run_with(
   // buffer), then measure steady state on the remainder.
   const auto split = requests.begin() +
                      static_cast<std::ptrdiff_t>(requests.size() / 3);
-  sim.run({requests.begin(), split});
+  sim.run_segment({requests.begin(), split});
   sim.reset_measurements();
-  // Telemetry attaches after warmup so metrics and spans cover exactly
-  // the measured window. Observation-only: results are bit-identical
-  // with or without it.
+  // Telemetry attaches after warmup (deliberately not via the Builder) so
+  // metrics and spans cover exactly the measured window. Observation-only:
+  // results are bit-identical with or without it.
   if (telemetry) sim.attach_telemetry(telemetry);
-  return sim.run({split, requests.end()});
+  sim.run_segment({split, requests.end()});
+  // The one copy of the run: run_segment + results() replaces the old
+  // copy-per-run() (which also copied and discarded the warmup results).
+  return sim.results();
 }
 
 std::vector<ssd::SsdResults> run_indexed(

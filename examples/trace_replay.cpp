@@ -104,9 +104,19 @@ int main(int argc, char** argv) {
                              .bits_per_filter = 1 << 18,
                              .hashes = 2,
                              .window_accesses = 16'384};
-  ssd::SsdSimulator sim(cfg, normal, reduced);
+  // Builder: a bad configuration (e.g. hand-edited geometry) reports its
+  // Status message instead of asserting deep inside the constructor.
+  auto built =
+      ssd::SsdSimulator::Builder(normal, reduced).config(cfg).Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "invalid drive configuration: %s\n",
+                 built.status().to_string().c_str());
+    return 1;
+  }
+  ssd::SsdSimulator& sim = **built;
   sim.prefill(footprint);
-  const ssd::SsdResults results = sim.run(requests);
+  sim.run_segment(requests);
+  const ssd::SsdResults& results = sim.results();
 
   std::printf("\nscheme: %s @ P/E %d\n", ssd::scheme_name(*scheme).c_str(),
               pe_cycles);

@@ -1,0 +1,123 @@
+// Recoverable-error reporting for the public API surface.
+//
+// The library distinguishes two failure classes. Broken internal contracts
+// are programming errors and keep aborting via common/assert.h — callers
+// cannot recover from a corrupted FTL invariant. Invalid *inputs* (a
+// malformed SsdConfig, an out-of-range fault rate) are the caller's to
+// handle, so the entry points that accept them return flex::Status /
+// flex::StatusOr<T> with a message naming the offending field instead of
+// tripping a deep assert three layers down. Modeled on absl::Status but
+// self-contained: header-only, no dependency beyond the standard library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace flex {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  /// Default is success, so `Status s; ... return s;` composes naturally.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  static Status FailedPrecondition(std::string message) {
+    return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  static Status OutOfRange(std::string message) {
+    return {StatusCode::kOutOfRange, std::move(message)};
+  }
+  static Status Internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "INVALID_ARGUMENT: over_provisioning must be in (0, 1), got 1.3"
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none. Accessing value()
+/// on a non-ok StatusOr is a contract violation (aborts), matching the
+/// library-wide stance that unchecked access is a programming error.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a (non-ok) Status, so `return Status::InvalidArgument(
+  /// ...)` works in a StatusOr-returning function.
+  StatusOr(Status status) : status_(std::move(status)) {
+    FLEX_EXPECTS(!status_.ok() && "ok StatusOr must carry a value");
+  }
+  /// Implicit from a value, so `return value;` works.
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FLEX_EXPECTS(ok() && "StatusOr::value() on error status");
+    return *value_;
+  }
+  T& value() & {
+    FLEX_EXPECTS(ok() && "StatusOr::value() on error status");
+    return *value_;
+  }
+  T&& value() && {
+    FLEX_EXPECTS(ok() && "StatusOr::value() on error status");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flex

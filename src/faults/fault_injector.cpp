@@ -1,0 +1,61 @@
+#include "faults/fault_injector.h"
+
+#include "common/assert.h"
+
+namespace flex::faults {
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix, the same primitive
+/// Rng uses for seeding. Applied over a running combination of the inputs
+/// it gives each (seed, kind, a, b) tuple an independent uniform output.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  FLEX_EXPECTS(config_.program_fail_rate >= 0.0 &&
+               config_.program_fail_rate <= 1.0);
+  FLEX_EXPECTS(config_.erase_fail_rate >= 0.0 &&
+               config_.erase_fail_rate <= 1.0);
+  FLEX_EXPECTS(config_.grown_defect_rate >= 0.0 &&
+               config_.grown_defect_rate <= 1.0);
+  FLEX_EXPECTS(config_.read_retry_rescue >= 0.0 &&
+               config_.read_retry_rescue <= 1.0);
+}
+
+double FaultInjector::roll(std::uint64_t kind, std::uint64_t a,
+                           std::uint64_t b) const {
+  std::uint64_t h = mix(seed_ ^ mix(kind));
+  h = mix(h ^ a);
+  h = mix(h ^ b);
+  // Top 53 bits -> [0, 1), the standard uniform-double construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::program_fails(std::uint64_t ppn,
+                                  std::uint32_t erase_count) const {
+  return roll(1, ppn, erase_count) < config_.program_fail_rate;
+}
+
+bool FaultInjector::erase_fails(std::uint32_t block,
+                                std::uint32_t erase_count) const {
+  return roll(2, block, erase_count) < config_.erase_fail_rate;
+}
+
+bool FaultInjector::grown_defect(std::uint32_t block,
+                                 std::uint32_t erase_count) const {
+  return roll(3, block, erase_count) < config_.grown_defect_rate;
+}
+
+bool FaultInjector::read_retry_rescues(std::uint64_t ppn,
+                                       std::uint64_t block_reads) const {
+  return roll(4, ppn, block_reads) < config_.read_retry_rescue;
+}
+
+}  // namespace flex::faults

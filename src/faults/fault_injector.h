@@ -1,0 +1,80 @@
+// Deterministic NAND fault injection.
+//
+// Real 2Xnm MLC deployments live with grown defects: program-status
+// failures, erase failures, and whole blocks that go bad in service (Cai
+// et al., HPCA'15 describe remapping-based recovery as standard controller
+// practice). This module decides *when* those faults strike; the FTL's
+// bad-block management and the read policy's recovery ladder decide what
+// happens next.
+//
+// Determinism contract: every decision is a pure hash of (run seed, fault
+// kind, operation identity) — no internal state, no RNG stream. Each NAND
+// operation has a naturally unique identity (a page slot is programmed
+// once per erase generation of its block, a block is erased once per
+// generation, allocated once per generation), so the same seed gives the
+// same fault pattern whatever the call order, and a `--jobs N` bench sweep
+// is bit-identical to a serial one. Enabling faults perturbs no other
+// random stream: the simulator's Rng sequence (prefill ages,
+// preconditioning) is untouched.
+#pragma once
+
+#include <cstdint>
+
+namespace flex::faults {
+
+/// Fault-injection knobs, nested in SsdConfig like ReadDisturbConfig.
+/// Everything is off by default: with `enabled == false` the injector is
+/// never constructed and every seed figure is reproduced bit-identically.
+struct FaultConfig {
+  bool enabled = false;
+  /// Probability a page program reports a program-status failure. The FTL
+  /// re-drives the write to a fresh frontier page and retires the block.
+  double program_fail_rate = 0.0;
+  /// Probability a block erase fails; the block is retired (its valid
+  /// pages were already relocated by the reclaim that issued the erase).
+  double erase_fail_rate = 0.0;
+  /// Probability a block turns out to be a grown defect when it is next
+  /// allocated as a write frontier; it is retired before any program.
+  double grown_defect_rate = 0.0;
+  /// Probability the recovery ladder's deepest-sensing re-read rescues an
+  /// uncorrectable read; otherwise the read is declared lost
+  /// (SsdResults::data_loss_reads).
+  double read_retry_rescue = 0.9;
+  /// Graceful degradation of the ReducedCell pool: every retired block
+  /// costs physical over-provisioning, so FlexLevel shrinks the pool by
+  /// `pages_per_block * f / (1 - f)` logical pages per retired block
+  /// (f = reduced_capacity_factor) — the shrink that keeps effective OP
+  /// constant. Set false to let the pool ride the shrinking OP instead.
+  bool shrink_pool_on_retirement = true;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, std::uint64_t seed);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Does the program of page `ppn` in erase generation `erase_count` of
+  /// its block report a program-status failure?
+  bool program_fails(std::uint64_t ppn, std::uint32_t erase_count) const;
+
+  /// Does the erase ending generation `erase_count` of `block` fail?
+  bool erase_fails(std::uint32_t block, std::uint32_t erase_count) const;
+
+  /// Is `block`, allocated in generation `erase_count`, a grown defect?
+  bool grown_defect(std::uint32_t block, std::uint32_t erase_count) const;
+
+  /// Does the deepest-sensing re-read of `ppn` rescue an uncorrectable
+  /// read? `block_reads` (the block's read count at this read) makes the
+  /// identity unique per read of the page.
+  bool read_retry_rescues(std::uint64_t ppn, std::uint64_t block_reads) const;
+
+ private:
+  /// Uniform [0, 1) from the op identity — the whole injector is this hash.
+  double roll(std::uint64_t kind, std::uint64_t a, std::uint64_t b) const;
+
+  FaultConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace flex::faults

@@ -65,6 +65,22 @@ AccessDecision AccessEval::on_read(std::uint64_t lpn,
   return decision;
 }
 
+std::vector<std::uint64_t> AccessEval::shrink_capacity(
+    std::uint64_t new_capacity) {
+  new_capacity = std::max<std::uint64_t>(new_capacity, 1);
+  if (new_capacity < config_.pool_capacity_pages) {
+    config_.pool_capacity_pages = new_capacity;
+  }
+  std::vector<std::uint64_t> evicted;
+  while (lru_map_.size() > config_.pool_capacity_pages) {
+    const std::uint64_t victim = lru_list_.back();
+    lru_list_.pop_back();
+    lru_map_.erase(victim);
+    evicted.push_back(victim);
+  }
+  return evicted;
+}
+
 void AccessEval::on_invalidate(std::uint64_t lpn) {
   const auto it = lru_map_.find(lpn);
   if (it == lru_map_.end()) return;

@@ -15,6 +15,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "flexlevel/bloom.h"
 
@@ -55,6 +56,14 @@ class AccessEval {
   bool is_reduced(std::uint64_t lpn) const;
   std::uint64_t pool_size() const { return lru_map_.size(); }
   std::uint64_t pool_capacity() const { return config_.pool_capacity_pages; }
+
+  /// Shrinks the pool budget to `new_capacity` pages (floored at 1) and
+  /// returns the LRU victims evicted to fit; the caller converts them back
+  /// to normal state. Graceful degradation under block retirement: every
+  /// retired block costs physical over-provisioning, so the ReducedCell
+  /// budget gives it back. Shrink-only — a larger value is ignored
+  /// (retirement is permanent).
+  std::vector<std::uint64_t> shrink_capacity(std::uint64_t new_capacity);
 
   /// L_f for a hotness count (exposed for tests).
   int freq_level(int hotness_count) const;

@@ -38,6 +38,7 @@ PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
 }
 
 void PageMappingFtl::candidate_insert(std::uint32_t block_id) {
+  FLEX_ASSERT(!blocks_[block_id].retired);
   auto& bucket = gc_buckets_[blocks_[block_id].valid_count];
   gc_bucket_pos_[block_id] = static_cast<std::uint32_t>(bucket.size());
   bucket.push_back(block_id);
@@ -120,43 +121,93 @@ void PageMappingFtl::invalidate(std::uint64_t lpn) {
 }
 
 std::uint32_t PageMappingFtl::allocate_block(PageMode mode) {
-  FLEX_ASSERT(free_count_ > 0 && "FTL out of free blocks: GC failed");
-  const std::uint32_t id = free_list_.front();
-  free_list_.pop_front();
-  --free_count_;
-  BlockMeta& block = blocks_[id];
-  FLEX_ASSERT(block.valid_count == 0 && block.next_page == 0);
-  block.mode = mode;
-  block.open = true;
-  return id;
+  for (;;) {
+    FLEX_ASSERT(free_count_ > 0 && "FTL out of free blocks: GC failed");
+    const std::uint32_t id = free_list_.front();
+    free_list_.pop_front();
+    --free_count_;
+    BlockMeta& block = blocks_[id];
+    FLEX_ASSERT(!block.retired);
+    FLEX_ASSERT(block.valid_count == 0 && block.next_page == 0);
+    if (injector_ && injector_->grown_defect(id, block.erase_count)) {
+      ++stats_.grown_defects;
+      if (telemetry_) ++metrics_.grown_defects->value;
+      mark_retired(id);
+      continue;
+    }
+    block.mode = mode;
+    block.open = true;
+    return id;
+  }
 }
 
 std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
                                      SimTime now, std::uint64_t* programs) {
   const auto mode_index = static_cast<std::size_t>(mode);
-  std::uint32_t frontier = frontier_[mode_index];
-  if (frontier == kNoBlock ||
-      blocks_[frontier].next_page >= usable_pages(blocks_[frontier])) {
-    if (frontier != kNoBlock) {
-      blocks_[frontier].open = false;
-      candidate_insert(frontier);
+  for (;;) {
+    std::uint32_t frontier = frontier_[mode_index];
+    if (frontier == kNoBlock ||
+        blocks_[frontier].next_page >= usable_pages(blocks_[frontier])) {
+      if (frontier != kNoBlock) {
+        blocks_[frontier].open = false;
+        candidate_insert(frontier);
+      }
+      frontier = allocate_block(mode);
+      frontier_[mode_index] = frontier;
     }
-    frontier = allocate_block(mode);
-    frontier_[mode_index] = frontier;
+    BlockMeta& block = blocks_[frontier];
+    const std::uint32_t page_id = block.next_page++;
+    // A failed attempt still costs the chip a program op and burns the
+    // page slot, so the attempt is counted before the fault check.
+    ++stats_.nand_writes;
+    if (telemetry_) ++metrics_.nand_writes->value;
+    ++*programs;
+    if (injector_ && injector_->program_fails(make_ppn(frontier, page_id),
+                                              block.erase_count)) {
+      ++stats_.program_fails;
+      if (telemetry_) ++metrics_.program_fails->value;
+      retire_failed_frontier(frontier, now, programs);
+      continue;  // re-drive the write on the fresh frontier
+    }
+    PageMeta& page = block.pages[page_id];
+    page.lpn = lpn;
+    page.write_time = now;
+    page.valid = true;
+    ++block.valid_count;
+    const std::uint64_t ppn = make_ppn(frontier, page_id);
+    map_[lpn] = ppn;
+    return ppn;
   }
-  BlockMeta& block = blocks_[frontier];
-  const std::uint32_t page_id = block.next_page++;
-  PageMeta& page = block.pages[page_id];
-  page.lpn = lpn;
-  page.write_time = now;
-  page.valid = true;
-  ++block.valid_count;
-  const std::uint64_t ppn = make_ppn(frontier, page_id);
-  map_[lpn] = ppn;
-  ++stats_.nand_writes;
-  if (telemetry_) ++metrics_.nand_writes->value;
-  ++*programs;
-  return ppn;
+}
+
+void PageMappingFtl::retire_failed_frontier(std::uint32_t block_id,
+                                            SimTime now,
+                                            std::uint64_t* programs) {
+  BlockMeta& block = blocks_[block_id];
+  FLEX_ASSERT(block.open && !block.retired);
+  // Drop the frontier first: the relocations below must land elsewhere
+  // (append will allocate a fresh block, re-checking for grown defects).
+  if (frontier_[static_cast<std::size_t>(block.mode)] == block_id) {
+    frontier_[static_cast<std::size_t>(block.mode)] = kNoBlock;
+  }
+  std::uint64_t moves = 0;
+  relocate_valid_pages(block_id, now, &moves, programs);
+  stats_.retire_page_moves += moves;
+  for (auto& page : block.pages) page = PageMeta{};
+  block.next_page = 0;
+  block.open = false;
+  block.read_count = 0;
+  mark_retired(block_id);
+  if (telemetry_) metrics_.retire_page_moves->value += moves;
+}
+
+void PageMappingFtl::mark_retired(std::uint32_t block_id) {
+  BlockMeta& block = blocks_[block_id];
+  FLEX_ASSERT(!block.retired && block.valid_count == 0);
+  block.retired = true;
+  ++retired_count_;
+  ++stats_.retired_blocks;
+  if (telemetry_) ++metrics_.retired_blocks->value;
 }
 
 std::optional<std::uint32_t> PageMappingFtl::pick_gc_victim() const {
@@ -189,18 +240,16 @@ std::optional<std::uint32_t> PageMappingFtl::pick_wear_leveling_victim()
   std::optional<std::uint32_t> best;
   for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
     const BlockMeta& block = blocks_[id];
-    if (block.open || block.next_page == 0) continue;
+    if (block.open || block.retired || block.next_page == 0) continue;
     if (!best || block.erase_count < blocks_[*best].erase_count) best = id;
   }
   return best;
 }
 
-void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
-                                   std::uint64_t* page_moves,
-                                   std::uint64_t* programs) {
+void PageMappingFtl::relocate_valid_pages(std::uint32_t block_id, SimTime now,
+                                          std::uint64_t* page_moves,
+                                          std::uint64_t* programs) {
   BlockMeta& victim = blocks_[block_id];
-  // Mark as open so relocation's invalidate path skips bucket updates.
-  victim.open = true;
   for (std::uint32_t p = 0; p < victim.next_page; ++p) {
     PageMeta& page = victim.pages[p];
     if (!page.valid) continue;
@@ -215,6 +264,16 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
     ++*page_moves;
   }
   FLEX_ASSERT(victim.valid_count == 0);
+}
+
+void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
+                                   std::uint64_t* page_moves,
+                                   std::uint64_t* programs) {
+  BlockMeta& victim = blocks_[block_id];
+  FLEX_ASSERT(!victim.retired);
+  // Mark as open so relocation's invalidate path skips bucket updates.
+  victim.open = true;
+  relocate_valid_pages(block_id, now, page_moves, programs);
   for (auto& page : victim.pages) page = PageMeta{};
   victim.next_page = 0;
   victim.open = false;
@@ -223,6 +282,14 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
   victim.read_count = 0;
   ++stats_.nand_erases;
   if (telemetry_) ++metrics_.nand_erases->value;
+  if (injector_ && injector_->erase_fails(block_id, victim.erase_count)) {
+    // The erase failed: the block never returns to the free list, so the
+    // GC loop (free count unchanged) simply reclaims another victim.
+    ++stats_.erase_fails;
+    if (telemetry_) ++metrics_.erase_fails->value;
+    mark_retired(block_id);
+    return;
+  }
   free_list_.push_back(block_id);
   ++free_count_;
 }
@@ -265,7 +332,8 @@ void PageMappingFtl::maybe_garbage_collect(SimTime now,
 std::optional<RefreshResult> PageMappingFtl::refresh_block(std::uint64_t ppn,
                                                            SimTime now) {
   const std::uint32_t block_id = block_of(ppn);
-  if (blocks_[block_id].open || blocks_[block_id].next_page == 0) {
+  if (blocks_[block_id].open || blocks_[block_id].retired ||
+      blocks_[block_id].next_page == 0) {
     return std::nullopt;
   }
   RefreshResult result;
@@ -275,7 +343,9 @@ std::optional<RefreshResult> PageMappingFtl::refresh_block(std::uint64_t ppn,
   // then moot (the GC side work stays accounted in stats_).
   maybe_garbage_collect(now, &result.page_programs, &result.erases);
   BlockMeta& block = blocks_[block_id];
-  if (block.open || block.next_page == 0) return std::nullopt;
+  if (block.open || block.retired || block.next_page == 0) {
+    return std::nullopt;
+  }
   candidate_remove(block_id, block.valid_count);
   ++stats_.refresh_runs;
   std::uint64_t moves = 0;
@@ -334,6 +404,16 @@ void PageMappingFtl::attach_telemetry(telemetry::Telemetry* telemetry) {
   metrics_.mode_migrations = &registry.counter("ftl.mode_migrations");
   metrics_.refresh_runs = &registry.counter("ftl.refresh_runs");
   metrics_.refresh_page_moves = &registry.counter("ftl.refresh_page_moves");
+  metrics_.program_fails = &registry.counter("ftl.program_fails");
+  metrics_.erase_fails = &registry.counter("ftl.erase_fails");
+  metrics_.grown_defects = &registry.counter("ftl.grown_defects");
+  metrics_.retired_blocks = &registry.counter("ftl.retired_blocks");
+  metrics_.retire_page_moves = &registry.counter("ftl.retire_page_moves");
+}
+
+void PageMappingFtl::attach_fault_injector(
+    const faults::FaultInjector* injector) {
+  injector_ = injector;
 }
 
 std::uint32_t PageMappingFtl::min_erase_count() const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "faults/fault_injector.h"
 #include "nand/geometry.h"
 #include "telemetry/telemetry.h"
 
@@ -49,6 +50,12 @@ struct FtlStats {
   std::uint64_t mode_migrations = 0;  ///< explicit normal<->reduced rewrites
   std::uint64_t refresh_runs = 0;        ///< read-disturb block refreshes
   std::uint64_t refresh_page_moves = 0;  ///< valid pages relocated by them
+  // Fault handling (all zero unless a FaultInjector is attached).
+  std::uint64_t program_fails = 0;  ///< program-status failures absorbed
+  std::uint64_t erase_fails = 0;    ///< erase failures absorbed
+  std::uint64_t grown_defects = 0;  ///< blocks found defective at allocation
+  std::uint64_t retired_blocks = 0;     ///< blocks taken out of service
+  std::uint64_t retire_page_moves = 0;  ///< valid pages rescued off them
 
   double write_amplification() const {
     return host_writes == 0
@@ -130,6 +137,24 @@ class PageMappingFtl {
   /// nullptr detaches.
   void attach_telemetry(telemetry::Telemetry* telemetry);
 
+  /// Attaches the fault source (nullptr detaches — the default, and the
+  /// zero-overhead path). With an injector attached the FTL absorbs its
+  /// faults: a program-status failure re-drives the write to a fresh
+  /// frontier page and retires the block (its valid pages relocated
+  /// first — an acknowledged write is never lost); a failed or
+  /// defect-flagged erase/allocation retires the block outright. Retired
+  /// blocks leave service permanently: never a frontier, never a GC,
+  /// wear-leveling or refresh victim — the drive keeps running on shrunken
+  /// over-provisioning instead of asserting.
+  void attach_fault_injector(const faults::FaultInjector* injector);
+
+  /// Blocks currently retired (bad-block table size).
+  std::uint32_t retired_block_count() const { return retired_count_; }
+  /// Is the block containing `ppn` retired?
+  bool block_retired(std::uint64_t ppn) const {
+    return blocks_[block_of(ppn)].retired;
+  }
+
   std::uint32_t free_blocks() const { return free_count_; }
   std::uint32_t min_erase_count() const;
   std::uint32_t max_erase_count() const;
@@ -149,6 +174,7 @@ class PageMappingFtl {
     std::uint32_t next_page = 0;   ///< write pointer within the block
     std::uint32_t valid_count = 0;
     bool open = false;             ///< is a write frontier
+    bool retired = false;          ///< out of service (bad block)
     std::uint64_t read_count = 0;  ///< reads since last erase (disturb)
     std::vector<PageMeta> pages;
   };
@@ -159,12 +185,25 @@ class PageMappingFtl {
   std::uint64_t make_ppn(std::uint32_t block, std::uint32_t page) const;
   std::uint32_t block_of(std::uint64_t ppn) const;
   /// Relocates `block`'s valid pages, erases it, and returns it to the
-  /// free list (shared tail of GC and refresh). The caller must have
+  /// free list (shared tail of GC and refresh) — unless the erase fails,
+  /// in which case the block is retired instead. The caller must have
   /// removed it from the GC candidate buckets.
   void reclaim_block(std::uint32_t block_id, SimTime now,
                      std::uint64_t* page_moves, std::uint64_t* programs);
+  /// Moves every valid page of `block_id` to fresh frontier space (shared
+  /// by reclaim and retirement).
+  void relocate_valid_pages(std::uint32_t block_id, SimTime now,
+                            std::uint64_t* page_moves,
+                            std::uint64_t* programs);
   void invalidate(std::uint64_t lpn);
   std::uint32_t allocate_block(PageMode mode);
+  /// Takes `block_id` (an open frontier that just failed a program) out of
+  /// service: relocates its valid pages to fresh frontier space, clears it
+  /// and marks it retired. Counts relocation programs into `programs`.
+  void retire_failed_frontier(std::uint32_t block_id, SimTime now,
+                              std::uint64_t* programs);
+  /// Marks an already-empty block retired (erase-fail / grown-defect tail).
+  void mark_retired(std::uint32_t block_id);
   /// Appends to the frontier of `mode`; assumes space exists.
   std::uint64_t append(std::uint64_t lpn, PageMode mode, SimTime now,
                        std::uint64_t* programs);
@@ -191,6 +230,8 @@ class PageMappingFtl {
   std::vector<std::vector<std::uint32_t>> gc_buckets_;  // by valid_count
   std::vector<std::uint32_t> gc_bucket_pos_;  // block -> index in its bucket
   FtlStats stats_;
+  const faults::FaultInjector* injector_ = nullptr;
+  std::uint32_t retired_count_ = 0;
 
   /// Bound metric handles mirroring FtlStats (null when detached).
   struct Metrics {
@@ -202,6 +243,11 @@ class PageMappingFtl {
     telemetry::MetricsRegistry::Counter* mode_migrations = nullptr;
     telemetry::MetricsRegistry::Counter* refresh_runs = nullptr;
     telemetry::MetricsRegistry::Counter* refresh_page_moves = nullptr;
+    telemetry::MetricsRegistry::Counter* program_fails = nullptr;
+    telemetry::MetricsRegistry::Counter* erase_fails = nullptr;
+    telemetry::MetricsRegistry::Counter* grown_defects = nullptr;
+    telemetry::MetricsRegistry::Counter* retired_blocks = nullptr;
+    telemetry::MetricsRegistry::Counter* retire_page_moves = nullptr;
   };
   telemetry::Telemetry* telemetry_ = nullptr;
   Metrics metrics_;

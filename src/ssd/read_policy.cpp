@@ -1,6 +1,7 @@
 #include "ssd/read_policy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -112,10 +113,21 @@ class ProgressiveHintPolicy final : public ProgressivePolicy {
 /// path.)
 class FlexLevelPolicy final : public ReadPolicy {
  public:
+  /// `pool_shrink_per_retired_block` > 0 enables graceful degradation
+  /// under fault injection: each block the FTL retires costs
+  /// pages_per_block physical pages of over-provisioning, so the
+  /// ReducedCell budget shrinks by pages_per_block * f / (1 - f) logical
+  /// pages (f = reduced_capacity_factor) — the shrink that hands exactly
+  /// the lost physical margin back to GC.
   FlexLevelPolicy(std::unique_ptr<ReadPolicy> inner,
                   const flexlevel::AccessEval::Config& access_eval,
-                  ftl::PageMappingFtl& ftl)
-      : inner_(std::move(inner)), access_eval_(access_eval), ftl_(ftl) {}
+                  ftl::PageMappingFtl& ftl,
+                  std::uint64_t pool_shrink_per_retired_block)
+      : inner_(std::move(inner)),
+        access_eval_(access_eval),
+        ftl_(ftl),
+        base_pool_capacity_(access_eval.pool_capacity_pages),
+        pool_shrink_per_block_(pool_shrink_per_retired_block) {}
 
   ReadCost read_cost(const ReadContext& ctx) override {
     return inner_->read_cost(ctx);
@@ -127,6 +139,12 @@ class FlexLevelPolicy final : public ReadPolicy {
   }
 
   void on_read_complete(const ReadContext& ctx) override {
+    // Give retired over-provisioning back before this read can admit new
+    // pool pages against a stale budget.
+    if (pool_shrink_per_block_ > 0 &&
+        ftl_.retired_block_count() != last_retired_) {
+      shrink_pool(ctx.now);
+    }
     const flexlevel::AccessDecision decision =
         access_eval_.on_read(ctx.lpn, ctx.required_levels);
     if (decision.migrate_to_reduced) {
@@ -170,7 +188,8 @@ class FlexLevelPolicy final : public ReadPolicy {
   ReadPolicyStats stats() const override {
     return {.migrations_to_reduced = migrations_to_reduced_,
             .migrations_to_normal = migrations_to_normal_,
-            .pool_pages = access_eval_.pool_size()};
+            .pool_pages = access_eval_.pool_size(),
+            .pool_capacity_pages = access_eval_.pool_capacity()};
   }
 
   void reset_stats() override {
@@ -179,6 +198,19 @@ class FlexLevelPolicy final : public ReadPolicy {
   }
 
  private:
+  void shrink_pool(SimTime now) {
+    last_retired_ = ftl_.retired_block_count();
+    const std::uint64_t penalty =
+        static_cast<std::uint64_t>(last_retired_) * pool_shrink_per_block_;
+    const std::uint64_t target =
+        base_pool_capacity_ > penalty ? base_pool_capacity_ - penalty : 0;
+    for (const std::uint64_t lpn : access_eval_.shrink_capacity(target)) {
+      ftl_.migrate(lpn, ftl::PageMode::kNormal, now);
+      ++migrations_to_normal_;
+      record_migration(now, "migrate_to_normal", lpn, to_normal_metric_);
+    }
+  }
+
   void record_migration(SimTime now, const char* name, std::uint64_t lpn,
                         telemetry::MetricsRegistry::Counter* metric) {
     if (!telemetry_) return;
@@ -197,6 +229,9 @@ class FlexLevelPolicy final : public ReadPolicy {
   std::unique_ptr<ReadPolicy> inner_;
   flexlevel::AccessEval access_eval_;
   ftl::PageMappingFtl& ftl_;
+  std::uint64_t base_pool_capacity_;
+  std::uint64_t pool_shrink_per_block_;
+  std::uint32_t last_retired_ = 0;
   std::uint64_t migrations_to_reduced_ = 0;
   std::uint64_t migrations_to_normal_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
@@ -300,6 +335,114 @@ class RefreshPolicy final : public ReadPolicy {
   telemetry::MetricsRegistry::Counter* refresh_moves_metric_ = nullptr;
 };
 
+/// Uncorrectable-read recovery ladder (fault injection on): when even the
+/// deepest progressive step cannot decode a page (ctx.correctable false),
+/// a real controller does not give up — it re-reads at the deepest sensing
+/// depth with tuned thresholds (the "read-retry" ladder of production
+/// firmware). The re-read is host-visible latency, so unlike migrations
+/// and scrubs its cost lands on the read itself; whether it rescues the
+/// data is the injector's (deterministic) call. Unrescued reads are
+/// declared data loss and counted — the drive keeps serving. Outermost
+/// decorator, wrapping refresh and the scheme policy.
+class RecoveryPolicy final : public ReadPolicy {
+ public:
+  RecoveryPolicy(std::unique_ptr<ReadPolicy> inner,
+                 const LatencyModel& latency,
+                 const reliability::SensingRequirement& ladder,
+                 const faults::FaultInjector& injector)
+      : inner_(std::move(inner)),
+        latency_(latency),
+        max_levels_(ladder.steps().back().extra_levels),
+        injector_(injector) {}
+
+  ReadCost read_cost(const ReadContext& ctx) override {
+    ReadCost cost = inner_->read_cost(ctx);
+    if (!ctx.correctable) {
+      const ReadCost retry = latency_.read_fixed_cost(max_levels_);
+      cost.die += retry.die;
+      cost.channel += retry.channel;
+      cost.controller += retry.controller;
+    }
+    return cost;
+  }
+
+  std::vector<ReadAttempt> trace_attempts(
+      const ReadContext& ctx) const override {
+    std::vector<ReadAttempt> attempts = inner_->trace_attempts(ctx);
+    if (!ctx.correctable) {
+      attempts.push_back(ReadAttempt{
+          .levels = max_levels_, .cost = latency_.read_fixed_cost(max_levels_)});
+    }
+    return attempts;
+  }
+
+  void on_read_complete(const ReadContext& ctx) override {
+    inner_->on_read_complete(ctx);
+    if (ctx.correctable) return;
+    const bool rescued = injector_.read_retry_rescues(ctx.ppn, ctx.block_reads);
+    if (rescued) {
+      ++recovered_reads_;
+    } else {
+      ++data_loss_reads_;
+    }
+    if (telemetry_) {
+      ++(rescued ? recovered_metric_ : data_loss_metric_)->value;
+      if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+        tracer->record({.name = rescued ? "read_recovered" : "read_data_loss",
+                        .cat = "policy",
+                        .pid = telemetry_->pid,
+                        .tid = telemetry::kFtlTrack,
+                        .start = ctx.now,
+                        .arg0_key = "lpn",
+                        .arg0 = static_cast<double>(ctx.lpn)});
+      }
+    }
+  }
+
+  void attach_telemetry(telemetry::Telemetry* telemetry) override {
+    inner_->attach_telemetry(telemetry);
+    telemetry_ = telemetry;
+    if (!telemetry_) {
+      recovered_metric_ = nullptr;
+      data_loss_metric_ = nullptr;
+      return;
+    }
+    recovered_metric_ = &telemetry_->metrics.counter("policy.recovered_reads");
+    data_loss_metric_ = &telemetry_->metrics.counter("policy.data_loss_reads");
+  }
+
+  ftl::PageMode write_mode(std::uint64_t lpn) const override {
+    return inner_->write_mode(lpn);
+  }
+  ftl::PageMode prefill_mode() const override {
+    return inner_->prefill_mode();
+  }
+
+  ReadPolicyStats stats() const override {
+    ReadPolicyStats stats = inner_->stats();
+    stats.recovered_reads = recovered_reads_;
+    stats.data_loss_reads = data_loss_reads_;
+    return stats;
+  }
+
+  void reset_stats() override {
+    inner_->reset_stats();
+    recovered_reads_ = 0;
+    data_loss_reads_ = 0;
+  }
+
+ private:
+  std::unique_ptr<ReadPolicy> inner_;
+  const LatencyModel& latency_;
+  int max_levels_;
+  const faults::FaultInjector& injector_;
+  std::uint64_t recovered_reads_ = 0;
+  std::uint64_t data_loss_reads_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::MetricsRegistry::Counter* recovered_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* data_loss_metric_ = nullptr;
+};
+
 std::unique_ptr<ReadPolicy> make_progressive(
     const SsdConfig& config, const LatencyModel& latency,
     const reliability::SensingRequirement& ladder, ftl::PageMode mode,
@@ -315,7 +458,7 @@ std::unique_ptr<ReadPolicy> make_scheme_policy(
     const SsdConfig& config, const LatencyModel& latency,
     const reliability::SensingRequirement& ladder,
     const reliability::BerModel& normal_model, std::uint64_t physical_pages,
-    ftl::PageMappingFtl& ftl) {
+    ftl::PageMappingFtl& ftl, const faults::FaultInjector* injector) {
   switch (config.scheme) {
     case Scheme::kBaseline: {
       const int fixed_levels = ladder.required_levels(normal_model.total_ber(
@@ -329,11 +472,20 @@ std::unique_ptr<ReadPolicy> make_scheme_policy(
     case Scheme::kLevelAdjustOnly:
       return make_progressive(config, latency, ladder,
                               ftl::PageMode::kReduced, physical_pages);
-    case Scheme::kFlexLevel:
+    case Scheme::kFlexLevel: {
+      std::uint64_t shrink_per_block = 0;
+      if (injector != nullptr &&
+          injector->config().shrink_pool_on_retirement &&
+          config.ftl.reduced_capacity_factor < 1.0) {
+        const double f = config.ftl.reduced_capacity_factor;
+        shrink_per_block = static_cast<std::uint64_t>(std::llround(
+            config.ftl.spec.pages_per_block * f / (1.0 - f)));
+      }
       return std::make_unique<FlexLevelPolicy>(
           make_progressive(config, latency, ladder, ftl::PageMode::kNormal,
                            physical_pages),
-          config.access_eval, ftl);
+          config.access_eval, ftl, shrink_per_block);
+    }
   }
   FLEX_ASSERT(false && "unreachable");
   return nullptr;
@@ -345,12 +497,16 @@ std::unique_ptr<ReadPolicy> make_read_policy(
     const SsdConfig& config, const LatencyModel& latency,
     const reliability::SensingRequirement& ladder,
     const reliability::BerModel& normal_model, std::uint64_t physical_pages,
-    ftl::PageMappingFtl& ftl) {
+    ftl::PageMappingFtl& ftl, const faults::FaultInjector* injector) {
   std::unique_ptr<ReadPolicy> policy = make_scheme_policy(
-      config, latency, ladder, normal_model, physical_pages, ftl);
+      config, latency, ladder, normal_model, physical_pages, ftl, injector);
   if (config.read_disturb.refresh_threshold > 0) {
     policy = std::make_unique<RefreshPolicy>(
         std::move(policy), config.read_disturb.refresh_threshold, ftl);
+  }
+  if (injector != nullptr) {
+    policy = std::make_unique<RecoveryPolicy>(std::move(policy), latency,
+                                              ladder, *injector);
   }
   return policy;
 }

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "ftl/page_mapping.h"
 #include "reliability/ber_model.h"
 #include "reliability/sensing_solver.h"
@@ -45,6 +46,11 @@ struct ReadContext {
   /// before this read (the disturb term already folded into
   /// `required_levels`).
   std::uint64_t block_reads = 0;
+  /// False when even the deepest ladder step cannot decode the page's raw
+  /// BER. `required_levels` is then clamped to the deepest step, and the
+  /// RecoveryPolicy decorator (fault injection on) charges and adjudicates
+  /// the recovery re-read.
+  bool correctable = true;
   SimTime now = 0;
 };
 
@@ -54,10 +60,19 @@ struct ReadPolicyStats {
   std::uint64_t migrations_to_normal = 0;
   /// ReducedCell pool occupancy right now (gauge, not a counter).
   std::uint64_t pool_pages = 0;
+  /// ReducedCell pool budget right now (gauge). Equals the configured
+  /// capacity until block retirements shrink it (fault injection with
+  /// shrink_pool_on_retirement); zero for non-FlexLevel schemes.
+  std::uint64_t pool_capacity_pages = 0;
   /// Blocks scrubbed by the read-disturb refresh decorator, and the valid
   /// pages those scrubs relocated (counters).
   std::uint64_t refresh_blocks = 0;
   std::uint64_t refresh_page_moves = 0;
+  /// Uncorrectable reads the recovery ladder's deepest-sensing re-read
+  /// rescued, and those it could not (declared data loss). Counters;
+  /// nonzero only under the RecoveryPolicy decorator (fault injection).
+  std::uint64_t recovered_reads = 0;
+  std::uint64_t data_loss_reads = 0;
 };
 
 class ReadPolicy {
@@ -108,11 +123,14 @@ class ReadPolicy {
 
 /// Builds the policy for `config.scheme` (the only place scheme is
 /// inspected on the read path). `physical_pages` sizes the sensing-hint
-/// table; `ftl` receives FlexLevel's migrations.
+/// table; `ftl` receives FlexLevel's migrations. A non-null `injector`
+/// (fault injection on) wraps the stack in the RecoveryPolicy decorator,
+/// which charges a deepest-sensing re-read for uncorrectable reads and
+/// lets the injector decide whether it rescues the data.
 std::unique_ptr<ReadPolicy> make_read_policy(
     const SsdConfig& config, const LatencyModel& latency,
     const reliability::SensingRequirement& ladder,
     const reliability::BerModel& normal_model, std::uint64_t physical_pages,
-    ftl::PageMappingFtl& ftl);
+    ftl::PageMappingFtl& ftl, const faults::FaultInjector* injector);
 
 }  // namespace flex::ssd

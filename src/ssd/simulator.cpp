@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace flex::ssd {
+namespace {
+
+/// Constructor-path enforcement of SsdConfig::Validate(): the legacy
+/// constructor cannot return a Status, so a violation aborts — with the
+/// offending field named on stderr, not a bare assert three layers down.
+/// Builder::Build() validates first and returns the Status instead.
+SsdConfig validated(SsdConfig config) {
+  const Status status = config.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid SsdConfig: %s\n",
+                 status.to_string().c_str());
+    std::abort();
+  }
+  return config;
+}
+
+}  // namespace
 
 std::string scheme_name(Scheme scheme) {
   switch (scheme) {
@@ -23,23 +42,108 @@ std::string scheme_name(Scheme scheme) {
   return {};
 }
 
+Status SsdConfig::Validate() const {
+  if (!(ftl.over_provisioning > 0.0 && ftl.over_provisioning < 1.0)) {
+    return Status::OutOfRange("ftl.over_provisioning must be in (0, 1)");
+  }
+  if (!(ftl.reduced_capacity_factor > 0.0 &&
+        ftl.reduced_capacity_factor <= 1.0)) {
+    return Status::OutOfRange(
+        "ftl.reduced_capacity_factor must be in (0, 1]");
+  }
+  if (ftl.gc_low_watermark < 2) {
+    return Status::OutOfRange("ftl.gc_low_watermark must be >= 2");
+  }
+  const std::uint64_t total_blocks =
+      static_cast<std::uint64_t>(ftl.spec.chips) * ftl.spec.blocks_per_chip;
+  if (total_blocks <= static_cast<std::uint64_t>(ftl.gc_low_watermark) * 4) {
+    return Status::FailedPrecondition(
+        "drive too small: chips * blocks_per_chip must exceed "
+        "4 * ftl.gc_low_watermark");
+  }
+  if (write_buffer_pages < 1) {
+    return Status::OutOfRange("write_buffer_pages must be >= 1");
+  }
+  if (write_buffer_flush_batch < 1 ||
+      write_buffer_flush_batch > write_buffer_pages) {
+    return Status::OutOfRange(
+        "write_buffer_flush_batch must be in [1, write_buffer_pages]");
+  }
+  if (!(min_prefill_age > 0.0)) {
+    return Status::OutOfRange("min_prefill_age must be > 0");
+  }
+  if (!(max_prefill_age >= min_prefill_age)) {
+    return Status::InvalidArgument(
+        "max_prefill_age must be >= min_prefill_age");
+  }
+  if (prefill_extent_pages < 1) {
+    return Status::OutOfRange("prefill_extent_pages must be >= 1");
+  }
+  if (!(precondition_passes >= 0.0)) {
+    return Status::OutOfRange("precondition_passes must be >= 0");
+  }
+  if (!(baseline_retention_spec > 0.0)) {
+    return Status::OutOfRange("baseline_retention_spec must be > 0");
+  }
+  if (scheme == Scheme::kFlexLevel) {
+    if (access_eval.pool_capacity_pages < 1) {
+      return Status::OutOfRange(
+          "access_eval.pool_capacity_pages must be >= 1");
+    }
+    if (access_eval.pool_capacity_pages > ftl.spec.total_pages()) {
+      return Status::InvalidArgument(
+          "access_eval.pool_capacity_pages exceeds the drive's physical "
+          "pages");
+    }
+    if (access_eval.freq_levels < 1 || access_eval.sensing_buckets < 1) {
+      return Status::OutOfRange(
+          "access_eval.freq_levels and sensing_buckets must be >= 1");
+    }
+  }
+  if (read_disturb.refresh_threshold > 0 && !read_disturb.enabled) {
+    return Status::InvalidArgument(
+        "read_disturb.refresh_threshold is set but read_disturb.enabled is "
+        "false: refresh would scrub blocks that never pay a disturb "
+        "penalty");
+  }
+  const struct {
+    const char* name;
+    double value;
+  } rates[] = {
+      {"faults.program_fail_rate", faults.program_fail_rate},
+      {"faults.erase_fail_rate", faults.erase_fail_rate},
+      {"faults.grown_defect_rate", faults.grown_defect_rate},
+      {"faults.read_retry_rescue", faults.read_retry_rescue},
+  };
+  for (const auto& rate : rates) {
+    if (!(rate.value >= 0.0 && rate.value <= 1.0)) {
+      return Status::OutOfRange(std::string(rate.name) +
+                                " must be in [0, 1]");
+    }
+  }
+  return Status::Ok();
+}
+
 SsdSimulator::SsdSimulator(SsdConfig config,
                            const reliability::BerModel& normal,
                            const reliability::BerModel& reduced)
-    : config_(std::move(config)),
+    : config_(validated(std::move(config))),
       normal_model_(normal),
       reduced_model_(reduced),
       ftl_(config_.ftl),
       buffer_(config_.write_buffer_pages, config_.write_buffer_flush_batch),
       scheduler_(config_.ftl.spec.chips, events_),
+      injector_(config_.faults.enabled
+                    ? std::make_unique<faults::FaultInjector>(config_.faults,
+                                                              config_.seed)
+                    : nullptr),
       policy_(make_read_policy(config_, config_.latency, ladder_,
                                normal_model_,
                                ftl_.physical_blocks() *
                                    config_.ftl.spec.pages_per_block,
-                               ftl_)),
+                               ftl_, injector_.get())),
       rng_(config_.seed) {
-  FLEX_EXPECTS(config_.min_prefill_age > 0.0);
-  FLEX_EXPECTS(config_.max_prefill_age >= config_.min_prefill_age);
+  ftl_.attach_fault_injector(injector_.get());
   if (config_.read_disturb.enabled) {
     disturb_[0] = std::make_unique<reliability::ReadDisturbModel>(
         config_.read_disturb.model, normal_model_);
@@ -188,6 +292,7 @@ SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
                         .ppn = info->ppn,
                         .required_levels = required,
                         .block_reads = info->block_reads,
+                        .correctable = correctable,
                         .now = now};
   telemetry::SpanRecorder* tracer =
       telemetry_ ? telemetry_->tracer() : nullptr;
@@ -321,7 +426,7 @@ void SsdSimulator::service_request(const trace::Request& request,
   }
 }
 
-SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
+void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
   // Arrival events dispatch through the deterministic kernel: equal-time
   // arrivals keep trace order via the queue's sequence tie-breaking.
   for (const auto& request : requests) {
@@ -337,6 +442,10 @@ SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
   results_.refresh_blocks = policy_stats.refresh_blocks;
   results_.refresh_page_moves = policy_stats.refresh_page_moves;
   results_.pool_pages = policy_stats.pool_pages;
+  results_.pool_capacity_pages = policy_stats.pool_capacity_pages;
+  results_.recovered_reads = policy_stats.recovered_reads;
+  results_.data_loss_reads = policy_stats.data_loss_reads;
+  results_.retired_blocks = ftl_.retired_block_count();
   results_.chip_stats = scheduler_.stats();
   // Report trace-phase FTL activity only.
   const ftl::FtlStats& total = ftl_.stats();
@@ -351,11 +460,32 @@ SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
   results_.ftl.refresh_runs = total.refresh_runs - prefill_stats_.refresh_runs;
   results_.ftl.refresh_page_moves =
       total.refresh_page_moves - prefill_stats_.refresh_page_moves;
+  results_.ftl.program_fails =
+      total.program_fails - prefill_stats_.program_fails;
+  results_.ftl.erase_fails = total.erase_fails - prefill_stats_.erase_fails;
+  results_.ftl.grown_defects =
+      total.grown_defects - prefill_stats_.grown_defects;
+  results_.ftl.retired_blocks =
+      total.retired_blocks - prefill_stats_.retired_blocks;
+  results_.ftl.retire_page_moves =
+      total.retire_page_moves - prefill_stats_.retire_page_moves;
   if (telemetry_) {
     results_.metrics = telemetry_->metrics.snapshot();
     results_.spans = telemetry_->spans.spans();
   }
+}
+
+SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
+  run_segment(requests);
   return results_;
+}
+
+StatusOr<std::unique_ptr<SsdSimulator>> SsdSimulator::Builder::Build() const {
+  if (Status status = config_.Validate(); !status.ok()) return status;
+  auto simulator = std::unique_ptr<SsdSimulator>(
+      new SsdSimulator(config_, normal_, reduced_));
+  if (telemetry_ != nullptr) simulator->attach_telemetry(telemetry_);
+  return simulator;
 }
 
 }  // namespace flex::ssd

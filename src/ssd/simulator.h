@@ -27,7 +27,9 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/units.h"
+#include "faults/fault_injector.h"
 #include "flexlevel/access_eval.h"
 #include "ftl/page_mapping.h"
 #include "ftl/write_buffer.h"
@@ -108,7 +110,17 @@ struct SsdConfig {
   /// scheme; the baseline's fixed read is unaffected.
   bool sensing_hint = false;
   ReadDisturbConfig read_disturb;
+  /// Fault injection (program/erase failures, grown defects) and the
+  /// recovery machinery it exercises. Off by default: every seed figure is
+  /// reproduced bit-identically with faults disabled.
+  faults::FaultConfig faults;
   std::uint64_t seed = 0x5EED;
+
+  /// Range- and consistency-checks the whole configuration. The simulator
+  /// constructor enforces this (abort with the message on violation);
+  /// SsdSimulator::Builder returns the Status instead, so front-ends can
+  /// surface it and exit cleanly.
+  Status Validate() const;
 };
 
 /// Where read-response time went, summed over the measured window
@@ -156,6 +168,17 @@ struct SsdResults {
   std::uint64_t refresh_page_moves = 0;
   /// ReducedCell pool occupancy at the end of the run (FlexLevel only).
   std::uint64_t pool_pages = 0;
+  /// ReducedCell pool budget at the end of the run (gauge; FlexLevel
+  /// only). Starts at the configured capacity and shrinks as block
+  /// retirements spend the physical headroom backing it.
+  std::uint64_t pool_capacity_pages = 0;
+  /// Recovery ladder outcomes for uncorrectable reads (fault injection
+  /// only): rescued by the deepest-sensing re-read vs. declared data loss.
+  std::uint64_t recovered_reads = 0;
+  std::uint64_t data_loss_reads = 0;
+  /// Blocks out of service at the end of the run (gauge; fault injection
+  /// only — includes retirements during prefill/preconditioning).
+  std::uint64_t retired_blocks = 0;
   /// Distribution of extra sensing levels over NAND reads.
   std::vector<std::uint64_t> sensing_level_reads;
   /// Per-chip command / queue-depth / occupancy counters for the measured
@@ -172,15 +195,61 @@ class SsdSimulator {
  public:
   /// The BerModels are shared (they are expensive to build); `normal` maps
   /// the 4-level baseline cell, `reduced` the NUNMA reduced cell.
+  /// Aborts (with the Status message on stderr) when `config` fails
+  /// SsdConfig::Validate(); use Builder to get the Status instead.
   SsdSimulator(SsdConfig config, const reliability::BerModel& normal,
                const reliability::BerModel& reduced);
+
+  /// Validated construction: fuses configuration, validation, and
+  /// telemetry attachment into one path that reports bad configurations
+  /// as a Status instead of aborting mid-constructor.
+  ///
+  ///   auto sim = SsdSimulator::Builder(normal, reduced)
+  ///                  .config(cfg)
+  ///                  .telemetry(&telemetry)  // optional
+  ///                  .Build();
+  ///   if (!sim.ok()) { /* surface sim.status().message() */ }
+  class Builder {
+   public:
+    Builder(const reliability::BerModel& normal,
+            const reliability::BerModel& reduced)
+        : normal_(normal), reduced_(reduced) {}
+
+    Builder& config(SsdConfig config) {
+      config_ = std::move(config);
+      return *this;
+    }
+    Builder& telemetry(telemetry::Telemetry* telemetry) {
+      telemetry_ = telemetry;
+      return *this;
+    }
+
+    /// Validates, then constructs (a unique_ptr: the simulator holds
+    /// reference members and is not movable).
+    StatusOr<std::unique_ptr<SsdSimulator>> Build() const;
+
+   private:
+    const reliability::BerModel& normal_;
+    const reliability::BerModel& reduced_;
+    SsdConfig config_;
+    telemetry::Telemetry* telemetry_ = nullptr;
+  };
 
   /// Fills `pages` logical pages with data aged log-uniformly over
   /// [min_prefill_age, max_prefill_age].
   void prefill(std::uint64_t pages);
 
-  /// Runs a trace segment; results accumulate across calls.
+  /// Runs a trace segment; results accumulate across calls (and are
+  /// readable without a copy via results()).
+  void run_segment(const std::vector<trace::Request>& requests);
+
+  /// run_segment plus a copy of the accumulated results, for callers that
+  /// want a self-contained snapshot.
   SsdResults run(const std::vector<trace::Request>& requests);
+
+  /// Measurements accumulated since the last reset_measurements() —
+  /// borrowed, valid until the next run_segment()/run() call mutates it.
+  const SsdResults& results() const { return results_; }
 
   /// Clears accumulated measurements (response stats, counters, FTL deltas,
   /// chip counters) while keeping all simulator state — call between a
@@ -228,6 +297,10 @@ class SsdSimulator {
   ftl::WriteBuffer buffer_;
   EventQueue events_;
   ChipScheduler scheduler_;
+  /// Null unless config_.faults.enabled; attached to ftl_ and the read
+  /// policy's recovery decorator. Declared before policy_ (construction
+  /// order: the policy captures the pointer).
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<ReadPolicy> policy_;
   /// Per-mode disturb models (normal, reduced); null when disabled.
   std::unique_ptr<reliability::ReadDisturbModel> disturb_[2];

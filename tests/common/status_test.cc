@@ -1,0 +1,79 @@
+// flex::Status / flex::StatusOr: the recoverable-error vocabulary of the
+// public API surface (SsdConfig::Validate, SsdSimulator::Builder).
+#include "common/status.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace flex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.to_string(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad field");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad field");
+  EXPECT_EQ(status.to_string(), "INVALID_ARGUMENT: bad field");
+
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OutOfRange("a"), Status::OutOfRange("a"));
+  EXPECT_NE(Status::OutOfRange("a"), Status::OutOfRange("b"));
+  EXPECT_NE(Status::OutOfRange("a"), Status::InvalidArgument("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.status(), Status::Ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result = Status::OutOfRange("rate must be in [0, 1]");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(result.status().message(), "rate must be in [0, 1]");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 7);
+  const std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, ArrowForwardsToValue) {
+  StatusOr<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  const StatusOr<int> result = Status::Internal("boom");
+  EXPECT_DEATH((void)result.value(), "");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH(StatusOr<int>{Status::Ok()}, "");
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,127 @@
+// FaultInjector: deterministic, stateless fault decisions. The whole
+// subsystem hangs on the determinism contract — identical (seed, kind,
+// identity) tuples give identical answers whatever the call order — so
+// that is what these tests pin.
+#include "faults/fault_injector.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace flex::faults {
+namespace {
+
+FaultConfig all_rates(double rate) {
+  FaultConfig config;
+  config.enabled = true;
+  config.program_fail_rate = rate;
+  config.erase_fail_rate = rate;
+  config.grown_defect_rate = rate;
+  config.read_retry_rescue = rate;
+  return config;
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverFire) {
+  const FaultInjector injector(all_rates(0.0), 0x5EED);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(injector.program_fails(i, static_cast<std::uint32_t>(i)));
+    EXPECT_FALSE(injector.erase_fails(static_cast<std::uint32_t>(i), 7));
+    EXPECT_FALSE(injector.grown_defect(static_cast<std::uint32_t>(i), 7));
+    EXPECT_FALSE(injector.read_retry_rescues(i, i));
+  }
+}
+
+TEST(FaultInjectorTest, UnitRatesAlwaysFire) {
+  const FaultInjector injector(all_rates(1.0), 0x5EED);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(injector.program_fails(i, static_cast<std::uint32_t>(i)));
+    EXPECT_TRUE(injector.erase_fails(static_cast<std::uint32_t>(i), 7));
+    EXPECT_TRUE(injector.grown_defect(static_cast<std::uint32_t>(i), 7));
+    EXPECT_TRUE(injector.read_retry_rescues(i, i));
+  }
+}
+
+TEST(FaultInjectorTest, SameIdentitySameAnswer) {
+  // Stateless: re-asking (any number of times, in any order) cannot change
+  // the answer — the property that makes fault patterns independent of
+  // simulation interleaving and of --jobs.
+  const FaultInjector a(all_rates(0.5), 1234);
+  const FaultInjector b(all_rates(0.5), 1234);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.program_fails(i, 3), b.program_fails(i, 3));
+    EXPECT_EQ(a.program_fails(i, 3), a.program_fails(i, 3));
+    EXPECT_EQ(a.erase_fails(static_cast<std::uint32_t>(i), 9),
+              b.erase_fails(static_cast<std::uint32_t>(i), 9));
+    EXPECT_EQ(a.grown_defect(static_cast<std::uint32_t>(i), 9),
+              b.grown_defect(static_cast<std::uint32_t>(i), 9));
+    EXPECT_EQ(a.read_retry_rescues(i, i + 1), b.read_retry_rescues(i, i + 1));
+  }
+}
+
+TEST(FaultInjectorTest, SeedChangesThePattern) {
+  const FaultInjector a(all_rates(0.5), 1);
+  const FaultInjector b(all_rates(0.5), 2);
+  int differences = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.program_fails(i, 0) != b.program_fails(i, 0)) ++differences;
+  }
+  // Independent fair-ish coins disagree about half the time.
+  EXPECT_GT(differences, 350);
+  EXPECT_LT(differences, 650);
+}
+
+TEST(FaultInjectorTest, EraseGenerationChangesTheAnswer) {
+  // The same page / block must be able to fail in one erase generation and
+  // survive the next — the generation is part of the identity.
+  const FaultInjector injector(all_rates(0.5), 77);
+  int differences = 0;
+  for (std::uint64_t ppn = 0; ppn < 1000; ++ppn) {
+    if (injector.program_fails(ppn, 1) != injector.program_fails(ppn, 2)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 350);
+  EXPECT_LT(differences, 650);
+}
+
+TEST(FaultInjectorTest, EmpiricalRateMatchesConfiguredRate) {
+  FaultConfig config;
+  config.enabled = true;
+  config.program_fail_rate = 0.05;
+  const FaultInjector injector(config, 0xBEEF);
+  const int trials = 20000;
+  int fails = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    if (injector.program_fails(i, 0)) ++fails;
+  }
+  const double observed = static_cast<double>(fails) / trials;
+  // 3-sigma band for p = 0.05, n = 20000 is roughly +/- 0.0046.
+  EXPECT_NEAR(observed, 0.05, 0.008);
+}
+
+TEST(FaultInjectorTest, FaultKindsAreIndependentStreams) {
+  // Equal (a, b) identities across different fault kinds must not be
+  // correlated: the kind is folded into the hash first.
+  const FaultInjector injector(all_rates(0.5), 99);
+  int agreements = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (injector.program_fails(i, 4) ==
+        injector.erase_fails(static_cast<std::uint32_t>(i), 4)) {
+      ++agreements;
+    }
+  }
+  EXPECT_GT(agreements, 350);
+  EXPECT_LT(agreements, 650);
+}
+
+TEST(FaultInjectorDeathTest, RejectsOutOfRangeRates) {
+  FaultConfig config;
+  config.program_fail_rate = 1.5;
+  EXPECT_DEATH(FaultInjector(config, 0), "");
+  config = FaultConfig{};
+  config.read_retry_rescue = -0.1;
+  EXPECT_DEATH(FaultInjector(config, 0), "");
+}
+
+}  // namespace
+}  // namespace flex::faults

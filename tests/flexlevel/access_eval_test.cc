@@ -133,6 +133,34 @@ TEST(AccessEvalTest, InvalidateRemovesFromPool) {
   eval.on_invalidate(7);  // idempotent
 }
 
+TEST(AccessEvalTest, ShrinkCapacityEvictsLruTail) {
+  AccessEval eval(small_config(4));
+  make_hot(eval, 1, 4);
+  make_hot(eval, 2, 4);
+  make_hot(eval, 3, 4);
+  ASSERT_EQ(eval.pool_size(), 3u);
+  eval.on_read(1, 0);  // 1 becomes most recent: eviction order is 2, 3, 1
+  const auto evicted = eval.shrink_capacity(1);
+  EXPECT_EQ(eval.pool_capacity(), 1u);
+  EXPECT_EQ(eval.pool_size(), 1u);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_TRUE(eval.is_reduced(1));
+  EXPECT_FALSE(eval.is_reduced(2));
+  EXPECT_FALSE(eval.is_reduced(3));
+}
+
+TEST(AccessEvalTest, ShrinkCapacityIsMonotoneAndFloored) {
+  AccessEval eval(small_config(8));
+  // Growing back is ignored: retirement is permanent, so is the shrink.
+  EXPECT_TRUE(eval.shrink_capacity(3).empty());
+  EXPECT_EQ(eval.pool_capacity(), 3u);
+  EXPECT_TRUE(eval.shrink_capacity(100).empty());
+  EXPECT_EQ(eval.pool_capacity(), 3u);
+  // A penalty larger than the budget floors at one page, not zero.
+  EXPECT_TRUE(eval.shrink_capacity(0).empty());
+  EXPECT_EQ(eval.pool_capacity(), 1u);
+}
+
 TEST(AccessEvalTest, ReducedPageReadsDoNotReMigrate) {
   AccessEval eval(small_config());
   make_hot(eval, 7, 4);

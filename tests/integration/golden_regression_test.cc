@@ -141,6 +141,23 @@ TEST_F(GoldenRegression, LdpcInSsdWithRefresh) {
                 /*mean=*/0.00033390406454641421, /*p99=*/0.0020880572435739253);
 }
 
+TEST_F(GoldenRegression, FaultsDefaultOffIsByteIdentical)  {
+  // The fault subsystem must be invisible when disabled: a config carrying
+  // armed (nonzero) rates but enabled=false reproduces the FlexLevel
+  // goldens exactly. Fault support may not perturb placement, scheduling,
+  // or any RNG stream of a clean run.
+  auto cfg = config(Scheme::kFlexLevel);
+  cfg.faults.program_fail_rate = 0.25;
+  cfg.faults.erase_fail_rate = 0.25;
+  cfg.faults.grown_defect_rate = 0.25;  // enabled stays false
+  const SsdResults results = run_scheme(std::move(cfg));
+  expect_golden(results,
+                /*mean=*/0.00028164889789930771, /*p99=*/0.0020824576629127501);
+  EXPECT_EQ(results.retired_blocks, 0u);
+  EXPECT_EQ(results.ftl.program_fails, 0u);
+  EXPECT_EQ(results.data_loss_reads, 0u);
+}
+
 TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
   // Pinned telemetry counters for the FlexLevel golden run: silent
   // instrumentation drift (a counter bumped twice, a site dropped) is
@@ -154,14 +171,19 @@ TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
       {"chip.queued_commands", 2748},
       {"event_queue.fired", 21639},
       {"event_queue.scheduled", 21639},
+      {"ftl.erase_fails", 0},
       {"ftl.gc_page_moves", 0},
       {"ftl.gc_runs", 0},
+      {"ftl.grown_defects", 0},
       {"ftl.host_writes", 1568},
       {"ftl.mode_migrations", 533},
       {"ftl.nand_erases", 0},
       {"ftl.nand_writes", 2101},
+      {"ftl.program_fails", 0},
       {"ftl.refresh_page_moves", 0},
       {"ftl.refresh_runs", 0},
+      {"ftl.retire_page_moves", 0},
+      {"ftl.retired_blocks", 0},
       {"policy.migrations_to_normal", 0},
       {"policy.migrations_to_reduced", 533},
       {"ssd.buffer_hits", 1971},

@@ -49,12 +49,14 @@ class ReadPolicyTest : public ::testing::Test {
   }
 
   struct Fixture {
-    explicit Fixture(SsdConfig cfg_in)
+    explicit Fixture(SsdConfig cfg_in,
+                     const faults::FaultInjector* injector = nullptr)
         : cfg(std::move(cfg_in)),
           ftl(cfg.ftl),
           policy(make_read_policy(
               cfg, cfg.latency, ladder, *normal_,
-              ftl.physical_blocks() * cfg.ftl.spec.pages_per_block, ftl)) {}
+              ftl.physical_blocks() * cfg.ftl.spec.pages_per_block, ftl,
+              injector)) {}
 
     SsdConfig cfg;
     reliability::SensingRequirement ladder;
@@ -208,6 +210,67 @@ TEST_F(ReadPolicyTest, RefreshForwardsInnerPolicy) {
             f.cfg.latency.read_progressive(2, f.ladder));
   EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kReduced);
   EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kReduced);
+}
+
+TEST_F(ReadPolicyTest, RecoveryChargesTheDeepestReread) {
+  faults::FaultConfig fault_cfg;
+  fault_cfg.enabled = true;
+  fault_cfg.read_retry_rescue = 1.0;
+  const faults::FaultInjector injector(fault_cfg, 7);
+  Fixture f(config(Scheme::kLdpcInSsd), &injector);
+  Fixture plain(config(Scheme::kLdpcInSsd));
+  const int top = f.ladder.steps().back().extra_levels;
+  // Correctable reads cost exactly what the undecorated scheme charges.
+  EXPECT_EQ(f.policy->read_cost(read_of(1, 1, 3)).total(),
+            plain.policy->read_cost(read_of(1, 1, 3)).total());
+  // An uncorrectable read pays the full climb plus one deepest-sensing
+  // recovery re-read on top.
+  ReadContext hard{.lpn = 1, .ppn = 1, .required_levels = top,
+                   .correctable = false, .now = 100};
+  EXPECT_EQ(f.policy->read_cost(hard).total(),
+            plain.policy->read_cost(read_of(1, 1, top)).total() +
+                f.cfg.latency.read_fixed(top));
+  // The trace shows the recovery attempt as one extra ladder step.
+  EXPECT_EQ(f.policy->trace_attempts(hard).size(),
+            plain.policy->trace_attempts(read_of(1, 1, top)).size() + 1);
+}
+
+TEST_F(ReadPolicyTest, RecoveryAdjudicatesRescueOrLoss) {
+  faults::FaultConfig always;
+  always.enabled = true;
+  always.read_retry_rescue = 1.0;
+  const faults::FaultInjector rescuer(always, 7);
+  Fixture f(config(Scheme::kLdpcInSsd), &rescuer);
+  ReadContext hard{.lpn = 1, .ppn = 1, .required_levels = 6,
+                   .correctable = false, .now = 100};
+  f.policy->on_read_complete(hard);
+  f.policy->on_read_complete(read_of(2, 2, 0));  // correctable: no verdict
+  EXPECT_EQ(f.policy->stats().recovered_reads, 1u);
+  EXPECT_EQ(f.policy->stats().data_loss_reads, 0u);
+
+  faults::FaultConfig never;
+  never.enabled = true;
+  never.read_retry_rescue = 0.0;
+  const faults::FaultInjector condemner(never, 7);
+  Fixture g(config(Scheme::kLdpcInSsd), &condemner);
+  g.policy->on_read_complete(hard);
+  EXPECT_EQ(g.policy->stats().recovered_reads, 0u);
+  EXPECT_EQ(g.policy->stats().data_loss_reads, 1u);
+  // reset_stats clears the verdict counters like any other measurement.
+  g.policy->reset_stats();
+  EXPECT_EQ(g.policy->stats().data_loss_reads, 0u);
+}
+
+TEST_F(ReadPolicyTest, RecoveryForwardsInnerPolicy) {
+  faults::FaultConfig fault_cfg;
+  fault_cfg.enabled = true;
+  const faults::FaultInjector injector(fault_cfg, 7);
+  Fixture f(config(Scheme::kLevelAdjustOnly), &injector);
+  // Decoration must not change the scheme's storage modes or cost rule.
+  EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kReduced);
+  EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kReduced);
+  EXPECT_EQ(f.policy->read_cost(read_of(1, 1, 2)).total(),
+            f.cfg.latency.read_progressive(2, f.ladder));
 }
 
 TEST_F(ReadPolicyTest, RefreshStatsResetKeepsFtlState) {

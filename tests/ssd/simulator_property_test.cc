@@ -258,6 +258,125 @@ TEST_F(SimulatorProperty, ResetClearsCountersButNotLearnedState) {
   EXPECT_LT(steady.migrations_to_reduced, warm.migrations_to_reduced);
 }
 
+TEST_F(SimulatorProperty, FaultsOnIsDeterministic) {
+  // Fault decisions are stateless hashes of (seed, kind, op identity), so a
+  // faulty run is exactly as reproducible as a clean one.
+  auto cfg = config(Scheme::kFlexLevel);
+  cfg.faults.enabled = true;
+  cfg.faults.program_fail_rate = 1e-3;
+  cfg.faults.erase_fail_rate = 1e-2;
+  cfg.faults.grown_defect_rate = 1e-2;
+  const auto trace = trace_for(0.5);  // write-heavy: programs and erases
+  auto run_once = [&] {
+    SsdSimulator sim(cfg, *normal_, *reduced_);
+    sim.prefill(4000);
+    return sim.run(trace);
+  };
+  const SsdResults a = run_once();
+  const SsdResults b = run_once();
+  ASSERT_GT(a.ftl.program_fails, 0u);
+  ASSERT_GT(a.ftl.erase_fails, 0u);
+  ASSERT_GT(a.ftl.grown_defects, 0u);
+  EXPECT_EQ(a.ftl.program_fails, b.ftl.program_fails);
+  EXPECT_EQ(a.ftl.erase_fails, b.ftl.erase_fails);
+  EXPECT_EQ(a.ftl.grown_defects, b.ftl.grown_defects);
+  EXPECT_EQ(a.retired_blocks, b.retired_blocks);
+  EXPECT_EQ(a.ftl.nand_writes, b.ftl.nand_writes);
+  EXPECT_DOUBLE_EQ(a.all_response.mean(), b.all_response.mean());
+}
+
+TEST_F(SimulatorProperty, FaultyDriveStillServicesEveryRequest) {
+  // Graceful degradation: with all three fault kinds firing, every host
+  // request still completes, and the retirement ledger balances (the gauge
+  // also counts blocks retired during prefill, hence GE).
+  auto cfg = config(Scheme::kFlexLevel);
+  cfg.faults.enabled = true;
+  cfg.faults.program_fail_rate = 1e-3;
+  cfg.faults.erase_fail_rate = 1e-2;
+  cfg.faults.grown_defect_rate = 1e-2;
+  const auto trace = trace_for(0.5);
+  SsdSimulator sim(cfg, *normal_, *reduced_);
+  sim.prefill(4000);
+  const SsdResults results = sim.run(trace);
+  EXPECT_EQ(results.all_response.count(), trace.size());
+  EXPECT_EQ(results.unmapped_reads, 0u);
+  EXPECT_GE(results.retired_blocks, results.ftl.program_fails +
+                                        results.ftl.erase_fails +
+                                        results.ftl.grown_defects);
+  // Every retirement shrinks the ReducedCell pool budget (by
+  // pages_per_block * f/(1-f) pages, floored at one page).
+  EXPECT_LT(results.pool_capacity_pages, cfg.access_eval.pool_capacity_pages);
+  EXPECT_GE(results.pool_capacity_pages, 1u);
+}
+
+TEST_F(SimulatorProperty, FaultsDisabledAreFree) {
+  // enabled=false must short-circuit everything: nonzero configured rates
+  // change no observable output relative to a default config.
+  const auto trace = trace_for(0.7);
+  auto cfg = config(Scheme::kLdpcInSsd);
+  SsdSimulator plain(cfg, *normal_, *reduced_);
+  cfg.faults.program_fail_rate = 0.5;
+  cfg.faults.erase_fail_rate = 0.5;
+  cfg.faults.grown_defect_rate = 0.5;  // armed but not enabled
+  SsdSimulator armed(cfg, *normal_, *reduced_);
+  plain.prefill(4000);
+  armed.prefill(4000);
+  const SsdResults a = plain.run(trace);
+  const SsdResults b = armed.run(trace);
+  EXPECT_DOUBLE_EQ(a.all_response.mean(), b.all_response.mean());
+  EXPECT_EQ(a.ftl.nand_writes, b.ftl.nand_writes);
+  EXPECT_EQ(b.retired_blocks, 0u);
+  EXPECT_EQ(b.ftl.program_fails, 0u);
+}
+
+TEST_F(SimulatorProperty, BuilderValidatesBeforeConstruction) {
+  auto bad = config(Scheme::kLdpcInSsd);
+  bad.ftl.over_provisioning = 0.0;
+  const auto rejected =
+      SsdSimulator::Builder(*normal_, *reduced_).config(bad).Build();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(rejected.status().message().find("over_provisioning"),
+            std::string::npos);
+
+  // The refresh-without-disturb footgun is a config error, not a silent
+  // no-op.
+  auto footgun = config(Scheme::kLdpcInSsd);
+  footgun.read_disturb.refresh_threshold = 100;  // enabled stays false
+  const auto refused =
+      SsdSimulator::Builder(*normal_, *reduced_).config(footgun).Build();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_rate = config(Scheme::kLdpcInSsd);
+  bad_rate.faults.enabled = true;
+  bad_rate.faults.program_fail_rate = 1.5;
+  EXPECT_FALSE(
+      SsdSimulator::Builder(*normal_, *reduced_).config(bad_rate).Build().ok());
+}
+
+TEST_F(SimulatorProperty, BuilderRunMatchesLegacyConstructor) {
+  // The Builder is a validated front door to the same simulator: a built
+  // instance driven through run_segment()/results() reproduces the legacy
+  // constructor + run() path bit for bit.
+  const auto trace = trace_for(0.8);
+  const auto cfg = config(Scheme::kFlexLevel);
+
+  SsdSimulator legacy(cfg, *normal_, *reduced_);
+  legacy.prefill(4000);
+  const SsdResults expected = legacy.run(trace);
+
+  auto built = SsdSimulator::Builder(*normal_, *reduced_).config(cfg).Build();
+  ASSERT_TRUE(built.ok()) << built.status().to_string();
+  SsdSimulator& sim = **built;
+  sim.prefill(4000);
+  sim.run_segment(trace);
+  const SsdResults& actual = sim.results();
+  EXPECT_DOUBLE_EQ(actual.all_response.mean(), expected.all_response.mean());
+  EXPECT_EQ(actual.ftl.nand_writes, expected.ftl.nand_writes);
+  EXPECT_EQ(actual.read_response.count(), expected.read_response.count());
+}
+
 TEST_F(SimulatorProperty, PercentilesBracketTheMean) {
   const auto trace = trace_for(0.9);
   SsdSimulator sim(config(Scheme::kLdpcInSsd), *normal_, *reduced_);
