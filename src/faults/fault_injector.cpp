@@ -27,6 +27,7 @@ FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
                config_.grown_defect_rate <= 1.0);
   FLEX_EXPECTS(config_.read_retry_rescue >= 0.0 &&
                config_.read_retry_rescue <= 1.0);
+  FLEX_EXPECTS(config_.crash_rate >= 0.0 && config_.crash_rate <= 1.0);
 }
 
 double FaultInjector::roll(std::uint64_t kind, std::uint64_t a,
@@ -56,6 +57,11 @@ bool FaultInjector::grown_defect(std::uint32_t block,
 bool FaultInjector::read_retry_rescues(std::uint64_t ppn,
                                        std::uint64_t block_reads) const {
   return roll(4, ppn, block_reads) < config_.read_retry_rescue;
+}
+
+bool FaultInjector::crash_at(std::uint64_t event_ordinal) const {
+  if (!config_.crash_enabled) return false;
+  return roll(5, event_ordinal, config_.crash_salt) < config_.crash_rate;
 }
 
 }  // namespace flex::faults

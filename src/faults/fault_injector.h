@@ -46,6 +46,20 @@ struct FaultConfig {
   /// (f = reduced_capacity_factor) — the shrink that keeps effective OP
   /// constant. Set false to let the pool ride the shrinking OP instead.
   bool shrink_pool_on_retirement = true;
+  /// Power-loss injection: when enabled, every event-queue boundary is a
+  /// candidate crash point, adjudicated per event ordinal at `crash_rate`.
+  /// Crash granularity is the event boundary — an event's callback runs to
+  /// completion (so multi-page FTL sequences issued inside one event, e.g.
+  /// a retirement relocation chain, are atomic with respect to power loss;
+  /// what can be torn is anything still pending in the queue).
+  bool crash_enabled = false;
+  /// Per-event-boundary crash probability. Like every other fault it is a
+  /// stateless hash, so crash-off runs are byte-identical by construction.
+  double crash_rate = 0.0;
+  /// Folded into the crash hash so a harness can sweep many distinct crash
+  /// points for one workload seed without perturbing any other fault or
+  /// RNG decision (those hash over different kinds / identities).
+  std::uint64_t crash_salt = 0;
 };
 
 class FaultInjector {
@@ -68,6 +82,12 @@ class FaultInjector {
   /// read? `block_reads` (the block's read count at this read) makes the
   /// identity unique per read of the page.
   bool read_retry_rescues(std::uint64_t ppn, std::uint64_t block_reads) const;
+
+  /// Does the drive lose power at the event-queue boundary just before
+  /// event `event_ordinal` fires? Hashed over (seed, kCrash, ordinal,
+  /// crash_salt): deterministic per ordinal, independent of every other
+  /// fault decision, and disjoint salts select disjoint crash points.
+  bool crash_at(std::uint64_t event_ordinal) const;
 
  private:
   /// Uniform [0, 1) from the op identity — the whole injector is this hash.

@@ -81,6 +81,26 @@ std::vector<std::uint64_t> AccessEval::shrink_capacity(
   return evicted;
 }
 
+std::vector<std::uint64_t> AccessEval::rebuild_pool(
+    const std::vector<std::uint64_t>& lpns) {
+  lru_list_.clear();
+  lru_map_.clear();
+  hotness_.reset();
+  std::vector<std::uint64_t> overflow;
+  for (const std::uint64_t lpn : lpns) {
+    if (lru_map_.size() >= config_.pool_capacity_pages) {
+      overflow.push_back(lpn);
+      continue;
+    }
+    // push_front like insert(): the last-registered lpn reads as most
+    // recent, and ascending registration keeps rebuilds deterministic.
+    lru_list_.push_front(lpn);
+    lru_map_[lpn] = lru_list_.begin();
+  }
+  FLEX_ENSURES(lru_map_.size() <= config_.pool_capacity_pages);
+  return overflow;
+}
+
 void AccessEval::on_invalidate(std::uint64_t lpn) {
   const auto it = lru_map_.find(lpn);
   if (it == lru_map_.end()) return;

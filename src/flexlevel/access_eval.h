@@ -65,6 +65,16 @@ class AccessEval {
   /// (retirement is permanent).
   std::vector<std::uint64_t> shrink_capacity(std::uint64_t new_capacity);
 
+  /// Power-on recovery: replaces the pool membership with `lpns` (the
+  /// reduced-state survivors Mount() found on the medium, ascending) and
+  /// forgets the hotness history — LRU order and Bloom filters are
+  /// controller DRAM, so recovery is conservative: registration order
+  /// stands in for recency and hotness re-learns from zero. LPNs past the
+  /// pool budget are returned for the caller to migrate back to normal
+  /// state (possible when a crash interrupted a shrink).
+  std::vector<std::uint64_t> rebuild_pool(
+      const std::vector<std::uint64_t>& lpns);
+
   /// L_f for a hotness count (exposed for tests).
   int freq_level(int hotness_count) const;
   /// L_sensing for an extra-sensing-level count (exposed for tests).

@@ -63,6 +63,12 @@ int MultiBloomHotness::record(std::uint64_t key) {
   return hotness(key);
 }
 
+void MultiBloomHotness::reset() {
+  for (auto& filter : filters_) filter.clear();
+  current_ = 0;
+  accesses_in_window_ = 0;
+}
+
 int MultiBloomHotness::hotness(std::uint64_t key) const {
   int count = 0;
   for (const auto& filter : filters_) {

@@ -54,6 +54,10 @@ class MultiBloomHotness {
   /// Hotness without recording, in [0, filter_count].
   int hotness(std::uint64_t key) const;
 
+  /// Forgets every recorded access (power-on recovery: the filters are
+  /// controller DRAM and do not survive; hotness re-learns from scratch).
+  void reset();
+
   int filter_count() const { return static_cast<int>(filters_.size()); }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/assert.h"
 
@@ -35,6 +36,12 @@ PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
   map_.assign(logical_pages_, kInvalid);
   gc_buckets_.resize(config_.spec.pages_per_block + 1);
   gc_bucket_pos_.assign(total_blocks, 0);
+  // The medium: factory-fresh OOB areas and summary pages carrying the
+  // pre-aged erase counts.
+  oob_.assign(config_.spec.total_pages(), OobRecord{});
+  summaries_.assign(total_blocks,
+                    BlockSummary{.erase_count = config_.initial_pe_cycles});
+  version_.assign(logical_pages_, 0);
 }
 
 void PageMappingFtl::candidate_insert(std::uint32_t block_id) {
@@ -176,6 +183,14 @@ std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
     ++block.valid_count;
     const std::uint64_t ppn = make_ppn(frontier, page_id);
     map_[lpn] = ppn;
+    // The OOB record lands in the same page program as the data — atomic
+    // with it, which is what makes last-epoch-wins recovery sound.
+    oob_[ppn] = OobRecord{.lpn = lpn,
+                          .epoch = ++epoch_,
+                          .version = version_[lpn],
+                          .write_time = now,
+                          .mode = block.mode,
+                          .programmed = true};
     return ppn;
   }
 }
@@ -205,6 +220,12 @@ void PageMappingFtl::mark_retired(std::uint32_t block_id) {
   BlockMeta& block = blocks_[block_id];
   FLEX_ASSERT(!block.retired && block.valid_count == 0);
   block.retired = true;
+  // Retirement is persisted in the summary page at once — a bad block
+  // that came back from the dead after a crash would corrupt data. Its
+  // OOB records are deliberately left in place: Mount skips retired
+  // blocks when rebuilding the map (their live data was relocated, so a
+  // newer-epoch copy exists) but still scans them for the epoch maximum.
+  summaries_[block_id].retired = true;
   ++retired_count_;
   ++stats_.retired_blocks;
   if (telemetry_) ++metrics_.retired_blocks->value;
@@ -282,6 +303,9 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
   victim.read_count = 0;
   ++stats_.nand_erases;
   if (telemetry_) ++metrics_.nand_erases->value;
+  // The summary page records the erase attempt either way (wear is real
+  // even when the erase fails), so erase counts survive power loss.
+  summaries_[block_id].erase_count = victim.erase_count;
   if (injector_ && injector_->erase_fails(block_id, victim.erase_count)) {
     // The erase failed: the block never returns to the free list, so the
     // GC loop (free count unchanged) simply reclaims another victim.
@@ -289,6 +313,11 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
     if (telemetry_) ++metrics_.erase_fails->value;
     mark_retired(block_id);
     return;
+  }
+  // A successful erase wipes the block's OOB records with the data.
+  const std::uint64_t base = make_ppn(block_id, 0);
+  for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
+    oob_[base + p] = OobRecord{};
   }
   free_list_.push_back(block_id);
   ++free_count_;
@@ -367,6 +396,9 @@ WriteResult PageMappingFtl::write(std::uint64_t lpn, PageMode mode,
   result.page_programs = 0;
   ++stats_.host_writes;
   if (telemetry_) ++metrics_.host_writes->value;
+  // A host write is a new generation of the data; migrations and GC
+  // relocations move a generation without bumping it.
+  ++version_[lpn];
   invalidate(lpn);
   maybe_garbage_collect(now, &result.page_programs, &result.erases);
   result.ppn = append(lpn, mode, now, &result.page_programs);
@@ -389,6 +421,225 @@ WriteResult PageMappingFtl::migrate(std::uint64_t lpn, PageMode mode,
   return result;
 }
 
+MountReport PageMappingFtl::Mount(const MountOptions& options) {
+  MountReport report;
+  // Power loss wiped the volatile structures; mounting a live FTL discards
+  // them the same way, which is what makes Mount idempotent.
+  map_.assign(logical_pages_, kInvalid);
+  version_.assign(logical_pages_, 0);
+  free_list_.clear();
+  free_count_ = 0;
+  frontier_[0] = kNoBlock;
+  frontier_[1] = kNoBlock;
+  for (auto& bucket : gc_buckets_) bucket.clear();
+  std::fill(gc_bucket_pos_.begin(), gc_bucket_pos_.end(), 0);
+  retired_count_ = 0;
+  epoch_ = 0;
+
+  // Per-block durable state first: summaries hold the erase counts and
+  // the bad-block ledger.
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    BlockMeta& block = blocks_[id];
+    block.erase_count = summaries_[id].erase_count;
+    block.retired = summaries_[id].retired;
+    block.mode = PageMode::kNormal;
+    block.next_page = 0;
+    block.valid_count = 0;
+    block.open = false;
+    block.read_count = 0;
+    for (auto& page : block.pages) page = PageMeta{};
+    if (block.retired) ++retired_count_;
+  }
+
+  // OOB scan, last-epoch-wins. Programmed records form a prefix of every
+  // block (a failed program retires the block before any further program
+  // there), so the scan stops at the first unprogrammed slot. Retired
+  // blocks contribute to the epoch maximum only — their live data was
+  // relocated before retirement (a newer copy exists elsewhere) or sits
+  // behind a failed erase and cannot be trusted — but skipping their
+  // epochs could make post-mount epochs regress below pre-crash ones.
+  std::vector<std::uint64_t> win_epoch(logical_pages_, 0);
+  std::vector<std::uint64_t> win_ppn(logical_pages_, kInvalid);
+  std::uint64_t live_records = 0;
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    BlockMeta& block = blocks_[id];
+    const std::uint64_t base = make_ppn(id, 0);
+    for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
+      const OobRecord& oob = oob_[base + p];
+      if (!oob.programmed) break;
+      ++report.pages_scanned;
+      epoch_ = std::max(epoch_, oob.epoch);
+      if (block.retired) continue;
+      block.next_page = p + 1;
+      block.mode = oob.mode;
+      FLEX_ASSERT(oob.lpn < logical_pages_);
+      if (oob.epoch > win_epoch[oob.lpn]) {
+        win_epoch[oob.lpn] = oob.epoch;
+        win_ppn[oob.lpn] = base + p;
+      }
+      ++live_records;
+    }
+  }
+
+  // Install the winners (ascending lpn: reduced_lpns comes out sorted).
+  for (std::uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
+    const std::uint64_t ppn = win_ppn[lpn];
+    if (ppn == kInvalid) continue;
+    const OobRecord& oob = oob_[ppn];
+    map_[lpn] = ppn;
+    version_[lpn] = oob.version;
+    BlockMeta& block = blocks_[block_of(ppn)];
+    PageMeta& page =
+        block.pages[static_cast<std::size_t>(ppn % config_.spec.pages_per_block)];
+    page.lpn = lpn;
+    page.write_time = oob.write_time;
+    page.valid = true;
+    ++block.valid_count;
+    ++report.mappings_recovered;
+    if (oob.mode == PageMode::kReduced) report.reduced_lpns.push_back(lpn);
+  }
+  report.stale_records = live_records - report.mappings_recovered;
+
+  // Classify the in-service blocks. Ascending block id keeps the rebuilt
+  // free list deterministic across repeated mounts (the pre-crash FIFO
+  // order was volatile). Former write frontiers come back as closed data
+  // blocks; append() opens fresh frontiers on demand.
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    BlockMeta& block = blocks_[id];
+    if (block.retired) continue;
+    if (block.next_page == 0) {
+      free_list_.push_back(id);
+      ++free_count_;
+      ++report.free_blocks;
+    } else {
+      block.read_count = options.reseed_read_count;
+      candidate_insert(id);
+      ++report.data_blocks;
+    }
+  }
+  report.retired_blocks = retired_count_;
+
+  // Statistics restart from the recovered ledger: post-mount stats
+  // describe this boot, except retired_blocks, which is durable state the
+  // metrics snapshot must keep covering (the harness's ledger invariant).
+  stats_ = FtlStats{};
+  stats_.retired_blocks = retired_count_;
+  stats_.mounts = 1;
+  stats_.mount_pages_scanned = report.pages_scanned;
+  stats_.mount_mappings_recovered = report.mappings_recovered;
+  stats_.mount_stale_records = report.stale_records;
+  if (telemetry_) {
+    ++metrics_.mounts->value;
+    metrics_.mount_pages_scanned->value += report.pages_scanned;
+    metrics_.mount_mappings_recovered->value += report.mappings_recovered;
+    metrics_.mount_stale_records->value += report.stale_records;
+  }
+  return report;
+}
+
+Status PageMappingFtl::check_consistency() const {
+  const auto fail = [](std::string message) {
+    return Status::Internal(std::move(message));
+  };
+  for (std::uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
+    const std::uint64_t ppn = map_[lpn];
+    if (ppn == kInvalid) continue;
+    const std::uint32_t block_id = block_of(ppn);
+    const BlockMeta& block = blocks_[block_id];
+    if (block.retired) {
+      return fail("lpn " + std::to_string(lpn) + " maps into retired block " +
+                  std::to_string(block_id));
+    }
+    const auto page_id =
+        static_cast<std::uint32_t>(ppn % config_.spec.pages_per_block);
+    if (page_id >= block.next_page) {
+      return fail("lpn " + std::to_string(lpn) +
+                  " maps past the write pointer of block " +
+                  std::to_string(block_id));
+    }
+    const PageMeta& page = block.pages[page_id];
+    if (!page.valid || page.lpn != lpn) {
+      return fail("lpn " + std::to_string(lpn) +
+                  " maps to a page that does not map back (ppn " +
+                  std::to_string(ppn) + ")");
+    }
+  }
+  std::uint64_t mapped_pages = 0;
+  std::uint32_t retired_seen = 0;
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    const BlockMeta& block = blocks_[id];
+    if (block.retired) ++retired_seen;
+    std::uint32_t valid_seen = 0;
+    for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
+      const PageMeta& page = block.pages[p];
+      if (!page.valid) continue;
+      ++valid_seen;
+      ++mapped_pages;
+      if (page.lpn >= logical_pages_ ||
+          map_[page.lpn] != make_ppn(id, p)) {
+        return fail("valid page in block " + std::to_string(id) +
+                    " is not the mapped copy of lpn " +
+                    std::to_string(page.lpn));
+      }
+    }
+    if (valid_seen != block.valid_count) {
+      return fail("block " + std::to_string(id) + " valid_count " +
+                  std::to_string(block.valid_count) + " but " +
+                  std::to_string(valid_seen) + " valid pages");
+    }
+  }
+  if (retired_seen != retired_count_) {
+    return fail("retired ledger disagrees with block flags");
+  }
+  if (free_count_ != free_list_.size()) {
+    return fail("free_count disagrees with the free list");
+  }
+  for (const std::uint32_t id : free_list_) {
+    const BlockMeta& block = blocks_[id];
+    if (block.retired || block.next_page != 0 || block.valid_count != 0) {
+      return fail("free-listed block " + std::to_string(id) +
+                  " is not an empty in-service block");
+    }
+  }
+  std::uint64_t mapped_lpns = 0;
+  for (std::uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (map_[lpn] != kInvalid) ++mapped_lpns;
+  }
+  if (mapped_lpns != mapped_pages) {
+    return fail("mapped lpn count disagrees with valid page count");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::uint64_t> PageMappingFtl::double_mapped_lpns() const {
+  // A double mapping is two valid physical copies claiming the same lpn —
+  // the map_ table cannot show it (one entry per lpn), so count claims
+  // from the physical side.
+  std::vector<std::uint8_t> claims(logical_pages_, 0);
+  std::vector<std::uint64_t> doubled;
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    const BlockMeta& block = blocks_[id];
+    if (block.retired) continue;
+    for (std::uint32_t p = 0; p < block.next_page; ++p) {
+      const PageMeta& page = block.pages[p];
+      if (!page.valid) continue;
+      FLEX_ASSERT(page.lpn < logical_pages_);
+      if (++claims[page.lpn] == 2) doubled.push_back(page.lpn);
+    }
+  }
+  std::sort(doubled.begin(), doubled.end());
+  return doubled;
+}
+
+std::vector<std::uint32_t> PageMappingFtl::retired_block_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(retired_count_);
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    if (blocks_[id].retired) ids.push_back(id);
+  }
+  return ids;
+}
+
 void PageMappingFtl::attach_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (!telemetry_) {
@@ -409,6 +660,12 @@ void PageMappingFtl::attach_telemetry(telemetry::Telemetry* telemetry) {
   metrics_.grown_defects = &registry.counter("ftl.grown_defects");
   metrics_.retired_blocks = &registry.counter("ftl.retired_blocks");
   metrics_.retire_page_moves = &registry.counter("ftl.retire_page_moves");
+  metrics_.mounts = &registry.counter("ftl.mounts");
+  metrics_.mount_pages_scanned = &registry.counter("ftl.mount_pages_scanned");
+  metrics_.mount_mappings_recovered =
+      &registry.counter("ftl.mount_mappings_recovered");
+  metrics_.mount_stale_records =
+      &registry.counter("ftl.mount_stale_records");
 }
 
 void PageMappingFtl::attach_fault_injector(

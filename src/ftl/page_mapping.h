@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/units.h"
 #include "faults/fault_injector.h"
 #include "nand/geometry.h"
@@ -56,6 +57,14 @@ struct FtlStats {
   std::uint64_t grown_defects = 0;  ///< blocks found defective at allocation
   std::uint64_t retired_blocks = 0;     ///< blocks taken out of service
   std::uint64_t retire_page_moves = 0;  ///< valid pages rescued off them
+  // Power-on recovery (all zero until Mount() runs; Mount resets every
+  // other counter of this struct, so post-mount stats describe one boot).
+  std::uint64_t mounts = 0;
+  std::uint64_t mount_pages_scanned = 0;       ///< OOB records read
+  std::uint64_t mount_mappings_recovered = 0;  ///< L2P entries rebuilt
+  std::uint64_t mount_stale_records = 0;       ///< lost last-epoch-wins
+
+  bool operator==(const FtlStats&) const = default;
 
   double write_amplification() const {
     return host_writes == 0
@@ -93,6 +102,31 @@ struct RefreshResult {
   std::uint64_t pages_moved = 0;
   std::uint64_t page_programs = 0;
   std::uint64_t erases = 0;
+};
+
+/// Knobs for power-on recovery (Mount()).
+struct MountOptions {
+  /// Per-block read-disturb count assigned to every recovered data block.
+  /// The true counters are volatile RAM and die with power; re-seeding
+  /// them *at the refresh threshold* makes every survivor block scrub on
+  /// its first post-mount read — conservative in the only safe direction,
+  /// since disturb stress accumulated before the crash cannot be measured
+  /// but may be arbitrarily close to the uncorrectable cliff. 0 restarts
+  /// the counters optimistically (pre-PR behaviour of a fresh FTL).
+  std::uint64_t reseed_read_count = 0;
+};
+
+/// What power-on recovery found on the medium.
+struct MountReport {
+  std::uint64_t pages_scanned = 0;         ///< programmed OOB records read
+  std::uint64_t mappings_recovered = 0;    ///< live L2P entries installed
+  std::uint64_t stale_records = 0;         ///< superseded copies skipped
+  std::uint32_t free_blocks = 0;           ///< erased blocks re-listed
+  std::uint32_t data_blocks = 0;           ///< blocks holding data
+  std::uint32_t retired_blocks = 0;        ///< bad-block ledger size
+  /// LPNs whose winning copy is stored in reduced state, ascending — the
+  /// durable ReducedCell pool membership AccessEval re-registers from.
+  std::vector<std::uint64_t> reduced_lpns;
 };
 
 class PageMappingFtl {
@@ -155,6 +189,47 @@ class PageMappingFtl {
     return blocks_[block_of(ppn)].retired;
   }
 
+  /// Power-on recovery: discards every volatile structure (L2P map, free
+  /// list, frontiers, GC buckets, read counters, statistics) and rebuilds
+  /// them from the durable medium — per-page OOB records and per-block
+  /// summary pages. Mapping conflicts resolve last-epoch-wins: every
+  /// program stamps a monotonic global epoch into its OOB record, so the
+  /// newest surviving copy of each LPN is unambiguous even when a crash
+  /// interrupts a GC/migration relocation train and leaves two copies.
+  /// Idempotent: mounting twice (with equal options) yields byte-identical
+  /// state — the free list is rebuilt in ascending block order and the
+  /// statistics restart from the recovered ledger.
+  MountReport Mount(const MountOptions& options = {});
+
+  /// Full-structure invariant sweep (post-mount verification): every
+  /// mapped LPN points at a valid page that maps back, valid counts match,
+  /// free-listed blocks are empty and in service, ledger counts agree.
+  /// Returns the first violation as an Internal status.
+  Status check_consistency() const;
+
+  /// LPNs with more than one valid physical copy (must be empty; the
+  /// invariant the crash harness checks after every mount).
+  std::vector<std::uint64_t> double_mapped_lpns() const;
+
+  /// The raw L2P table (lpn -> ppn, kInvalidPpn when unmapped) for
+  /// byte-identity comparisons across mounts.
+  const std::vector<std::uint64_t>& l2p_dump() const { return map_; }
+  static constexpr std::uint64_t kInvalidPpn = ~0ULL;
+
+  /// Host-write generation of `lpn` (bumped per write(), preserved by
+  /// migrations/relocations, recovered from OOB by Mount). The durability
+  /// ledger compares this against the version it acknowledged as durable.
+  std::uint64_t data_version(std::uint64_t lpn) const {
+    FLEX_EXPECTS(lpn < logical_pages_);
+    return version_[lpn];
+  }
+
+  /// Global program ordinal (the epoch the next program will exceed).
+  std::uint64_t write_epoch() const { return epoch_; }
+
+  /// Retired block ids, ascending (the bad-block ledger).
+  std::vector<std::uint32_t> retired_block_ids() const;
+
   std::uint32_t free_blocks() const { return free_count_; }
   std::uint32_t min_erase_count() const;
   std::uint32_t max_erase_count() const;
@@ -177,6 +252,27 @@ class PageMappingFtl {
     bool retired = false;          ///< out of service (bad block)
     std::uint64_t read_count = 0;  ///< reads since last erase (disturb)
     std::vector<PageMeta> pages;
+  };
+
+  /// The durable per-page spare area, programmed atomically with the data
+  /// (real NAND writes data + OOB in one page program). Survives power
+  /// loss; only a successful erase clears it. Everything Mount() needs to
+  /// rebuild the L2P map is here.
+  struct OobRecord {
+    std::uint64_t lpn = kInvalid;
+    std::uint64_t epoch = 0;    ///< global program ordinal (1-based)
+    std::uint64_t version = 0;  ///< host-write generation of the lpn
+    SimTime write_time = 0;
+    PageMode mode = PageMode::kNormal;
+    bool programmed = false;
+  };
+
+  /// The durable per-block summary page, rewritten on erase / retirement
+  /// (controllers keep erase counts and the bad-block table on the medium;
+  /// losing either would reset wear leveling or resurrect bad blocks).
+  struct BlockSummary {
+    std::uint32_t erase_count = 0;
+    bool retired = false;
   };
 
   static constexpr std::uint64_t kInvalid = ~0ULL;
@@ -232,6 +328,14 @@ class PageMappingFtl {
   FtlStats stats_;
   const faults::FaultInjector* injector_ = nullptr;
   std::uint32_t retired_count_ = 0;
+  // Durable state (the simulated medium): per-page OOB records, per-block
+  // summaries, and — implicit in the OOB epochs — the program ordinal.
+  // Power loss must not touch these; everything else above is volatile.
+  std::vector<OobRecord> oob_;          // by ppn
+  std::vector<BlockSummary> summaries_;  // by block id
+  std::uint64_t epoch_ = 0;
+  // Volatile, rebuilt by Mount() from the winning OOB records.
+  std::vector<std::uint64_t> version_;  // by lpn
 
   /// Bound metric handles mirroring FtlStats (null when detached).
   struct Metrics {
@@ -248,6 +352,10 @@ class PageMappingFtl {
     telemetry::MetricsRegistry::Counter* grown_defects = nullptr;
     telemetry::MetricsRegistry::Counter* retired_blocks = nullptr;
     telemetry::MetricsRegistry::Counter* retire_page_moves = nullptr;
+    telemetry::MetricsRegistry::Counter* mounts = nullptr;
+    telemetry::MetricsRegistry::Counter* mount_pages_scanned = nullptr;
+    telemetry::MetricsRegistry::Counter* mount_mappings_recovered = nullptr;
+    telemetry::MetricsRegistry::Counter* mount_stale_records = nullptr;
   };
   telemetry::Telemetry* telemetry_ = nullptr;
   Metrics metrics_;

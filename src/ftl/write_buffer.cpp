@@ -11,38 +11,82 @@ WriteBuffer::WriteBuffer(std::uint64_t capacity_pages,
   FLEX_EXPECTS(flush_batch >= 1 && flush_batch <= capacity_pages);
 }
 
-std::vector<std::uint64_t> WriteBuffer::write(std::uint64_t lpn) {
+std::vector<std::uint64_t> WriteBuffer::insert(std::uint64_t lpn,
+                                               bool dirty) {
   if (const auto it = map_.find(lpn); it != map_.end()) {
     // Overwrite in place: refresh recency, nothing to flush.
-    order_.splice(order_.begin(), order_, it->second);
+    order_.splice(order_.begin(), order_, it->second.pos);
+    if (it->second.dirty != dirty) {
+      dirty_count_ += dirty ? 1 : -1;
+      it->second.dirty = dirty;
+    }
     return {};
   }
   order_.push_front(lpn);
-  map_[lpn] = order_.begin();
+  map_[lpn] = Entry{order_.begin(), dirty};
+  if (dirty) ++dirty_count_;
   std::vector<std::uint64_t> flush;
   if (map_.size() > capacity_) {
     flush.reserve(flush_batch_);
-    while (!order_.empty() && flush.size() < flush_batch_) {
+    std::uint64_t evicted = 0;
+    while (!order_.empty() && evicted < flush_batch_) {
       const std::uint64_t victim = order_.back();
       order_.pop_back();
-      map_.erase(victim);
-      flush.push_back(victim);
+      const auto victim_it = map_.find(victim);
+      if (victim_it->second.dirty) {
+        --dirty_count_;
+        flush.push_back(victim);
+      }
+      map_.erase(victim_it);
+      ++evicted;
     }
   }
   FLEX_ENSURES(map_.size() <= capacity_);
   return flush;
 }
 
-std::vector<std::uint64_t> WriteBuffer::drain() {
+std::vector<std::uint64_t> WriteBuffer::write(std::uint64_t lpn) {
+  return insert(lpn, /*dirty=*/true);
+}
+
+std::vector<std::uint64_t> WriteBuffer::insert_clean(std::uint64_t lpn) {
+  return insert(lpn, /*dirty=*/false);
+}
+
+std::vector<std::uint64_t> WriteBuffer::flush_barrier() {
   std::vector<std::uint64_t> flush;
-  flush.reserve(map_.size());
+  flush.reserve(dirty_count_);
   // Oldest first, matching the overflow eviction order.
   for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-    flush.push_back(*it);
+    auto& entry = map_.find(*it)->second;
+    if (entry.dirty) {
+      entry.dirty = false;
+      flush.push_back(*it);
+    }
+  }
+  dirty_count_ = 0;
+  return flush;
+}
+
+std::vector<std::uint64_t> WriteBuffer::drain() {
+  std::vector<std::uint64_t> flush;
+  flush.reserve(dirty_count_);
+  // Oldest first, matching the overflow eviction order.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (map_.find(*it)->second.dirty) flush.push_back(*it);
   }
   order_.clear();
   map_.clear();
+  dirty_count_ = 0;
   return flush;
+}
+
+std::uint64_t WriteBuffer::power_loss() {
+  const std::uint64_t lost = dirty_count_;
+  order_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+  return lost;
 }
 
 }  // namespace flex::ftl

@@ -4,6 +4,15 @@
 // Host writes land in the buffer and complete immediately; dirty pages are
 // flushed to the FTL when the buffer fills (batch eviction of the
 // least-recently-written pages). Reads must consult the buffer first.
+//
+// Durability semantics: a buffered write is *acknowledged* but not
+// *durable* — only a page the FTL has programmed survives power loss.
+// Entries therefore carry a dirty bit. `write()` inserts dirty,
+// `insert_clean()` inserts already-programmed data (the FUA path keeps the
+// page cached for reads), `flush_barrier()` hands every dirty page to the
+// caller for programming and downgrades them to clean in place, and
+// `power_loss()` models the DRAM vanishing: dirty contents are simply
+// gone.
 #pragma once
 
 #include <cstdint>
@@ -19,25 +28,58 @@ class WriteBuffer {
   /// (batching amortises the program cost the way real controllers do).
   WriteBuffer(std::uint64_t capacity_pages, std::uint64_t flush_batch);
 
-  /// Buffers a host write. Returns the LPNs that must be flushed to NAND
-  /// now (empty unless the buffer overflowed).
+  /// Buffers a host write (dirty). Returns the dirty LPNs that must be
+  /// flushed to NAND now (empty unless the buffer overflowed; clean
+  /// victims are dropped without a program).
   std::vector<std::uint64_t> write(std::uint64_t lpn);
+
+  /// Caches a page whose data is already on NAND (clean) — the FUA write
+  /// path programs first, then caches for subsequent reads. Returns dirty
+  /// LPNs evicted by the insertion, as `write()` does.
+  std::vector<std::uint64_t> insert_clean(std::uint64_t lpn);
 
   /// True when the page's newest data lives in the buffer.
   bool contains(std::uint64_t lpn) const { return map_.contains(lpn); }
 
-  /// Drains every dirty page (simulation end / flush barrier).
+  /// True when the buffered copy is newer than NAND (unprogrammed).
+  bool dirty(std::uint64_t lpn) const {
+    const auto it = map_.find(lpn);
+    return it != map_.end() && it->second.dirty;
+  }
+
+  /// Flush barrier: every dirty page, oldest first, for the caller to
+  /// program now. The entries stay cached, downgraded to clean — a
+  /// barrier makes data durable, it does not evict it.
+  std::vector<std::uint64_t> flush_barrier();
+
+  /// Drains every dirty page, oldest first, and empties the buffer
+  /// (simulation end).
   std::vector<std::uint64_t> drain();
 
+  /// Power loss: DRAM contents vanish. Returns the number of dirty
+  /// (acknowledged but never programmed) pages that were lost.
+  std::uint64_t power_loss();
+
   std::uint64_t size() const { return map_.size(); }
+  std::uint64_t dirty_pages() const { return dirty_count_; }
   std::uint64_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    std::list<std::uint64_t>::iterator pos;
+    bool dirty;
+  };
+
+  /// Inserts or refreshes `lpn` with the given dirty bit and evicts past
+  /// capacity; shared body of write() / insert_clean().
+  std::vector<std::uint64_t> insert(std::uint64_t lpn, bool dirty);
+
   std::uint64_t capacity_;
   std::uint64_t flush_batch_;
+  std::uint64_t dirty_count_ = 0;
   // LRU by write order: most recently written at front.
   std::list<std::uint64_t> order_;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::unordered_map<std::uint64_t, Entry> map_;
 };
 
 }  // namespace flex::ftl

@@ -84,6 +84,11 @@ void ChipScheduler::submit_background(SimTime now,
   }
 }
 
+void ChipScheduler::power_loss(SimTime now) {
+  std::fill(free_at_.begin(), free_at_.end(), now);
+  std::fill(in_flight_.begin(), in_flight_.end(), 0);
+}
+
 void ChipScheduler::reset_stats() {
   std::fill(stats_.begin(), stats_.end(), ChipStats{});
 }

@@ -87,6 +87,11 @@ class ChipScheduler {
   /// Earliest time `chip` can start new work.
   SimTime free_at(std::size_t chip) const { return free_at_[chip]; }
 
+  /// Power loss at `now`: in-flight commands vanish (their completion
+  /// events were dropped from the queue, so the in-flight gauges would
+  /// otherwise leak) and every chip is idle at power-on.
+  void power_loss(SimTime now);
+
   const std::vector<ChipStats>& stats() const { return stats_; }
   /// Clears the counters but keeps chip occupancy and in-flight state —
   /// used by SsdSimulator::reset_measurements between warmup and measure.

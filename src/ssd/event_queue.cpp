@@ -27,6 +27,12 @@ void EventQueue::run_all() {
   }
 }
 
+std::size_t EventQueue::drop_pending() {
+  const std::size_t dropped = heap_.size();
+  heap_ = {};
+  return dropped;
+}
+
 void EventQueue::attach_telemetry(telemetry::Telemetry* telemetry) {
   if (!telemetry) {
     scheduled_metric_ = nullptr;

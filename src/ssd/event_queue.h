@@ -33,6 +33,12 @@ class EventQueue {
   /// Drains the queue, including events scheduled by running events.
   void run_all();
 
+  /// Discards every pending event without firing it — power loss. The
+  /// clock (`now()`) and the fired/sequence counters are preserved so a
+  /// post-crash mount continues on the same timeline.
+  /// Returns the number of events dropped.
+  std::size_t drop_pending();
+
   /// Time of the most recently fired event.
   SimTime now() const { return now_; }
   std::size_t pending() const { return heap_.size(); }

@@ -54,6 +54,11 @@ struct LatencyModel {
   Duration decode_per_level = 8 * kMicrosecond;
   /// DRAM service for write-buffer hits.
   Duration buffer_latency = 5 * kMicrosecond;
+  /// Power-on mount: reading one page's OOB spare area during the
+  /// recovery scan. A spare-area read skips most of the page transfer, so
+  /// it is far below a full page read; mount time is (roughly) this times
+  /// the programmed pages plus one summary read per block.
+  Duration oob_scan_per_page = 4 * kMicrosecond;
 
   /// One read attempt with `levels` extra sensing levels, start to finish.
   ReadCost read_fixed_cost(int levels) const;

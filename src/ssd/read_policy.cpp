@@ -99,6 +99,12 @@ class ProgressiveHintPolicy final : public ProgressivePolicy {
         ladder_);
   }
 
+  void on_mount(const ftl::MountReport&, SimTime) override {
+    // The memorized depths are controller DRAM; the ladder restarts from
+    // hard reads and re-learns.
+    std::fill(hint_.begin(), hint_.end(), 0);
+  }
+
  private:
   std::vector<std::int8_t> hint_;
 };
@@ -183,6 +189,33 @@ class FlexLevelPolicy final : public ReadPolicy {
   ftl::PageMode write_mode(std::uint64_t lpn) const override {
     return access_eval_.is_reduced(lpn) ? ftl::PageMode::kReduced
                                         : ftl::PageMode::kNormal;
+  }
+
+  void on_mount(const ftl::MountReport& report, SimTime now) override {
+    inner_->on_mount(report, now);
+    // Re-derive the shrunk budget from the recovered retirement ledger
+    // before re-admitting survivors against a stale (too large) one.
+    if (pool_shrink_per_block_ > 0) {
+      last_retired_ = ftl_.retired_block_count();
+      const std::uint64_t penalty =
+          static_cast<std::uint64_t>(last_retired_) * pool_shrink_per_block_;
+      access_eval_.shrink_capacity(
+          base_pool_capacity_ > penalty ? base_pool_capacity_ - penalty : 0);
+    }
+    // The pool membership is durable (each member's data sits in a
+    // reduced-state page, flagged in its OOB record); LRU order and
+    // hotness are not, so rebuild_pool re-registers the survivors with
+    // conservative recency. Overflow — possible when a crash preempted a
+    // shrink's eviction migrations — goes back to normal cells.
+    for (const std::uint64_t lpn :
+         access_eval_.rebuild_pool(report.reduced_lpns)) {
+      ftl_.migrate(lpn, ftl::PageMode::kNormal, now);
+      ++migrations_to_normal_;
+      record_migration(now, "migrate_to_normal", lpn, to_normal_metric_);
+    }
+    if (telemetry_) {
+      pool_gauge_->value = static_cast<double>(access_eval_.pool_size());
+    }
   }
 
   ReadPolicyStats stats() const override {
@@ -310,6 +343,9 @@ class RefreshPolicy final : public ReadPolicy {
   ftl::PageMode prefill_mode() const override {
     return inner_->prefill_mode();
   }
+  void on_mount(const ftl::MountReport& report, SimTime now) override {
+    inner_->on_mount(report, now);
+  }
 
   ReadPolicyStats stats() const override {
     ReadPolicyStats stats = inner_->stats();
@@ -416,6 +452,9 @@ class RecoveryPolicy final : public ReadPolicy {
   }
   ftl::PageMode prefill_mode() const override {
     return inner_->prefill_mode();
+  }
+  void on_mount(const ftl::MountReport& report, SimTime now) override {
+    inner_->on_mount(report, now);
   }
 
   ReadPolicyStats stats() const override {

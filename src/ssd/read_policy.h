@@ -98,6 +98,16 @@ class ReadPolicy {
     return ftl::PageMode::kNormal;
   }
 
+  /// Power-on recovery notification: the FTL just rebuilt its state from
+  /// the medium and everything the policy keeps in controller DRAM
+  /// (sensing hints, hotness history, pool LRU) is gone. Policies rebuild
+  /// what the report carries durably (ReducedCell membership) and forget
+  /// the rest; decorators forward to their inner policy.
+  virtual void on_mount(const ftl::MountReport& report, SimTime now) {
+    (void)report;
+    (void)now;
+  }
+
   virtual ReadPolicyStats stats() const { return {}; }
   /// Clears counters (not gauges or learned state) between measurement
   /// windows.

@@ -114,12 +114,31 @@ Status SsdConfig::Validate() const {
       {"faults.erase_fail_rate", faults.erase_fail_rate},
       {"faults.grown_defect_rate", faults.grown_defect_rate},
       {"faults.read_retry_rescue", faults.read_retry_rescue},
+      {"faults.crash_rate", faults.crash_rate},
   };
   for (const auto& rate : rates) {
     if (!(rate.value >= 0.0 && rate.value <= 1.0)) {
       return Status::OutOfRange(std::string(rate.name) +
                                 " must be in [0, 1]");
     }
+  }
+  if (faults.crash_enabled && !faults.enabled) {
+    return Status::InvalidArgument(
+        "faults.crash_enabled is set but faults.enabled is false: the "
+        "injector that adjudicates crash points is only constructed when "
+        "fault injection is on");
+  }
+  if (faults.crash_enabled &&
+      durability.policy == DurabilityPolicy::kWriteBack) {
+    return Status::InvalidArgument(
+        "faults.crash_enabled with DurabilityPolicy::kWriteBack: the write "
+        "buffer acknowledges writes that a crash then silently loses — "
+        "pick kFua or kFlushBarrier so acknowledged means recoverable");
+  }
+  if (durability.policy == DurabilityPolicy::kFlushBarrier &&
+      durability.flush_barrier_interval < 1) {
+    return Status::OutOfRange(
+        "durability.flush_barrier_interval must be >= 1");
   }
   return Status::Ok();
 }
@@ -144,6 +163,7 @@ SsdSimulator::SsdSimulator(SsdConfig config,
                                ftl_, injector_.get())),
       rng_(config_.seed) {
   ftl_.attach_fault_injector(injector_.get());
+  durable_version_.assign(ftl_.logical_pages(), 0);
   if (config_.read_disturb.enabled) {
     disturb_[0] = std::make_unique<reliability::ReadDisturbModel>(
         config_.read_disturb.model, normal_model_);
@@ -183,6 +203,9 @@ void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
     buffer_hits_metric_ = nullptr;
     unmapped_metric_ = nullptr;
     uncorrectable_metric_ = nullptr;
+    acked_metric_ = nullptr;
+    durable_metric_ = nullptr;
+    crashes_metric_ = nullptr;
     read_latency_us_hist_ = nullptr;
     return;
   }
@@ -193,6 +216,9 @@ void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
   buffer_hits_metric_ = &registry.counter("ssd.buffer_hits");
   unmapped_metric_ = &registry.counter("ssd.unmapped_reads");
   uncorrectable_metric_ = &registry.counter("ssd.uncorrectable_reads");
+  acked_metric_ = &registry.counter("ssd.writes_acked");
+  durable_metric_ = &registry.counter("ssd.writes_durable");
+  crashes_metric_ = &registry.counter("ssd.crashes");
   read_latency_us_hist_ = &registry.histogram(
       "ssd.read_latency_us",
       telemetry::HistogramSpec{
@@ -214,6 +240,8 @@ void SsdSimulator::prefill(std::uint64_t pages) {
     const auto birth = static_cast<SimTime>(-age * 3600.0 * 1e9);
     static_birth_[lpn] = birth;
     ftl_.write(lpn, mode, birth);
+    // Prefilled data is on NAND by definition: durable as written.
+    mark_durable(lpn);
   }
   // Preconditioning: historical random overwrites that scatter invalid
   // pages across blocks, so measurement starts from GC steady state
@@ -222,8 +250,10 @@ void SsdSimulator::prefill(std::uint64_t pages) {
       config_.precondition_passes * static_cast<double>(pages));
   for (std::uint64_t i = 0; i < overwrites; ++i) {
     const Hours overwrite_age = std::exp(rng_.uniform(log_min, log_max));
-    ftl_.write(rng_.below(pages), mode,
+    const std::uint64_t lpn = rng_.below(pages);
+    ftl_.write(lpn, mode,
                static_cast<SimTime>(-overwrite_age * 3600.0 * 1e9));
+    mark_durable(lpn);
   }
   prefill_stats_ = ftl_.stats();
 }
@@ -350,7 +380,37 @@ SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
           .decode = cost.controller};
 }
 
+void SsdSimulator::mark_durable(std::uint64_t lpn) {
+  durable_version_[lpn] = ftl_.data_version(lpn);
+}
+
+void SsdSimulator::flush_victim(std::uint64_t lpn, SimTime now) {
+  const ftl::WriteResult result =
+      ftl_.write(lpn, policy_->write_mode(lpn), now);
+  scheduler_.submit_background(now, result, config_.latency);
+  mark_durable(lpn);
+  ++results_.writes_durable;
+  if (telemetry_) ++durable_metric_->value;
+}
+
 Duration SsdSimulator::service_write_page(std::uint64_t lpn, SimTime now) {
+  ++results_.writes_acked;
+  if (telemetry_) ++acked_metric_->value;
+  if (config_.durability.policy == DurabilityPolicy::kFua) {
+    // Force-unit-access: program before acknowledging, then keep the page
+    // cached (clean) for reads. The ack carries the program latency — the
+    // price of making "acknowledged" mean "durable" per write.
+    const ftl::WriteResult result =
+        ftl_.write(lpn, policy_->write_mode(lpn), now);
+    scheduler_.submit_background(now, result, config_.latency);
+    mark_durable(lpn);
+    ++results_.writes_durable;
+    if (telemetry_) ++durable_metric_->value;
+    for (const std::uint64_t victim : buffer_.insert_clean(lpn)) {
+      flush_victim(victim, now);
+    }
+    return config_.latency.buffer_latency + config_.latency.program();
+  }
   const std::vector<std::uint64_t> flush = buffer_.write(lpn);
   // Write-back semantics: the host write completes at buffer insertion;
   // evicted pages flush to NAND in the background, where their program and
@@ -358,11 +418,84 @@ Duration SsdSimulator::service_write_page(std::uint64_t lpn, SimTime now) {
   // exactly how the over-provisioning squeeze of reduced-state storage
   // surfaces in the paper's Fig. 6(a).
   for (const std::uint64_t victim : flush) {
-    const ftl::WriteResult result =
-        ftl_.write(victim, policy_->write_mode(victim), now);
-    scheduler_.submit_background(now, result, config_.latency);
+    flush_victim(victim, now);
+  }
+  if (config_.durability.policy == DurabilityPolicy::kFlushBarrier &&
+      ++acked_since_barrier_ >= config_.durability.flush_barrier_interval) {
+    acked_since_barrier_ = 0;
+    flush_barrier_at(now);
   }
   return config_.latency.buffer_latency;
+}
+
+void SsdSimulator::flush_barrier_at(SimTime now) {
+  for (const std::uint64_t lpn : buffer_.flush_barrier()) {
+    flush_victim(lpn, now);
+  }
+}
+
+void SsdSimulator::flush_barrier() {
+  FLEX_EXPECTS(!crashed_);
+  flush_barrier_at(events_.now());
+}
+
+void SsdSimulator::power_loss() {
+  FLEX_EXPECTS(!crashed_);
+  crashed_ = true;
+  crash_ordinal_ = events_.fired();
+  const SimTime now = events_.now();
+  // Order matters for the accounting: drop the pending events first (their
+  // completions will never run), then capture what the DRAM loses.
+  events_.drop_pending();
+  results_.dirty_buffer_pages = buffer_.power_loss();
+  scheduler_.power_loss(now);
+  ++results_.crashes;
+  if (telemetry_) {
+    ++crashes_metric_->value;
+    if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+      tracer->record({.name = "power_loss",
+                      .cat = "sim",
+                      .pid = telemetry_->pid,
+                      .tid = telemetry::kHostTrack,
+                      .start = now,
+                      .dur = 0});
+    }
+  }
+}
+
+ftl::MountReport SsdSimulator::mount() {
+  const SimTime now = events_.now();
+  const ftl::MountReport report = ftl_.Mount(
+      {.reseed_read_count = config_.read_disturb.refresh_threshold});
+  // Replay the recovered ReducedCell membership (and pool budget) through
+  // the read policy before any post-mount read consults it.
+  policy_->on_mount(report, now);
+  // Mount cost: one summary read per physical block plus one spare-area
+  // read per programmed page. Charged to the mount ledger and a span, not
+  // injected into the request timeline — mount happens at power-on,
+  // before host traffic.
+  const Duration duration =
+      static_cast<Duration>(static_cast<std::uint64_t>(
+                                ftl_.physical_blocks()) +
+                            report.pages_scanned) *
+      config_.latency.oob_scan_per_page;
+  results_.mount_time += duration;
+  if (telemetry_) {
+    if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+      tracer->record({.name = "mount",
+                      .cat = "sim",
+                      .pid = telemetry_->pid,
+                      .tid = telemetry::kHostTrack,
+                      .start = now,
+                      .dur = duration});
+    }
+  }
+  // Mount() reset the FTL's cumulative stats, so the delta baseline
+  // restarts from zero too.
+  prefill_stats_ = ftl::FtlStats{};
+  crashed_ = false;
+  acked_since_barrier_ = 0;
+  return report;
 }
 
 void SsdSimulator::service_request(const trace::Request& request,
@@ -427,6 +560,9 @@ void SsdSimulator::service_request(const trace::Request& request,
 }
 
 void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
+  // A crashed simulator refuses work until mount(): requests against a
+  // powered-off drive would silently vanish.
+  if (crashed_) return;
   // Arrival events dispatch through the deterministic kernel: equal-time
   // arrivals keep trace order via the queue's sequence tie-breaking.
   for (const auto& request : requests) {
@@ -434,7 +570,23 @@ void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
       service_request(request, now);
     });
   }
-  events_.run_all();
+  if (injector_ != nullptr && config_.faults.crash_enabled) {
+    // Crash-armed dispatch: adjudicate power loss at every event-queue
+    // boundary. The injector hashes (seed, ordinal, salt) statelessly —
+    // no RNG is consumed, so a crash-off run of the same config stays
+    // byte-identical. Event callbacks are atomic with respect to power
+    // loss: a multi-page FTL sequence inside one event cannot be torn,
+    // but everything still pending in the queue is lost.
+    while (!events_.empty()) {
+      if (injector_->crash_at(events_.fired())) {
+        power_loss();
+        break;
+      }
+      events_.run_next();
+    }
+  } else {
+    events_.run_all();
+  }
 
   const ReadPolicyStats policy_stats = policy_->stats();
   results_.migrations_to_reduced = policy_stats.migrations_to_reduced;
@@ -469,6 +621,15 @@ void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
       total.retired_blocks - prefill_stats_.retired_blocks;
   results_.ftl.retire_page_moves =
       total.retire_page_moves - prefill_stats_.retire_page_moves;
+  results_.ftl.mounts = total.mounts - prefill_stats_.mounts;
+  results_.ftl.mount_pages_scanned =
+      total.mount_pages_scanned - prefill_stats_.mount_pages_scanned;
+  results_.ftl.mount_mappings_recovered =
+      total.mount_mappings_recovered - prefill_stats_.mount_mappings_recovered;
+  results_.ftl.mount_stale_records =
+      total.mount_stale_records - prefill_stats_.mount_stale_records;
+  // The crash path captured the gauge at the instant of power loss.
+  if (!crashed_) results_.dirty_buffer_pages = buffer_.dirty_pages();
   if (telemetry_) {
     results_.metrics = telemetry_->metrics.snapshot();
     results_.spans = telemetry_->spans.spans();

@@ -77,6 +77,29 @@ struct ReadDisturbConfig {
   std::uint64_t refresh_threshold = 0;
 };
 
+/// When is a host write acknowledged relative to being durable on NAND?
+enum class DurabilityPolicy {
+  /// Acknowledge at buffer insertion (the paper's write-back buffer).
+  /// Fastest, and fine for the paper's figures — but acknowledged writes
+  /// sitting in DRAM are lost on power loss, so Validate() rejects this
+  /// policy when crash injection is armed.
+  kWriteBack,
+  /// Force-unit-access: every host write programs through to NAND before
+  /// acknowledging (the page stays cached clean for reads). The ack is
+  /// the durability point.
+  kFua,
+  /// Write-back, plus a flush barrier every `flush_barrier_interval`
+  /// acknowledged host page writes: bounded loss window at write-back ack
+  /// latency (fsync-style batching).
+  kFlushBarrier,
+};
+
+struct DurabilityConfig {
+  DurabilityPolicy policy = DurabilityPolicy::kWriteBack;
+  /// kFlushBarrier: acknowledged host page writes between barriers (>= 1).
+  std::uint64_t flush_barrier_interval = 1024;
+};
+
 struct SsdConfig {
   Scheme scheme = Scheme::kLdpcInSsd;
   ftl::FtlConfig ftl;
@@ -114,6 +137,10 @@ struct SsdConfig {
   /// recovery machinery it exercises. Off by default: every seed figure is
   /// reproduced bit-identically with faults disabled.
   faults::FaultConfig faults;
+  /// Write-acknowledgement durability semantics. Default write-back
+  /// reproduces every seed figure bit-identically; crash injection
+  /// (faults.crash_enabled) requires kFua or kFlushBarrier.
+  DurabilityConfig durability;
   std::uint64_t seed = 0x5EED;
 
   /// Range- and consistency-checks the whole configuration. The simulator
@@ -176,6 +203,17 @@ struct SsdResults {
   /// only): rescued by the deepest-sensing re-read vs. declared data loss.
   std::uint64_t recovered_reads = 0;
   std::uint64_t data_loss_reads = 0;
+  /// Durability accounting: host page writes acknowledged vs. programmed
+  /// to NAND (durable). Under kWriteBack the difference rides in DRAM —
+  /// exactly what a crash loses; dirty_buffer_pages is that gauge at the
+  /// end of the window (captured at the crash point if one fired).
+  std::uint64_t writes_acked = 0;
+  std::uint64_t writes_durable = 0;
+  std::uint64_t dirty_buffer_pages = 0;
+  /// Power-loss events in the window, and the simulated time the mounts
+  /// spent scanning OOB (also exported as a telemetry span per mount).
+  std::uint64_t crashes = 0;
+  Duration mount_time = 0;
   /// Blocks out of service at the end of the run (gauge; fault injection
   /// only — includes retirements during prefill/preconditioning).
   std::uint64_t retired_blocks = 0;
@@ -256,6 +294,40 @@ class SsdSimulator {
   /// warmup pass and the measured pass to observe steady-state behaviour.
   void reset_measurements();
 
+  /// Drains every dirty write-buffer page to NAND at the current simulated
+  /// time (fsync). Acked-but-volatile writes become durable; a no-op when
+  /// the buffer is clean.
+  void flush_barrier();
+
+  /// Power loss at the current simulated time: pending events are dropped
+  /// (in-flight NAND work and unserviced requests vanish), dirty buffer
+  /// pages are lost, and the simulator refuses further run_segment() work
+  /// until mount(). Called by the crash-armed run loop when the injector
+  /// picks an event boundary, and callable directly to model a cord pull
+  /// at end of trace.
+  void power_loss();
+
+  /// Power-on after power_loss(): rebuilds the FTL from OOB metadata
+  /// (ftl::PageMappingFtl::Mount), replays the recovered ReducedCell
+  /// membership through the read policy, and charges the OOB scan time to
+  /// results().mount_time (and a "mount" telemetry span). Also legal on a
+  /// non-crashed simulator (clean remount). Clears the crashed() latch.
+  ftl::MountReport mount();
+
+  /// True after power_loss() until the next mount().
+  bool crashed() const { return crashed_; }
+  /// Event ordinal (EventQueue::fired()) at which the last power loss hit.
+  std::uint64_t crash_event_ordinal() const { return crash_ordinal_; }
+
+  /// Durability ledger: durable_versions()[lpn] is the per-LPN write
+  /// version (ftl::PageMappingFtl::data_version numbering) of the last
+  /// write to `lpn` that was *programmed to NAND*; 0 if never durable.
+  /// The crash harness checks it against the mounted FTL: every entry
+  /// here must survive a crash+mount.
+  const std::vector<std::uint64_t>& durable_versions() const {
+    return durable_version_;
+  }
+
   const ftl::PageMappingFtl& ftl() const { return ftl_; }
   const ChipScheduler& scheduler() const { return scheduler_; }
 
@@ -280,6 +352,11 @@ class SsdSimulator {
   void service_request(const trace::Request& request, SimTime now);
   PageService service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
+  /// Programs one buffered page to NAND and records it durable.
+  void flush_victim(std::uint64_t lpn, SimTime now);
+  /// Marks lpn's *current* FTL version as the durable one.
+  void mark_durable(std::uint64_t lpn);
+  void flush_barrier_at(SimTime now);
   /// Resets `results_` to empty, with `sensing_level_reads` sized to the
   /// ladder (shared by the constructor and reset_measurements()).
   void clear_results();
@@ -311,6 +388,12 @@ class SsdSimulator {
   std::unordered_map<std::uint64_t, double> ber_cache_[2];
   SsdResults results_;
   ftl::FtlStats prefill_stats_;
+  /// Per-LPN durable version ledger (see durable_versions()).
+  std::vector<std::uint64_t> durable_version_;
+  bool crashed_ = false;
+  std::uint64_t crash_ordinal_ = 0;
+  /// kFlushBarrier: acked host page writes since the last barrier.
+  std::uint64_t acked_since_barrier_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::MetricsRegistry::Counter* requests_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* reads_metric_ = nullptr;
@@ -318,6 +401,9 @@ class SsdSimulator {
   telemetry::MetricsRegistry::Counter* buffer_hits_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* unmapped_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* uncorrectable_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* acked_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* durable_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* crashes_metric_ = nullptr;
   Histogram* read_latency_us_hist_ = nullptr;
 };
 

@@ -114,6 +114,63 @@ TEST(FaultInjectorTest, FaultKindsAreIndependentStreams) {
   EXPECT_LT(agreements, 650);
 }
 
+TEST(FaultInjectorTest, CrashDisabledNeverFires) {
+  // crash_enabled gates crash_at() independently of the rate: a config
+  // carrying an armed rate but crash_enabled=false must stay silent.
+  FaultConfig config = all_rates(0.0);
+  config.crash_rate = 1.0;  // crash_enabled stays false
+  const FaultInjector injector(config, 0x5EED);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(injector.crash_at(i));
+  }
+}
+
+TEST(FaultInjectorTest, CrashUnitRateAlwaysFires) {
+  FaultConfig config = all_rates(0.0);
+  config.crash_enabled = true;
+  config.crash_rate = 1.0;
+  const FaultInjector injector(config, 0x5EED);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(injector.crash_at(i));
+  }
+}
+
+TEST(FaultInjectorTest, CrashAtIsDeterministicAndStateless) {
+  FaultConfig config = all_rates(0.0);
+  config.crash_enabled = true;
+  config.crash_rate = 0.01;
+  const FaultInjector a(config, 4242);
+  const FaultInjector b(config, 4242);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(a.crash_at(i), b.crash_at(i));
+    EXPECT_EQ(a.crash_at(i), a.crash_at(i));  // re-asking is free
+  }
+}
+
+TEST(FaultInjectorTest, CrashSaltSelectsDistinctCrashPoints) {
+  // The salt is the sweep axis: different salts move the first firing
+  // ordinal, so a harness can walk crash points without touching the
+  // seed (which would perturb the workload itself).
+  FaultConfig config = all_rates(0.0);
+  config.crash_enabled = true;
+  config.crash_rate = 0.001;
+  auto first_firing = [&](std::uint64_t salt) -> std::uint64_t {
+    FaultConfig c = config;
+    c.crash_salt = salt;
+    const FaultInjector injector(c, 0x5EED);
+    for (std::uint64_t i = 0; i < 1'000'000; ++i) {
+      if (injector.crash_at(i)) return i;
+    }
+    return ~0ULL;
+  };
+  int distinct = 0;
+  const std::uint64_t base = first_firing(0);
+  for (std::uint64_t salt = 1; salt <= 8; ++salt) {
+    if (first_firing(salt) != base) ++distinct;
+  }
+  EXPECT_GE(distinct, 7);  // ~1/1000 odds of any one collision
+}
+
 TEST(FaultInjectorDeathTest, RejectsOutOfRangeRates) {
   FaultConfig config;
   config.program_fail_rate = 1.5;

@@ -177,6 +177,10 @@ TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
       {"ftl.grown_defects", 0},
       {"ftl.host_writes", 1568},
       {"ftl.mode_migrations", 533},
+      {"ftl.mount_mappings_recovered", 0},
+      {"ftl.mount_pages_scanned", 0},
+      {"ftl.mount_stale_records", 0},
+      {"ftl.mounts", 0},
       {"ftl.nand_erases", 0},
       {"ftl.nand_writes", 2101},
       {"ftl.program_fails", 0},
@@ -187,11 +191,14 @@ TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
       {"policy.migrations_to_normal", 0},
       {"policy.migrations_to_reduced", 533},
       {"ssd.buffer_hits", 1971},
+      {"ssd.crashes", 0},
       {"ssd.reads", 8521},
       {"ssd.requests", 10000},
       {"ssd.uncorrectable_reads", 0},
       {"ssd.unmapped_reads", 0},
       {"ssd.writes", 1479},
+      {"ssd.writes_acked", 2044},
+      {"ssd.writes_durable", 1568},
   };
   ASSERT_EQ(results.metrics.counters.size(), std::size(expected));
   for (const auto& [name, value] : expected) {
