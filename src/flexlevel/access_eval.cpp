@@ -36,10 +36,8 @@ AccessDecision AccessEval::on_read(std::uint64_t lpn,
                                    int extra_sensing_levels) {
   const int count = hotness_.record(lpn);
   AccessDecision decision;
-  if (is_reduced(lpn)) {
-    touch(lpn);
-    return decision;
-  }
+  // One lookup does both the membership test and the recency refresh.
+  if (pool_.touch(lpn)) return decision;
   const int overhead =
       freq_level(count) * sensing_level_bucket(extra_sensing_levels);
   bool qualifies = overhead > config_.overhead_threshold;
@@ -50,7 +48,7 @@ AccessDecision AccessEval::on_read(std::uint64_t lpn,
     // churns for data hot in every filter. Without this, a hot set larger
     // than the pool causes continuous migration thrash.
     const int filters = hotness_.filter_count();
-    const double fill = static_cast<double>(lru_map_.size()) /
+    const double fill = static_cast<double>(pool_.size()) /
                         static_cast<double>(config_.pool_capacity_pages);
     if (fill >= 0.95) {
       qualifies = count >= filters;
@@ -72,65 +70,45 @@ std::vector<std::uint64_t> AccessEval::shrink_capacity(
     config_.pool_capacity_pages = new_capacity;
   }
   std::vector<std::uint64_t> evicted;
-  while (lru_map_.size() > config_.pool_capacity_pages) {
-    const std::uint64_t victim = lru_list_.back();
-    lru_list_.pop_back();
-    lru_map_.erase(victim);
-    evicted.push_back(victim);
+  while (pool_.size() > config_.pool_capacity_pages) {
+    evicted.push_back(pool_.pop_back());
   }
   return evicted;
 }
 
 std::vector<std::uint64_t> AccessEval::rebuild_pool(
     const std::vector<std::uint64_t>& lpns) {
-  lru_list_.clear();
-  lru_map_.clear();
+  pool_.clear();
   hotness_.reset();
   std::vector<std::uint64_t> overflow;
   for (const std::uint64_t lpn : lpns) {
-    if (lru_map_.size() >= config_.pool_capacity_pages) {
+    if (pool_.size() >= config_.pool_capacity_pages) {
       overflow.push_back(lpn);
       continue;
     }
     // push_front like insert(): the last-registered lpn reads as most
     // recent, and ascending registration keeps rebuilds deterministic.
-    lru_list_.push_front(lpn);
-    lru_map_[lpn] = lru_list_.begin();
+    pool_.push_front(lpn, 0);
   }
-  FLEX_ENSURES(lru_map_.size() <= config_.pool_capacity_pages);
+  FLEX_ENSURES(pool_.size() <= config_.pool_capacity_pages);
   return overflow;
 }
 
-void AccessEval::on_invalidate(std::uint64_t lpn) {
-  const auto it = lru_map_.find(lpn);
-  if (it == lru_map_.end()) return;
-  lru_list_.erase(it->second);
-  lru_map_.erase(it);
-}
+void AccessEval::on_invalidate(std::uint64_t lpn) { pool_.erase(lpn); }
 
 bool AccessEval::is_reduced(std::uint64_t lpn) const {
-  return lru_map_.contains(lpn);
-}
-
-void AccessEval::touch(std::uint64_t lpn) {
-  const auto it = lru_map_.find(lpn);
-  FLEX_EXPECTS(it != lru_map_.end());
-  lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+  return pool_.contains(lpn);
 }
 
 std::optional<std::uint64_t> AccessEval::insert(std::uint64_t lpn) {
   FLEX_EXPECTS(!is_reduced(lpn));
   std::optional<std::uint64_t> evicted;
-  if (lru_map_.size() >= config_.pool_capacity_pages) {
+  if (pool_.size() >= config_.pool_capacity_pages) {
     // Convert the least-recently-read reduced page back to normal state.
-    const std::uint64_t victim = lru_list_.back();
-    lru_list_.pop_back();
-    lru_map_.erase(victim);
-    evicted = victim;
+    evicted = pool_.pop_back();
   }
-  lru_list_.push_front(lpn);
-  lru_map_[lpn] = lru_list_.begin();
-  FLEX_ENSURES(lru_map_.size() <= config_.pool_capacity_pages);
+  pool_.push_front(lpn, 0);
+  FLEX_ENSURES(pool_.size() <= config_.pool_capacity_pages);
   return evicted;
 }
 

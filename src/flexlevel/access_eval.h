@@ -12,11 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lru_map.h"
 #include "flexlevel/bloom.h"
 
 namespace flex::flexlevel {
@@ -54,7 +53,7 @@ class AccessEval {
   void on_invalidate(std::uint64_t lpn);
 
   bool is_reduced(std::uint64_t lpn) const;
-  std::uint64_t pool_size() const { return lru_map_.size(); }
+  std::uint64_t pool_size() const { return pool_.size(); }
   std::uint64_t pool_capacity() const { return config_.pool_capacity_pages; }
 
   /// Shrinks the pool budget to `new_capacity` pages (floored at 1) and
@@ -81,15 +80,13 @@ class AccessEval {
   int sensing_level_bucket(int extra_sensing_levels) const;
 
  private:
-  void touch(std::uint64_t lpn);
   std::optional<std::uint64_t> insert(std::uint64_t lpn);
 
   Config config_;
   MultiBloomHotness hotness_;
-  // LRU: most-recently-read at the front.
-  std::list<std::uint64_t> lru_list_;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
-      lru_map_;
+  // Pool membership as an intrusive LRU set: most-recently-read at the
+  // front. Values are unused (membership only).
+  LruMap<std::uint8_t> pool_;
 };
 
 }  // namespace flex::flexlevel

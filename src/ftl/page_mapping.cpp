@@ -23,12 +23,20 @@ PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
   blocks_.resize(total_blocks);
   for (auto& block : blocks_) {
     block.erase_count = config_.initial_pe_cycles;
-    block.pages.resize(config_.spec.pages_per_block);
   }
+  pages_.assign(config_.spec.total_pages(), PageMeta{});
+  if ((config_.spec.pages_per_block & (config_.spec.pages_per_block - 1)) ==
+      0) {
+    page_shift_ = 0;
+    while ((1u << page_shift_) < config_.spec.pages_per_block) ++page_shift_;
+  }
+  std::size_t ring_capacity = 1;
+  while (ring_capacity < total_blocks + 1) ring_capacity *= 2;
+  free_ring_.assign(ring_capacity, 0);
+  free_mask_ = ring_capacity - 1;
   for (std::uint64_t i = 0; i < total_blocks; ++i) {
-    free_list_.push_back(static_cast<std::uint32_t>(i));
+    free_push(static_cast<std::uint32_t>(i));
   }
-  free_count_ = static_cast<std::uint32_t>(total_blocks);
 
   logical_pages_ = static_cast<std::uint64_t>(
       std::floor(static_cast<double>(config_.spec.total_pages()) *
@@ -42,6 +50,13 @@ PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
   summaries_.assign(total_blocks,
                     BlockSummary{.erase_count = config_.initial_pe_cycles});
   version_.assign(logical_pages_, 0);
+}
+
+void PageMappingFtl::clear_block_pages(std::uint32_t block_id) {
+  const std::uint64_t base = make_ppn(block_id, 0);
+  for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
+    pages_[base + p].lpn = kInvalid;
+  }
 }
 
 void PageMappingFtl::candidate_insert(std::uint32_t block_id) {
@@ -68,33 +83,15 @@ std::uint32_t PageMappingFtl::usable_pages(const BlockMeta& block) const {
                  config_.reduced_capacity_factor));
 }
 
-std::uint64_t PageMappingFtl::make_ppn(std::uint32_t block,
-                                       std::uint32_t page) const {
-  return static_cast<std::uint64_t>(block) * config_.spec.pages_per_block +
-         page;
-}
-
-std::uint32_t PageMappingFtl::block_of(std::uint64_t ppn) const {
-  const auto block_id =
-      static_cast<std::uint32_t>(ppn / config_.spec.pages_per_block);
-  FLEX_EXPECTS(block_id < blocks_.size());
-  return block_id;
-}
-
 std::optional<PageInfo> PageMappingFtl::lookup(std::uint64_t lpn) const {
   FLEX_EXPECTS(lpn < logical_pages_);
   const std::uint64_t ppn = map_[lpn];
   if (ppn == kInvalid) return std::nullopt;
-  const auto block_id =
-      static_cast<std::uint32_t>(ppn / config_.spec.pages_per_block);
-  const auto page_id =
-      static_cast<std::uint32_t>(ppn % config_.spec.pages_per_block);
-  const BlockMeta& block = blocks_[block_id];
-  const PageMeta& page = block.pages[page_id];
-  FLEX_ASSERT(page.valid && page.lpn == lpn);
+  const BlockMeta& block = blocks_[block_of(ppn)];
+  FLEX_ASSERT(pages_[ppn].lpn == lpn);
   return PageInfo{.ppn = ppn,
                   .mode = block.mode,
-                  .write_time = page.write_time,
+                  .write_time = pages_[ppn].write_time,
                   .pe_cycles = block.erase_count,
                   .block_reads = block.read_count};
 }
@@ -110,29 +107,34 @@ std::uint64_t PageMappingFtl::block_read_count(std::uint64_t ppn) const {
 void PageMappingFtl::invalidate(std::uint64_t lpn) {
   const std::uint64_t ppn = map_[lpn];
   if (ppn == kInvalid) return;
-  const auto block_id =
-      static_cast<std::uint32_t>(ppn / config_.spec.pages_per_block);
-  const auto page_id =
-      static_cast<std::uint32_t>(ppn % config_.spec.pages_per_block);
+  const std::uint32_t block_id = block_of(ppn);
   BlockMeta& block = blocks_[block_id];
-  PageMeta& page = block.pages[page_id];
-  FLEX_ASSERT(page.valid && page.lpn == lpn);
-  page.valid = false;
-  page.lpn = kInvalid;
+  FLEX_ASSERT(pages_[ppn].lpn == lpn);
+  pages_[ppn].lpn = kInvalid;
   FLEX_ASSERT(block.valid_count > 0);
   const bool closed = !block.open && block.next_page > 0;
-  if (closed) candidate_remove(block_id, block.valid_count);
+  if (closed) {
+    // Fused candidate_remove + candidate_insert for the adjacent-bucket
+    // move (valid -> valid-1): same swap-remove-then-push-back sequence,
+    // one gc_bucket_pos_ round-trip instead of two.
+    auto& old_bucket = gc_buckets_[block.valid_count];
+    const std::uint32_t pos = gc_bucket_pos_[block_id];
+    FLEX_ASSERT(pos < old_bucket.size() && old_bucket[pos] == block_id);
+    old_bucket[pos] = old_bucket.back();
+    gc_bucket_pos_[old_bucket[pos]] = pos;
+    old_bucket.pop_back();
+    auto& new_bucket = gc_buckets_[block.valid_count - 1];
+    gc_bucket_pos_[block_id] = static_cast<std::uint32_t>(new_bucket.size());
+    new_bucket.push_back(block_id);
+  }
   --block.valid_count;
-  if (closed) candidate_insert(block_id);
   map_[lpn] = kInvalid;
 }
 
 std::uint32_t PageMappingFtl::allocate_block(PageMode mode) {
   for (;;) {
     FLEX_ASSERT(free_count_ > 0 && "FTL out of free blocks: GC failed");
-    const std::uint32_t id = free_list_.front();
-    free_list_.pop_front();
-    --free_count_;
+    const std::uint32_t id = free_pop();
     BlockMeta& block = blocks_[id];
     FLEX_ASSERT(!block.retired);
     FLEX_ASSERT(block.valid_count == 0 && block.next_page == 0);
@@ -176,12 +178,9 @@ std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
       retire_failed_frontier(frontier, now, programs);
       continue;  // re-drive the write on the fresh frontier
     }
-    PageMeta& page = block.pages[page_id];
-    page.lpn = lpn;
-    page.write_time = now;
-    page.valid = true;
-    ++block.valid_count;
     const std::uint64_t ppn = make_ppn(frontier, page_id);
+    pages_[ppn] = PageMeta{.lpn = lpn, .write_time = now};
+    ++block.valid_count;
     map_[lpn] = ppn;
     // The OOB record lands in the same page program as the data — atomic
     // with it, which is what makes last-epoch-wins recovery sound.
@@ -208,7 +207,7 @@ void PageMappingFtl::retire_failed_frontier(std::uint32_t block_id,
   std::uint64_t moves = 0;
   relocate_valid_pages(block_id, now, &moves, programs);
   stats_.retire_page_moves += moves;
-  for (auto& page : block.pages) page = PageMeta{};
+  clear_block_pages(block_id);
   block.next_page = 0;
   block.open = false;
   block.read_count = 0;
@@ -271,14 +270,13 @@ void PageMappingFtl::relocate_valid_pages(std::uint32_t block_id, SimTime now,
                                           std::uint64_t* page_moves,
                                           std::uint64_t* programs) {
   BlockMeta& victim = blocks_[block_id];
+  const std::uint64_t base = make_ppn(block_id, 0);
   for (std::uint32_t p = 0; p < victim.next_page; ++p) {
-    PageMeta& page = victim.pages[p];
-    if (!page.valid) continue;
-    const std::uint64_t lpn = page.lpn;
+    const std::uint64_t lpn = pages_[base + p].lpn;
+    if (lpn == kInvalid) continue;
     // Relocation reprograms the data into fresh cells, so its retention
     // clock restarts at `now`; only the logical identity is preserved.
-    page.valid = false;
-    page.lpn = kInvalid;
+    pages_[base + p].lpn = kInvalid;
     --victim.valid_count;
     map_[lpn] = kInvalid;
     append(lpn, victim.mode, now, programs);
@@ -295,7 +293,7 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
   // Mark as open so relocation's invalidate path skips bucket updates.
   victim.open = true;
   relocate_valid_pages(block_id, now, page_moves, programs);
-  for (auto& page : victim.pages) page = PageMeta{};
+  clear_block_pages(block_id);
   victim.next_page = 0;
   victim.open = false;
   ++victim.erase_count;
@@ -319,8 +317,7 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
   for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
     oob_[base + p] = OobRecord{};
   }
-  free_list_.push_back(block_id);
-  ++free_count_;
+  free_push(block_id);
 }
 
 void PageMappingFtl::maybe_garbage_collect(SimTime now,
@@ -427,7 +424,7 @@ MountReport PageMappingFtl::Mount(const MountOptions& options) {
   // them the same way, which is what makes Mount idempotent.
   map_.assign(logical_pages_, kInvalid);
   version_.assign(logical_pages_, 0);
-  free_list_.clear();
+  free_head_ = 0;
   free_count_ = 0;
   frontier_[0] = kNoBlock;
   frontier_[1] = kNoBlock;
@@ -447,9 +444,9 @@ MountReport PageMappingFtl::Mount(const MountOptions& options) {
     block.valid_count = 0;
     block.open = false;
     block.read_count = 0;
-    for (auto& page : block.pages) page = PageMeta{};
     if (block.retired) ++retired_count_;
   }
+  for (PageMeta& page : pages_) page.lpn = kInvalid;
 
   // OOB scan, last-epoch-wins. Programmed records form a prefix of every
   // block (a failed program retires the block before any further program
@@ -489,11 +486,7 @@ MountReport PageMappingFtl::Mount(const MountOptions& options) {
     map_[lpn] = ppn;
     version_[lpn] = oob.version;
     BlockMeta& block = blocks_[block_of(ppn)];
-    PageMeta& page =
-        block.pages[static_cast<std::size_t>(ppn % config_.spec.pages_per_block)];
-    page.lpn = lpn;
-    page.write_time = oob.write_time;
-    page.valid = true;
+    pages_[ppn] = PageMeta{.lpn = lpn, .write_time = oob.write_time};
     ++block.valid_count;
     ++report.mappings_recovered;
     if (oob.mode == PageMode::kReduced) report.reduced_lpns.push_back(lpn);
@@ -508,8 +501,7 @@ MountReport PageMappingFtl::Mount(const MountOptions& options) {
     BlockMeta& block = blocks_[id];
     if (block.retired) continue;
     if (block.next_page == 0) {
-      free_list_.push_back(id);
-      ++free_count_;
+      free_push(id);
       ++report.free_blocks;
     } else {
       block.read_count = options.reseed_read_count;
@@ -557,8 +549,7 @@ Status PageMappingFtl::check_consistency() const {
                   " maps past the write pointer of block " +
                   std::to_string(block_id));
     }
-    const PageMeta& page = block.pages[page_id];
-    if (!page.valid || page.lpn != lpn) {
+    if (pages_[ppn].lpn != lpn) {
       return fail("lpn " + std::to_string(lpn) +
                   " maps to a page that does not map back (ppn " +
                   std::to_string(ppn) + ")");
@@ -571,15 +562,13 @@ Status PageMappingFtl::check_consistency() const {
     if (block.retired) ++retired_seen;
     std::uint32_t valid_seen = 0;
     for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
-      const PageMeta& page = block.pages[p];
-      if (!page.valid) continue;
+      const std::uint64_t lpn = pages_[make_ppn(id, p)].lpn;
+      if (lpn == kInvalid) continue;
       ++valid_seen;
       ++mapped_pages;
-      if (page.lpn >= logical_pages_ ||
-          map_[page.lpn] != make_ppn(id, p)) {
+      if (lpn >= logical_pages_ || map_[lpn] != make_ppn(id, p)) {
         return fail("valid page in block " + std::to_string(id) +
-                    " is not the mapped copy of lpn " +
-                    std::to_string(page.lpn));
+                    " is not the mapped copy of lpn " + std::to_string(lpn));
       }
     }
     if (valid_seen != block.valid_count) {
@@ -591,10 +580,8 @@ Status PageMappingFtl::check_consistency() const {
   if (retired_seen != retired_count_) {
     return fail("retired ledger disagrees with block flags");
   }
-  if (free_count_ != free_list_.size()) {
-    return fail("free_count disagrees with the free list");
-  }
-  for (const std::uint32_t id : free_list_) {
+  for (std::uint32_t i = 0; i < free_count_; ++i) {
+    const std::uint32_t id = free_ring_[(free_head_ + i) & free_mask_];
     const BlockMeta& block = blocks_[id];
     if (block.retired || block.next_page != 0 || block.valid_count != 0) {
       return fail("free-listed block " + std::to_string(id) +
@@ -621,10 +608,10 @@ std::vector<std::uint64_t> PageMappingFtl::double_mapped_lpns() const {
     const BlockMeta& block = blocks_[id];
     if (block.retired) continue;
     for (std::uint32_t p = 0; p < block.next_page; ++p) {
-      const PageMeta& page = block.pages[p];
-      if (!page.valid) continue;
-      FLEX_ASSERT(page.lpn < logical_pages_);
-      if (++claims[page.lpn] == 2) doubled.push_back(page.lpn);
+      const std::uint64_t lpn = pages_[make_ppn(id, p)].lpn;
+      if (lpn == kInvalid) continue;
+      FLEX_ASSERT(lpn < logical_pages_);
+      if (++claims[lpn] == 2) doubled.push_back(lpn);
     }
   }
   std::sort(doubled.begin(), doubled.end());

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -238,20 +237,18 @@ class PageMappingFtl {
   std::uint32_t reduced_blocks() const;
 
  private:
-  struct PageMeta {
-    std::uint64_t lpn = kInvalid;
-    SimTime write_time = 0;
-    bool valid = false;
-  };
+  // Per-page metadata lives in one global ppn-indexed flat array (pages_)
+  // rather than per-block vectors: the write and invalidate hot paths
+  // touch exactly one cache line per page instead of chasing
+  // block -> pages-vector -> element.
   struct BlockMeta {
     PageMode mode = PageMode::kNormal;
+    bool open = false;             ///< is a write frontier
+    bool retired = false;          ///< out of service (bad block)
     std::uint32_t erase_count = 0;
     std::uint32_t next_page = 0;   ///< write pointer within the block
     std::uint32_t valid_count = 0;
-    bool open = false;             ///< is a write frontier
-    bool retired = false;          ///< out of service (bad block)
     std::uint64_t read_count = 0;  ///< reads since last erase (disturb)
-    std::vector<PageMeta> pages;
   };
 
   /// The durable per-page spare area, programmed atomically with the data
@@ -278,8 +275,20 @@ class PageMappingFtl {
   static constexpr std::uint64_t kInvalid = ~0ULL;
 
   std::uint32_t usable_pages(const BlockMeta& block) const;
-  std::uint64_t make_ppn(std::uint32_t block, std::uint32_t page) const;
-  std::uint32_t block_of(std::uint64_t ppn) const;
+  std::uint64_t make_ppn(std::uint32_t block, std::uint32_t page) const {
+    if (page_shift_ != kNoShift) {
+      return (static_cast<std::uint64_t>(block) << page_shift_) | page;
+    }
+    return static_cast<std::uint64_t>(block) * config_.spec.pages_per_block +
+           page;
+  }
+  std::uint32_t block_of(std::uint64_t ppn) const {
+    const auto block_id = static_cast<std::uint32_t>(
+        page_shift_ != kNoShift ? ppn >> page_shift_
+                                : ppn / config_.spec.pages_per_block);
+    FLEX_EXPECTS(block_id < blocks_.size());
+    return block_id;
+  }
   /// Relocates `block`'s valid pages, erases it, and returns it to the
   /// free list (shared tail of GC and refresh) — unless the erase fails,
   /// in which case the block is retired instead. The caller must have
@@ -300,6 +309,8 @@ class PageMappingFtl {
                               std::uint64_t* programs);
   /// Marks an already-empty block retired (erase-fail / grown-defect tail).
   void mark_retired(std::uint32_t block_id);
+  /// Resets the block's slice of pages_ to invalid (erase/retire tail).
+  void clear_block_pages(std::uint32_t block_id);
   /// Appends to the frontier of `mode`; assumes space exists.
   std::uint64_t append(std::uint64_t lpn, PageMode mode, SimTime now,
                        std::uint64_t* programs);
@@ -312,13 +323,40 @@ class PageMappingFtl {
   void candidate_insert(std::uint32_t block_id);
   void candidate_remove(std::uint32_t block_id, std::uint32_t old_valid);
 
+  /// Per-page metadata, one 16-byte record per ppn so a lookup touches a
+  /// single cache line. `lpn == kInvalid` means the page holds no valid
+  /// data and `write_time` is garbage.
+  struct PageMeta {
+    std::uint64_t lpn = kInvalid;
+    SimTime write_time = 0;
+  };
+
   FtlConfig config_;
   std::uint64_t logical_pages_;
   std::vector<BlockMeta> blocks_;
-  std::vector<std::uint64_t> map_;      // lpn -> ppn (kInvalid when unmapped)
-  // FIFO so every free block circulates (a LIFO stack would recycle the
-  // same few blocks and defeat wear leveling).
-  std::deque<std::uint32_t> free_list_;
+  std::vector<std::uint64_t> map_;   // lpn -> ppn (kInvalid when unmapped)
+  std::vector<PageMeta> pages_;      // by ppn (flat across all blocks)
+  /// log2(pages_per_block) when it is a power of two (the common
+  /// geometry), else kNoShift: block_of()/make_ppn() then fall back to
+  /// divide/multiply. Purely a strength reduction — same results.
+  static constexpr std::uint32_t kNoShift = 0xffffffffu;
+  std::uint32_t page_shift_ = kNoShift;
+  // Free-block FIFO as a ring over a flat power-of-two vector (FIFO so
+  // every free block circulates; a LIFO stack would recycle the same few
+  // blocks and defeat wear leveling). Size is free_count_.
+  std::vector<std::uint32_t> free_ring_;
+  std::size_t free_mask_ = 0;
+  std::size_t free_head_ = 0;
+  void free_push(std::uint32_t id) {
+    free_ring_[(free_head_ + free_count_) & free_mask_] = id;
+    ++free_count_;
+  }
+  std::uint32_t free_pop() {
+    const std::uint32_t id = free_ring_[free_head_];
+    free_head_ = (free_head_ + 1) & free_mask_;
+    --free_count_;
+    return id;
+  }
   std::uint32_t free_count_ = 0;
   // Current frontier per mode; kNoBlock when none is open.
   static constexpr std::uint32_t kNoBlock = ~0U;

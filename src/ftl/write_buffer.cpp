@@ -6,85 +6,79 @@ namespace flex::ftl {
 
 WriteBuffer::WriteBuffer(std::uint64_t capacity_pages,
                          std::uint64_t flush_batch)
-    : capacity_(capacity_pages), flush_batch_(flush_batch) {
+    : capacity_(capacity_pages),
+      flush_batch_(flush_batch),
+      lru_(capacity_pages + 1) {
   FLEX_EXPECTS(capacity_pages >= 1);
   FLEX_EXPECTS(flush_batch >= 1 && flush_batch <= capacity_pages);
 }
 
-std::vector<std::uint64_t> WriteBuffer::insert(std::uint64_t lpn,
-                                               bool dirty) {
-  if (const auto it = map_.find(lpn); it != map_.end()) {
+const std::vector<std::uint64_t>& WriteBuffer::insert(std::uint64_t lpn,
+                                                      bool dirty) {
+  insert_scratch_.clear();
+  if (bool* entry = lru_.find(lpn)) {
     // Overwrite in place: refresh recency, nothing to flush.
-    order_.splice(order_.begin(), order_, it->second.pos);
-    if (it->second.dirty != dirty) {
+    lru_.touch(lpn);
+    if (*entry != dirty) {
       dirty_count_ += dirty ? 1 : -1;
-      it->second.dirty = dirty;
+      *entry = dirty;
     }
-    return {};
+    return insert_scratch_;
   }
-  order_.push_front(lpn);
-  map_[lpn] = Entry{order_.begin(), dirty};
+  lru_.push_front(lpn, dirty);
   if (dirty) ++dirty_count_;
-  std::vector<std::uint64_t> flush;
-  if (map_.size() > capacity_) {
-    flush.reserve(flush_batch_);
+  if (lru_.size() > capacity_) {
     std::uint64_t evicted = 0;
-    while (!order_.empty() && evicted < flush_batch_) {
-      const std::uint64_t victim = order_.back();
-      order_.pop_back();
-      const auto victim_it = map_.find(victim);
-      if (victim_it->second.dirty) {
+    while (!lru_.empty() && evicted < flush_batch_) {
+      const std::uint64_t victim = lru_.back_key();
+      if (*lru_.find(victim)) {
         --dirty_count_;
-        flush.push_back(victim);
+        insert_scratch_.push_back(victim);
       }
-      map_.erase(victim_it);
+      lru_.pop_back();
       ++evicted;
     }
   }
-  FLEX_ENSURES(map_.size() <= capacity_);
-  return flush;
+  FLEX_ENSURES(lru_.size() <= capacity_);
+  return insert_scratch_;
 }
 
-std::vector<std::uint64_t> WriteBuffer::write(std::uint64_t lpn) {
+const std::vector<std::uint64_t>& WriteBuffer::write(std::uint64_t lpn) {
   return insert(lpn, /*dirty=*/true);
 }
 
-std::vector<std::uint64_t> WriteBuffer::insert_clean(std::uint64_t lpn) {
+const std::vector<std::uint64_t>& WriteBuffer::insert_clean(
+    std::uint64_t lpn) {
   return insert(lpn, /*dirty=*/false);
 }
 
-std::vector<std::uint64_t> WriteBuffer::flush_barrier() {
-  std::vector<std::uint64_t> flush;
-  flush.reserve(dirty_count_);
+const std::vector<std::uint64_t>& WriteBuffer::flush_barrier() {
+  flush_scratch_.clear();
   // Oldest first, matching the overflow eviction order.
-  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-    auto& entry = map_.find(*it)->second;
-    if (entry.dirty) {
-      entry.dirty = false;
-      flush.push_back(*it);
+  lru_.for_each_oldest_first([this](std::uint64_t lpn, bool& dirty) {
+    if (dirty) {
+      dirty = false;
+      flush_scratch_.push_back(lpn);
     }
-  }
+  });
   dirty_count_ = 0;
-  return flush;
+  return flush_scratch_;
 }
 
-std::vector<std::uint64_t> WriteBuffer::drain() {
-  std::vector<std::uint64_t> flush;
-  flush.reserve(dirty_count_);
+const std::vector<std::uint64_t>& WriteBuffer::drain() {
+  flush_scratch_.clear();
   // Oldest first, matching the overflow eviction order.
-  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-    if (map_.find(*it)->second.dirty) flush.push_back(*it);
-  }
-  order_.clear();
-  map_.clear();
+  lru_.for_each_oldest_first([this](std::uint64_t lpn, bool& dirty) {
+    if (dirty) flush_scratch_.push_back(lpn);
+  });
+  lru_.clear();
   dirty_count_ = 0;
-  return flush;
+  return flush_scratch_;
 }
 
 std::uint64_t WriteBuffer::power_loss() {
   const std::uint64_t lost = dirty_count_;
-  order_.clear();
-  map_.clear();
+  lru_.clear();
   dirty_count_ = 0;
   return lost;
 }

@@ -48,12 +48,12 @@ ReadCost LatencyModel::read_progressive_from_cost(
   return cost;
 }
 
-std::vector<ReadAttempt> LatencyModel::read_progressive_attempts(
+void LatencyModel::read_progressive_attempts(
     int start_levels, int required_levels,
-    const reliability::SensingRequirement& ladder) const {
+    const reliability::SensingRequirement& ladder,
+    std::vector<ReadAttempt>& out) const {
   FLEX_EXPECTS(start_levels >= 0);
   FLEX_EXPECTS(required_levels >= 0);
-  std::vector<ReadAttempt> attempts;
   bool first = true;
   int sensed = 0;
   for (const auto& step : ladder.steps()) {
@@ -71,18 +71,17 @@ std::vector<ReadAttempt> LatencyModel::read_progressive_attempts(
     }
     sensed = step.extra_levels;
     attempt.cost.controller = decode_base + sensed * decode_per_level;
-    attempts.push_back(attempt);
-    if (sensed >= required_levels) return attempts;
+    out.push_back(attempt);
+    if (sensed >= required_levels) return;
   }
   if (first) {
     // Every ladder step sits below start_levels: read_progressive_from_cost
     // charges the base sense/transfer and no decode; mirror that.
-    attempts.push_back(
+    out.push_back(
         ReadAttempt{.levels = start_levels,
                     .cost = {.die = spec.read_latency,
                              .channel = spec.page_transfer_latency}});
   }
-  return attempts;
 }
 
 }  // namespace flex::ssd

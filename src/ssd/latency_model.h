@@ -91,12 +91,14 @@ struct LatencyModel {
         .total();
   }
 
-  /// Per-attempt decomposition of read_progressive_from_cost: one entry
-  /// per decode attempt, mirroring that routine's ladder walk step for
-  /// step, so the attempt costs sum exactly to the closed form.
-  std::vector<ReadAttempt> read_progressive_attempts(
-      int start_levels, int required_levels,
-      const reliability::SensingRequirement& ladder) const;
+  /// Per-attempt decomposition of read_progressive_from_cost, appended to
+  /// `out`: one entry per decode attempt, mirroring that routine's ladder
+  /// walk step for step, so the appended costs sum exactly to the closed
+  /// form. Appends (never clears) so policy decorators can stack attempts
+  /// into one caller-pooled vector.
+  void read_progressive_attempts(int start_levels, int required_levels,
+                                 const reliability::SensingRequirement& ladder,
+                                 std::vector<ReadAttempt>& out) const;
 
   /// Page program / block erase passthroughs (Table 6).
   Duration program() const { return spec.program_latency; }

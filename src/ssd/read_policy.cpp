@@ -25,11 +25,11 @@ class FixedWorstCasePolicy final : public ReadPolicy {
         std::max(ctx.required_levels, fixed_levels_));
   }
 
-  std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const override {
+  void trace_attempts(const ReadContext& ctx,
+                      std::vector<ReadAttempt>& out) const override {
     const int levels = std::max(ctx.required_levels, fixed_levels_);
-    return {ReadAttempt{.levels = levels,
-                        .cost = latency_.read_fixed_cost(levels)}};
+    out.push_back(ReadAttempt{.levels = levels,
+                              .cost = latency_.read_fixed_cost(levels)});
   }
 
  private:
@@ -51,10 +51,9 @@ class ProgressivePolicy : public ReadPolicy {
     return latency_.read_progressive_cost(ctx.required_levels, ladder_);
   }
 
-  std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const override {
-    return latency_.read_progressive_attempts(0, ctx.required_levels,
-                                              ladder_);
+  void trace_attempts(const ReadContext& ctx,
+                      std::vector<ReadAttempt>& out) const override {
+    latency_.read_progressive_attempts(0, ctx.required_levels, ladder_, out);
   }
 
   ftl::PageMode write_mode(std::uint64_t) const override {
@@ -90,13 +89,13 @@ class ProgressiveHintPolicy final : public ProgressivePolicy {
     return cost;
   }
 
-  std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const override {
+  void trace_attempts(const ReadContext& ctx,
+                      std::vector<ReadAttempt>& out) const override {
     // Reads the hint but must not update it: the simulator calls this
     // before read_cost, which performs the update.
-    return latency_.read_progressive_attempts(
+    latency_.read_progressive_attempts(
         hint_[static_cast<std::size_t>(ctx.ppn)], ctx.required_levels,
-        ladder_);
+        ladder_, out);
   }
 
   void on_mount(const ftl::MountReport&, SimTime) override {
@@ -139,9 +138,9 @@ class FlexLevelPolicy final : public ReadPolicy {
     return inner_->read_cost(ctx);
   }
 
-  std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const override {
-    return inner_->trace_attempts(ctx);
+  void trace_attempts(const ReadContext& ctx,
+                      std::vector<ReadAttempt>& out) const override {
+    inner_->trace_attempts(ctx, out);
   }
 
   void on_read_complete(const ReadContext& ctx) override {
@@ -293,9 +292,9 @@ class RefreshPolicy final : public ReadPolicy {
     return inner_->read_cost(ctx);
   }
 
-  std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const override {
-    return inner_->trace_attempts(ctx);
+  void trace_attempts(const ReadContext& ctx,
+                      std::vector<ReadAttempt>& out) const override {
+    inner_->trace_attempts(ctx, out);
   }
 
   void on_read_complete(const ReadContext& ctx) override {
@@ -402,14 +401,13 @@ class RecoveryPolicy final : public ReadPolicy {
     return cost;
   }
 
-  std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const override {
-    std::vector<ReadAttempt> attempts = inner_->trace_attempts(ctx);
+  void trace_attempts(const ReadContext& ctx,
+                      std::vector<ReadAttempt>& out) const override {
+    inner_->trace_attempts(ctx, out);
     if (!ctx.correctable) {
-      attempts.push_back(ReadAttempt{
+      out.push_back(ReadAttempt{
           .levels = max_levels_, .cost = latency_.read_fixed_cost(max_levels_)});
     }
-    return attempts;
   }
 
   void on_read_complete(const ReadContext& ctx) override {

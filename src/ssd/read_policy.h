@@ -114,13 +114,15 @@ class ReadPolicy {
   virtual void reset_stats() {}
 
   /// The decode attempts read_cost(ctx) *would* charge, for latency-
-  /// breakdown tracing. Must not mutate policy state (it is called before
-  /// read_cost on the same context); decorators forward to their scheme
-  /// policy. The attempt costs sum exactly to read_cost's ReadCost.
-  virtual std::vector<ReadAttempt> trace_attempts(
-      const ReadContext& ctx) const {
+  /// breakdown tracing, appended to `out` (a caller-pooled scratch vector —
+  /// the tracing hot path reuses one allocation across reads). Must not
+  /// mutate policy state (it is called before read_cost on the same
+  /// context); decorators forward to their scheme policy. The appended
+  /// attempt costs sum exactly to read_cost's ReadCost.
+  virtual void trace_attempts(const ReadContext& ctx,
+                              std::vector<ReadAttempt>& out) const {
     (void)ctx;
-    return {};
+    (void)out;
   }
 
   /// Binds maintenance counters/gauges and enables maintenance spans (see

@@ -268,13 +268,14 @@ int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
   const std::uint64_t key = (static_cast<std::uint64_t>(pe) << 16) | bucket;
   auto& cache = ber_cache_[reduced ? 1 : 0];
   double ber;
-  if (const auto it = cache.find(key); it != cache.end()) {
-    ber = it->second;
+  if (const double* hit = cache.find(key)) {
+    ber = *hit;
   } else {
     const reliability::BerModel& model =
         reduced ? reduced_model_ : normal_model_;
     ber = model.total_ber(static_cast<int>(pe), age);
-    cache.emplace(key, ber);
+    if (cache.size() >= kBerCacheMaxEntries) cache.clear();
+    cache.insert(key, ber);
   }
   // Disturb is closed-form (no integral), so it is evaluated exactly per
   // read instead of being folded into the cache key.
@@ -326,12 +327,13 @@ SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
                         .now = now};
   telemetry::SpanRecorder* tracer =
       telemetry_ ? telemetry_->tracer() : nullptr;
-  std::vector<ReadAttempt> attempts;
+  attempts_scratch_.clear();
   if (tracer) {
     // Must run before read_cost: the hint policy updates its per-page
     // memory there, and trace_attempts reproduces the pre-update walk.
-    attempts = policy_->trace_attempts(ctx);
+    policy_->trace_attempts(ctx, attempts_scratch_);
   }
+  const std::vector<ReadAttempt>& attempts = attempts_scratch_;
   const ReadCost cost = policy_->read_cost(ctx);
   const SimTime completion =
       scheduler_.submit(scheduler_.chip_of(info->ppn), now,
@@ -411,7 +413,7 @@ Duration SsdSimulator::service_write_page(std::uint64_t lpn, SimTime now) {
     }
     return config_.latency.buffer_latency + config_.latency.program();
   }
-  const std::vector<std::uint64_t> flush = buffer_.write(lpn);
+  const std::vector<std::uint64_t>& flush = buffer_.write(lpn);
   // Write-back semantics: the host write completes at buffer insertion;
   // evicted pages flush to NAND in the background, where their program and
   // GC time occupies the chips and delays subsequent reads — which is

@@ -22,9 +22,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -384,9 +384,16 @@ class SsdSimulator {
   /// Per-LBA data birth time for AgeModel::kStaticPerLba (prefill only).
   std::vector<SimTime> static_birth_;
   Rng rng_;
-  // (pe, age-bucket) -> wear/age raw BER; one map per cell mode.
-  std::unordered_map<std::uint64_t, double> ber_cache_[2];
+  // (pe, age-bucket) -> wear/age raw BER; one map per cell mode. Bounded:
+  // at kBerCacheMaxEntries the whole map is flushed (a deterministic
+  // eviction policy — the cached value is a pure function of the key, so a
+  // flush can only cost recomputation, never change a result).
+  static constexpr std::size_t kBerCacheMaxEntries = 1u << 15;
+  FlatHashMap<double> ber_cache_[2];
   SsdResults results_;
+  /// Pooled per-read attempt scratch for latency-breakdown tracing; reused
+  /// across reads so the tracing path stops allocating per request.
+  std::vector<ReadAttempt> attempts_scratch_;
   ftl::FtlStats prefill_stats_;
   /// Per-LPN durable version ledger (see durable_versions()).
   std::vector<std::uint64_t> durable_version_;

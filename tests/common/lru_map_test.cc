@@ -1,0 +1,116 @@
+#include "common/lru_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace flex {
+namespace {
+
+std::vector<std::uint64_t> oldest_first(LruMap<int>& map) {
+  std::vector<std::uint64_t> keys;
+  map.for_each_oldest_first(
+      [&](std::uint64_t key, int&) { keys.push_back(key); });
+  return keys;
+}
+
+TEST(LruMapTest, PushFrontMakesKeyNewest) {
+  LruMap<int> map;
+  map.push_front(1, 10);
+  map.push_front(2, 20);
+  map.push_front(3, 30);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.back_key(), 1u);  // oldest
+  EXPECT_EQ(oldest_first(map), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(LruMapTest, TouchMovesToFront) {
+  LruMap<int> map;
+  map.push_front(1, 0);
+  map.push_front(2, 0);
+  map.push_front(3, 0);
+  EXPECT_TRUE(map.touch(1));
+  EXPECT_EQ(map.back_key(), 2u);
+  EXPECT_EQ(oldest_first(map), (std::vector<std::uint64_t>{2, 3, 1}));
+  EXPECT_FALSE(map.touch(99));  // absent key: no effect, reports miss
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(LruMapTest, PopBackEvictsInLruOrder) {
+  LruMap<int> map;
+  map.push_front(1, 0);
+  map.push_front(2, 0);
+  map.push_front(3, 0);
+  map.touch(1);
+  EXPECT_EQ(map.pop_back(), 2u);
+  EXPECT_EQ(map.pop_back(), 3u);
+  EXPECT_EQ(map.pop_back(), 1u);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(LruMapTest, FindGivesMutableValueWithoutRecencyChange) {
+  LruMap<int> map;
+  map.push_front(1, 10);
+  map.push_front(2, 20);
+  int* value = map.find(1);
+  ASSERT_NE(value, nullptr);
+  *value = 11;
+  EXPECT_EQ(*map.find(1), 11);
+  EXPECT_EQ(map.back_key(), 1u);  // find() alone must not touch
+  EXPECT_EQ(map.find(99), nullptr);
+}
+
+TEST(LruMapTest, EraseUnlinksAndRecyclesSlot) {
+  LruMap<int> map;
+  map.push_front(1, 0);
+  map.push_front(2, 0);
+  map.push_front(3, 0);
+  EXPECT_TRUE(map.erase(2));
+  EXPECT_FALSE(map.erase(2));
+  EXPECT_FALSE(map.contains(2));
+  EXPECT_EQ(oldest_first(map), (std::vector<std::uint64_t>{1, 3}));
+  map.push_front(4, 0);  // reuses the freed slot
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(oldest_first(map), (std::vector<std::uint64_t>{1, 3, 4}));
+}
+
+TEST(LruMapTest, ForEachOldestFirstAllowsValueMutation) {
+  // The write buffer's flush_barrier pattern: walk oldest-first,
+  // downgrade every dirty entry in place.
+  LruMap<int> map;
+  map.push_front(1, 1);
+  map.push_front(2, 1);
+  map.for_each_oldest_first([](std::uint64_t, int& dirty) { dirty = 0; });
+  EXPECT_EQ(*map.find(1), 0);
+  EXPECT_EQ(*map.find(2), 0);
+}
+
+TEST(LruMapTest, ClearEmptiesAndAllowsReuse) {
+  LruMap<int> map;
+  for (std::uint64_t k = 0; k < 100; ++k) map.push_front(k, 0);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(5));
+  map.push_front(7, 1);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.back_key(), 7u);
+}
+
+TEST(LruMapTest, ChurnKeepsOrderConsistent) {
+  LruMap<int> map;
+  // Bounded-cache churn: push, evict at capacity 4, deterministic order.
+  std::vector<std::uint64_t> evicted;
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    if (map.size() == 4) evicted.push_back(map.pop_back());
+    map.push_front(k, 0);
+  }
+  EXPECT_EQ(evicted.size(), 12u);
+  for (std::size_t i = 0; i < evicted.size(); ++i) {
+    EXPECT_EQ(evicted[i], i);  // FIFO here since nothing is touched
+  }
+  EXPECT_EQ(oldest_first(map), (std::vector<std::uint64_t>{12, 13, 14, 15}));
+}
+
+}  // namespace
+}  // namespace flex

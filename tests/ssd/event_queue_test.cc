@@ -1,0 +1,195 @@
+#include "ssd/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace flex::ssd {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  // 30 first, then 10, then 20: 10 and 20 are behind the lane back so
+  // they take the heap; the pop must still interleave by time.
+  queue.schedule(30, [&order](SimTime) { order.push_back(3); });
+  queue.schedule(10, [&order](SimTime) { order.push_back(1); });
+  queue.schedule(20, [&order](SimTime) { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30);
+  EXPECT_EQ(queue.fired(), 3u);
+}
+
+TEST(EventQueueTest, SameTimestampFiresInScheduleOrder) {
+  // The ordinal tie-break contract: equal `when` resolves by scheduling
+  // order, across lanes. Events 0..3 are monotone (FIFO lane); event 4
+  // arrives after a later event exists, forcing it through the heap —
+  // its ordinal still slots it after event 2, before nothing earlier.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(5, [&order](SimTime) { order.push_back(0); });
+  queue.schedule(5, [&order](SimTime) { order.push_back(1); });
+  queue.schedule(5, [&order](SimTime) { order.push_back(2); });
+  queue.schedule(9, [&order](SimTime) { order.push_back(3); });
+  queue.schedule(5, [&order](SimTime) { order.push_back(4); });  // heap lane
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 3}));
+}
+
+TEST(EventQueueTest, MixedLaneInterleaving) {
+  EventQueue queue;
+  std::vector<SimTime> fired_at;
+  for (const SimTime when : {10, 20, 30, 40}) {  // FIFO lane
+    queue.schedule(when, [&fired_at](SimTime now) { fired_at.push_back(now); });
+  }
+  for (const SimTime when : {15, 35, 5}) {  // heap lane (out of order)
+    queue.schedule(when, [&fired_at](SimTime now) { fired_at.push_back(now); });
+  }
+  queue.run_all();
+  EXPECT_EQ(fired_at, (std::vector<SimTime>{5, 10, 15, 20, 30, 35, 40}));
+}
+
+TEST(EventQueueTest, CallbackReceivesItsOwnDeadline) {
+  EventQueue queue;
+  SimTime seen = -1;
+  queue.schedule(1234, [&seen](SimTime now) { seen = now; });
+  EXPECT_TRUE(queue.run_next());
+  EXPECT_EQ(seen, 1234);
+  EXPECT_FALSE(queue.run_next());
+}
+
+TEST(EventQueueTest, ReentrantScheduleFromCallback) {
+  // The chip-service pattern: a firing arrival schedules its completion.
+  EventQueue queue;
+  std::vector<SimTime> fired_at;
+  for (int i = 1; i <= 3; ++i) {
+    queue.schedule(i * 10, [&queue, &fired_at](SimTime now) {
+      fired_at.push_back(now);
+      queue.schedule(now + 5, [&fired_at](SimTime t) { fired_at.push_back(t); });
+    });
+  }
+  queue.run_all();
+  EXPECT_EQ(fired_at, (std::vector<SimTime>{10, 15, 20, 25, 30, 35}));
+  EXPECT_EQ(queue.fired(), 6u);
+}
+
+TEST(EventQueueTest, CancelHeapEvent) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&order](SimTime) { order.push_back(3); });
+  const EventQueue::EventId id =
+      queue.schedule(10, [&order](SimTime) { order.push_back(1); });
+  queue.schedule(20, [&order](SimTime) { order.push_back(2); });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // stale handle
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(EventQueueTest, CancelFifoEventTombstones) {
+  // Cancelling inside the sorted lane must not disturb its order; the
+  // tombstone is skipped when it reaches the head.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(10, [&order](SimTime) { order.push_back(1); });
+  const EventQueue::EventId mid =
+      queue.schedule(20, [&order](SimTime) { order.push_back(2); });
+  queue.schedule(30, [&order](SimTime) { order.push_back(3); });
+  EXPECT_EQ(queue.pending(), 3u);
+  EXPECT_TRUE(queue.cancel(mid));
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(queue.fired(), 2u);  // cancelled events never count as fired
+}
+
+TEST(EventQueueTest, CancelFifoHeadSkipsToNextLive) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventQueue::EventId head =
+      queue.schedule(10, [&order](SimTime) { order.push_back(1); });
+  queue.schedule(20, [&order](SimTime) { order.push_back(2); });
+  EXPECT_TRUE(queue.cancel(head));
+  EXPECT_TRUE(queue.run_next());
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, HandleGoesStaleAfterFiring) {
+  EventQueue queue;
+  const EventQueue::EventId id = queue.schedule(10, [](SimTime) {});
+  queue.run_all();
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueueTest, SlabSlotsReusedAfterCancel) {
+  // Cancelled slots return to the free stack: scheduling the same number
+  // again must not grow the slab.
+  EventQueue queue;
+  std::vector<EventQueue::EventId> ids;
+  for (SimTime t = 1; t <= 100; ++t) {
+    ids.push_back(queue.schedule(t, [](SimTime) {}));
+  }
+  const std::size_t high_water = queue.slab_slots();
+  EXPECT_EQ(high_water, 100u);
+  for (const auto& id : ids) EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  for (SimTime t = 101; t <= 200; ++t) queue.schedule(t, [](SimTime) {});
+  EXPECT_EQ(queue.slab_slots(), high_water);  // no new allocations
+  queue.run_all();
+  EXPECT_EQ(queue.fired(), 100u);
+}
+
+TEST(EventQueueTest, SlabStopsGrowingInSteadyState) {
+  EventQueue queue;
+  for (int round = 0; round < 3; ++round) {
+    const SimTime base = queue.now();
+    for (SimTime i = 1; i <= 50; ++i) queue.schedule(base + i, [](SimTime) {});
+    queue.run_all();
+    EXPECT_EQ(queue.slab_slots(), 50u) << round;
+  }
+}
+
+TEST(EventQueueTest, DropPendingDiscardsBothLanes) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(10, [&order](SimTime) { order.push_back(1); });
+  EXPECT_TRUE(queue.run_next());
+  // Pending mix: two FIFO entries (one later cancelled), one heap entry.
+  queue.schedule(20, [&order](SimTime) { order.push_back(2); });
+  const EventQueue::EventId doomed =
+      queue.schedule(30, [&order](SimTime) { order.push_back(3); });
+  queue.schedule(15, [&order](SimTime) { order.push_back(4); });
+  EXPECT_TRUE(queue.cancel(doomed));
+  EXPECT_EQ(queue.pending(), 2u);
+
+  EXPECT_EQ(queue.drop_pending(), 2u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.run_next());
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(queue.now(), 10);    // clock survives the power loss
+  EXPECT_EQ(queue.fired(), 1u);  // dropped events never fire
+
+  // Ordinals are not reset: same-instant events scheduled after the drop
+  // still fire in scheduling order.
+  queue.schedule(50, [&order](SimTime) { order.push_back(5); });
+  queue.schedule(50, [&order](SimTime) { order.push_back(6); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 5, 6}));
+}
+
+TEST(EventQueueTest, PendingCountsBothLanes) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.schedule(10, [](SimTime) {});
+  queue.schedule(20, [](SimTime) {});  // FIFO lane
+  queue.schedule(5, [](SimTime) {});   // heap lane
+  EXPECT_EQ(queue.pending(), 3u);
+  EXPECT_FALSE(queue.empty());
+  queue.run_all();
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace flex::ssd

@@ -76,8 +76,8 @@ TEST(LatencyModelTest, AttemptsSumToClosedFormCost) {
     for (const int required : {0, 1, 2, 4, 6}) {
       const ReadCost closed =
           model.read_progressive_from_cost(start, required, ladder);
-      const auto attempts =
-          model.read_progressive_attempts(start, required, ladder);
+      std::vector<ReadAttempt> attempts;
+      model.read_progressive_attempts(start, required, ladder, attempts);
       ASSERT_FALSE(attempts.empty()) << start << "/" << required;
       ReadCost sum;
       for (const auto& attempt : attempts) {

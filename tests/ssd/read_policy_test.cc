@@ -231,8 +231,11 @@ TEST_F(ReadPolicyTest, RecoveryChargesTheDeepestReread) {
             plain.policy->read_cost(read_of(1, 1, top)).total() +
                 f.cfg.latency.read_fixed(top));
   // The trace shows the recovery attempt as one extra ladder step.
-  EXPECT_EQ(f.policy->trace_attempts(hard).size(),
-            plain.policy->trace_attempts(read_of(1, 1, top)).size() + 1);
+  std::vector<ReadAttempt> recovery_attempts;
+  f.policy->trace_attempts(hard, recovery_attempts);
+  std::vector<ReadAttempt> plain_attempts;
+  plain.policy->trace_attempts(read_of(1, 1, top), plain_attempts);
+  EXPECT_EQ(recovery_attempts.size(), plain_attempts.size() + 1);
 }
 
 TEST_F(ReadPolicyTest, RecoveryAdjudicatesRescueOrLoss) {
