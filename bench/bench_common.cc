@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,9 +112,28 @@ ssd::SsdResults ExperimentHarness::run(const CellSpec& cell) const {
                   &telemetry);
 }
 
+namespace {
+
+/// Wall-clock stamp shared by the closed- and open-loop harness paths.
+class WallTimer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace
+
 ssd::SsdResults ExperimentHarness::run_with(
     ssd::SsdConfig cfg, trace::Workload workload,
     std::uint64_t requests_override, telemetry::Telemetry* telemetry) const {
+  const WallTimer timer;
   trace::WorkloadParams params = trace::workload_params(workload);
   if (requests_override > 0) params.requests = requests_override;
   // The drive is scaled to 1/8 of the paper's chip count; scale the arrival
@@ -151,7 +171,44 @@ ssd::SsdResults ExperimentHarness::run_with(
   sim.run_segment({split, requests.end()});
   // The one copy of the run: run_segment + results() replaces the old
   // copy-per-run() (which also copied and discarded the warmup results).
-  return sim.results();
+  ssd::SsdResults results = sim.results();
+  results.wall_seconds = timer.seconds();
+  return results;
+}
+
+ssd::SsdResults ExperimentHarness::run_open_loop(
+    ssd::SsdConfig cfg, const workload::EngineConfig& engine,
+    std::uint64_t warmup_requests, std::uint64_t measure_requests,
+    telemetry::Telemetry* telemetry) const {
+  const WallTimer timer;
+  auto built = ssd::SsdSimulator::Builder(*normal_, *reduced_)
+                   .config(std::move(cfg))
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "bench configuration rejected: %s\n",
+                 built.status().to_string().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  if (const Status status = engine.Validate(); !status.ok()) {
+    std::fprintf(stderr, "bench workload rejected: %s\n",
+                 status.to_string().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  workload::WorkloadEngine source(engine);
+  ssd::SsdSimulator& sim = **built;
+  sim.prefill(sim.ftl().logical_pages() * 4 / 5);
+  // One continuous arrival stream: the warmup window primes hotness
+  // filters, pool and write buffer, and the engine's arrival clock carries
+  // straight into the measured window. Any warmup backlog drains before
+  // measurement (as in the closed-loop harness) so measured latencies
+  // start from a defined point instead of inheriting warmup queue debt.
+  if (warmup_requests > 0) sim.run_open_loop(source, warmup_requests);
+  sim.reset_measurements();
+  if (telemetry) sim.attach_telemetry(telemetry);
+  sim.run_open_loop(source, measure_requests);
+  ssd::SsdResults results = sim.results();
+  results.wall_seconds = timer.seconds();
+  return results;
 }
 
 std::vector<ssd::SsdResults> run_indexed(
@@ -298,13 +355,16 @@ void write_metrics_file(const std::string& path,
   write_metrics_file(path, runs, results);
 }
 
-void write_bench_json(const std::string& path, const std::string& bench,
-                      std::uint64_t requests_override, int jobs,
-                      const std::vector<CellSpec>& cells,
-                      const std::vector<ssd::SsdResults>& results) {
+namespace {
+
+/// Shared preamble of both BENCH_*.json shapes: bench identity, git SHA
+/// and the drive geometry. `rows` names the row array that follows
+/// ("cells" or "runs").
+void write_bench_preamble(std::ofstream& out, const std::string& bench,
+                          std::uint64_t requests_override, int jobs,
+                          const char* rows) {
   using telemetry::format_double;
   using telemetry::json_escape;
-  std::ofstream out(path);
   const ssd::SsdConfig cfg =
       ExperimentHarness::drive_config(ssd::Scheme::kLdpcInSsd, 6000);
   out << "{\n\"bench\":\"" << json_escape(bench) << "\",\n"
@@ -317,7 +377,19 @@ void write_bench_json(const std::string& path, const std::string& bench,
       << ",\"over_provisioning\":"
       << format_double(cfg.ftl.over_provisioning)
       << ",\"requests_override\":" << requests_override
-      << ",\"jobs\":" << jobs << "},\n\"cells\":[";
+      << ",\"jobs\":" << jobs << "},\n\"" << rows << "\":[";
+}
+
+}  // namespace
+
+void write_bench_json(const std::string& path, const std::string& bench,
+                      std::uint64_t requests_override, int jobs,
+                      const std::vector<CellSpec>& cells,
+                      const std::vector<ssd::SsdResults>& results) {
+  using telemetry::format_double;
+  using telemetry::json_escape;
+  std::ofstream out(path);
+  write_bench_preamble(out, bench, requests_override, jobs, "cells");
   for (std::size_t i = 0; i < cells.size() && i < results.size(); ++i) {
     const CellSpec& cell = cells[i];
     const ssd::SsdResults& r = results[i];
@@ -330,11 +402,14 @@ void write_bench_json(const std::string& path, const std::string& bench,
         << (cell.age_model == ssd::AgeModel::kStaticPerLba ? "static"
                                                            : "physical")
         << "\",\"requests\":" << r.all_response.count()
+        << ",\"reads\":" << r.read_response.count()
+        << ",\"writes\":" << r.write_response.count()
         << ",\"all_mean_s\":" << format_double(r.all_response.mean())
         << ",\"read_mean_s\":" << format_double(r.read_response.mean())
         << ",\"read_p99_s\":"
         << format_double(r.read_latency_hist.quantile(0.99))
         << ",\"read_total_s\":" << format_double(r.read_response.sum())
+        << ",\"wall_clock_s\":" << format_double(r.wall_seconds)
         << ",\"breakdown_s\":{";
     const std::pair<const char*, Duration> parts[] = {
         {"queue_wait", b.queue_wait},
@@ -354,6 +429,52 @@ void write_bench_json(const std::string& path, const std::string& bench,
           << "\":" << format_double(share);
     }
     out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void write_bench_json(const std::string& path, const std::string& bench,
+                      std::uint64_t requests_override, int jobs,
+                      const std::vector<RunLabel>& runs,
+                      const std::vector<ssd::SsdResults>& results) {
+  using telemetry::format_double;
+  using telemetry::json_escape;
+  std::ofstream out(path);
+  write_bench_preamble(out, bench, requests_override, jobs, "runs");
+  for (std::size_t i = 0; i < runs.size() && i < results.size(); ++i) {
+    const ssd::SsdResults& r = results[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"label\":\""
+        << json_escape(runs[i].label) << '"'
+        << ",\"requests\":" << r.all_response.count()
+        << ",\"reads\":" << r.read_response.count()
+        << ",\"writes\":" << r.write_response.count()
+        << ",\"read_mean_s\":" << format_double(r.read_response.mean())
+        << ",\"read_p99_s\":"
+        << format_double(r.read_latency_hist.quantile(0.99))
+        << ",\"read_p999_s\":"
+        << format_double(r.read_latency_hist.quantile(0.999))
+        << ",\"write_mean_s\":" << format_double(r.write_response.mean())
+        << ",\"admission_rejected\":" << r.admission_rejected
+        << ",\"request_slots_high_water\":" << r.qos_request_slots_high_water
+        << ",\"pending_high_water\":" << r.qos_pending_high_water
+        << ",\"background_deferrals\":" << r.background_deferrals
+        << ",\"fairness_overrides\":" << r.fairness_overrides
+        << ",\"wall_clock_s\":" << format_double(r.wall_seconds)
+        << ",\"tenants\":[";
+    for (std::size_t t = 0; t < r.tenant.size(); ++t) {
+      const ssd::TenantStats& ts = r.tenant[t];
+      out << (t == 0 ? "" : ",")
+          << "{\"reads\":" << ts.read_response.count()
+          << ",\"writes\":" << ts.write_response.count()
+          << ",\"read_mean_s\":" << format_double(ts.read_response.mean())
+          << ",\"read_p99_s\":"
+          << format_double(ts.read_latency_hist.quantile(0.99))
+          << ",\"read_p999_s\":"
+          << format_double(ts.read_latency_hist.quantile(0.999))
+          << ",\"write_mean_s\":" << format_double(ts.write_response.mean())
+          << ",\"rejected\":" << ts.admission_rejected << '}';
+    }
+    out << "]}";
   }
   out << "\n]}\n";
 }

@@ -22,6 +22,7 @@
 #include "ssd/simulator.h"
 #include "telemetry/export.h"
 #include "trace/workloads.h"
+#include "workload/engine.h"
 
 namespace flex::bench {
 
@@ -71,6 +72,21 @@ class ExperimentHarness {
   ssd::SsdResults run_with(ssd::SsdConfig config, trace::Workload workload,
                            std::uint64_t requests_override = 0,
                            telemetry::Telemetry* telemetry = nullptr) const;
+
+  /// Open-loop analogue of run_with(): drives an arbitrary SsdConfig from
+  /// a workload-engine arrival stream instead of a pre-generated trace.
+  /// The same methodology applies — 80% standing population, a warmup
+  /// window (the engine's stream continues seamlessly into the measured
+  /// window, so queues stay primed), measurements reset in between and
+  /// telemetry attached for the measured pass only. `warmup_requests` /
+  /// `measure_requests` bound the two windows (measure_requests must be
+  /// nonzero; an open loop never drains on its own).
+  ssd::SsdResults run_open_loop(ssd::SsdConfig config,
+                                const workload::EngineConfig& engine,
+                                std::uint64_t warmup_requests,
+                                std::uint64_t measure_requests,
+                                telemetry::Telemetry* telemetry
+                                  = nullptr) const;
 
   const reliability::BerModel& normal_model() const { return *normal_; }
   const reliability::BerModel& reduced_model() const { return *reduced_; }
@@ -146,10 +162,19 @@ void write_metrics_file(const std::string& path,
                         const std::vector<ssd::SsdResults>& results);
 
 /// Writes the machine-readable BENCH_<name>.json summary: git SHA, drive
-/// config, and per-cell mean/p99/latency-breakdown rows.
+/// config, and per-cell mean/p99/latency-breakdown rows (plus read/write
+/// request counts and host wall-clock per cell).
 void write_bench_json(const std::string& path, const std::string& bench,
                       std::uint64_t requests_override, int jobs,
                       const std::vector<CellSpec>& cells,
+                      const std::vector<ssd::SsdResults>& results);
+
+/// RunLabel-keyed variant for benches whose rows are not CellSpecs (the
+/// QoS ablation): per-run latency/QoS-gauge rows, each with a "tenants"
+/// array carrying per-tenant mean/p99/p999 and admission rejections.
+void write_bench_json(const std::string& path, const std::string& bench,
+                      std::uint64_t requests_override, int jobs,
+                      const std::vector<RunLabel>& runs,
                       const std::vector<ssd::SsdResults>& results);
 
 }  // namespace flex::bench

@@ -58,9 +58,70 @@ struct ChipStats {
   bool operator==(const ChipStats&) const = default;
 };
 
+/// Dispatch policy for QoS mode (see ChipScheduler::enable_qos).
+enum class QosPolicy {
+  /// Strict arrival order across tenants and classes (the control arm).
+  kFifo,
+  /// Earliest-deadline-first with a weighted-fair override: when the
+  /// spread of tenant virtual service times exceeds fair_share_slack the
+  /// most-behind tenant dispatches next regardless of deadline order.
+  kDeadline,
+};
+
+/// Deadline class of a queued command. Host reads and write-through
+/// programs charge the issuing tenant's fair share; background work
+/// (buffer flushes, GC trains, refresh scrubs) is throttleable.
+enum class QosClass : std::uint8_t { kRead = 0, kWrite = 1, kBackground = 2 };
+
+struct QosSchedulerConfig {
+  QosPolicy policy = QosPolicy::kFifo;
+  /// Per-class deadline budgets: a command queued at `t` with priority `p`
+  /// carries the absolute deadline `t + budget / (1 + p)`. Deadlines are
+  /// scheduling targets, not guarantees — an overloaded chip serves
+  /// expired commands in deadline order, which is what keeps EDF
+  /// starvation-free (every waiting command's deadline eventually becomes
+  /// the minimum).
+  Duration read_deadline = 2 * kMillisecond;
+  Duration write_deadline = 10 * kMillisecond;
+  Duration background_deadline = 50 * kMillisecond;
+  /// Fair-share weights indexed by tenant; tenants past the end (and an
+  /// empty vector) weigh 1.
+  std::vector<double> tenant_weights;
+  /// kDeadline only: virtual-time spread that triggers the weighted-fair
+  /// override (ns of weighted service).
+  Duration fair_share_slack = 5 * kMillisecond;
+  /// Defer eligible background commands while at least this many host
+  /// commands wait on the same chip (0 disables throttling). A deferred
+  /// command becomes eligible again when its own deadline expires, so
+  /// maintenance can be delayed but never starved.
+  std::uint64_t gc_throttle_queue_depth = 0;
+};
+
+/// Completion record delivered to the QosSink when a tagged command
+/// finishes service. `start - arrival` is the queue wait; the ChipCommand
+/// carries the die/channel/controller split for latency attribution.
+struct QosCompletion {
+  std::uint64_t tag = 0;
+  std::size_t chip = 0;
+  SimTime arrival = 0;
+  SimTime start = 0;
+  SimTime completion = 0;
+  ChipCommand cmd;
+};
+
+/// Receives tagged command completions in QoS mode (the simulator).
+class QosSink {
+ public:
+  virtual ~QosSink() = default;
+  virtual void on_qos_complete(const QosCompletion& done) = 0;
+};
+
 class ChipScheduler {
  public:
   ChipScheduler(std::size_t chips, EventQueue& events);
+
+  /// Tag for fire-and-forget commands (no sink notification).
+  static constexpr std::uint64_t kNoTag = ~0ULL;
 
   std::size_t chips() const { return free_at_.size(); }
 
@@ -87,6 +148,51 @@ class ChipScheduler {
   /// Earliest time `chip` can start new work.
   SimTime free_at(std::size_t chip) const { return free_at_[chip]; }
 
+  /// Switches the scheduler into QoS mode: commands submitted through
+  /// submit_qos()/submit_background_qos() queue per chip and dispatch by
+  /// `config.policy` instead of the legacy immediate-reservation path.
+  /// Legacy submit() keeps working (and stays byte-identical) when QoS
+  /// mode is never enabled. `sink` (may be null) receives completions of
+  /// tagged commands.
+  void enable_qos(const QosSchedulerConfig& config, QosSink* sink);
+  bool qos_enabled() const { return qos_enabled_; }
+
+  /// Queues one command on `chip` (QoS mode only). The deadline is
+  /// assigned here from the class budget and `priority`; completion of a
+  /// tagged command is reported to the sink. Returns the command's
+  /// sequence number (FIFO rank, used by tests).
+  std::uint64_t submit_qos(std::size_t chip, SimTime now,
+                           const ChipCommand& cmd, QosClass klass,
+                           std::uint16_t tenant, std::uint8_t priority,
+                           std::uint64_t tag, const char* op = "cmd");
+
+  /// QoS-mode analogue of submit_background(): the flush/GC program train
+  /// of one write result, all queued as throttleable background work.
+  void submit_background_qos(SimTime now, const ftl::WriteResult& result,
+                             const LatencyModel& latency);
+
+  /// Background maintenance without a host program: GC byproducts of a
+  /// write-through host program, refresh-scrub relocation trains.
+  void submit_maintenance_qos(SimTime now, std::uint64_t moves,
+                              std::uint64_t erases,
+                              const LatencyModel& latency);
+
+  /// Highest total number of commands queued-but-not-in-service across
+  /// all chips since the last reset_stats() — the bounded-queue-memory
+  /// witness for the overload tests.
+  std::uint64_t qos_pending_high_water() const {
+    return qos_pending_high_water_;
+  }
+  /// Background commands bypassed by at least one dispatch decision while
+  /// the host queue exceeded gc_throttle_queue_depth.
+  std::uint64_t qos_background_deferrals() const {
+    return qos_background_deferrals_;
+  }
+  /// Dispatches where the weighted-fair override preempted deadline order.
+  std::uint64_t qos_fairness_overrides() const {
+    return qos_fairness_overrides_;
+  }
+
   /// Power loss at `now`: in-flight commands vanish (their completion
   /// events were dropped from the queue, so the in-flight gauges would
   /// otherwise leak) and every chip is idle at power-on.
@@ -102,14 +208,55 @@ class ChipScheduler {
   void attach_telemetry(telemetry::Telemetry* telemetry);
 
  private:
+  /// One queued command in QoS mode.
+  struct QosPending {
+    ChipCommand cmd;
+    SimTime arrival = 0;
+    SimTime deadline = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t tag = kNoTag;
+    std::uint16_t tenant = 0;
+    QosClass klass = QosClass::kBackground;
+    const char* op = "cmd";
+  };
+
+  Duration qos_class_budget(QosClass klass) const;
+  double qos_tenant_weight(std::uint16_t tenant) const;
+  /// Picks the next queue index to dispatch on `chip` at `now` per the
+  /// configured policy; the queue must be non-empty.
+  std::size_t qos_pick_index(std::size_t chip, SimTime now);
+  void qos_start_service(std::size_t chip, SimTime start,
+                         const QosPending& entry);
+  void qos_complete(std::size_t chip, SimTime now);
+  void bind_qos_metrics();
+
   EventQueue& events_;
   std::vector<SimTime> free_at_;
   std::vector<std::uint64_t> in_flight_;
   std::vector<ChipStats> stats_;
   std::size_t next_background_chip_ = 0;
+
+  bool qos_enabled_ = false;
+  QosSchedulerConfig qos_config_;
+  QosSink* qos_sink_ = nullptr;
+  std::vector<std::vector<QosPending>> qos_queue_;  ///< per chip
+  std::vector<char> qos_busy_;                      ///< per chip
+  std::vector<QosPending> qos_active_;              ///< per chip, if busy
+  std::vector<SimTime> qos_active_start_;           ///< per chip, if busy
+  /// Weighted virtual service time per tenant (ns / weight), host classes
+  /// only — the weighted-fair ledger.
+  std::vector<double> qos_virtual_;
+  std::uint64_t qos_seq_ = 0;
+  std::uint64_t qos_pending_total_ = 0;  ///< queued, not in service
+  std::uint64_t qos_pending_high_water_ = 0;
+  std::uint64_t qos_background_deferrals_ = 0;
+  std::uint64_t qos_fairness_overrides_ = 0;
+
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::MetricsRegistry::Counter* commands_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* queued_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* qos_deferrals_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* qos_overrides_metric_ = nullptr;
   Histogram* wait_hist_ = nullptr;
 };
 

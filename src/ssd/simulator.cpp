@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include "common/assert.h"
@@ -140,6 +142,47 @@ Status SsdConfig::Validate() const {
     return Status::OutOfRange(
         "durability.flush_barrier_interval must be >= 1");
   }
+  if (qos.enabled) {
+    if (qos.tenants < 1) {
+      return Status::OutOfRange("qos.tenants must be >= 1");
+    }
+    if (!qos.tenant_weights.empty() &&
+        qos.tenant_weights.size() != qos.tenants) {
+      return Status::InvalidArgument(
+          "qos.tenant_weights must be empty or have exactly qos.tenants "
+          "entries");
+    }
+    for (const double w : qos.tenant_weights) {
+      if (!(w > 0.0)) {
+        return Status::OutOfRange("qos.tenant_weights must all be > 0");
+      }
+    }
+    if (qos.read_deadline <= 0 || qos.write_deadline <= 0 ||
+        qos.background_deadline <= 0) {
+      return Status::OutOfRange("qos deadline budgets must be > 0");
+    }
+    if (qos.fair_share_slack < 0) {
+      return Status::OutOfRange("qos.fair_share_slack must be >= 0");
+    }
+    if (qos.write_admission_dirty_watermark > write_buffer_pages) {
+      return Status::InvalidArgument(
+          "qos.write_admission_dirty_watermark exceeds write_buffer_pages: "
+          "the watermark could never trip");
+    }
+    if (faults.crash_enabled) {
+      return Status::InvalidArgument(
+          "qos.enabled with faults.crash_enabled is unsupported: queued "
+          "QoS command state is not modelled by the crash-recovery "
+          "machinery");
+    }
+  } else if (qos.tenants != 1 || !qos.tenant_weights.empty() ||
+             qos.admission_max_outstanding != 0 ||
+             qos.write_admission_dirty_watermark != 0 ||
+             qos.gc_throttle_queue_depth != 0) {
+    return Status::InvalidArgument(
+        "qos knobs are set but qos.enabled is false: the legacy path "
+        "ignores them silently — enable QoS mode or clear the knobs");
+  }
   return Status::Ok();
 }
 
@@ -170,6 +213,20 @@ SsdSimulator::SsdSimulator(SsdConfig config,
     disturb_[1] = std::make_unique<reliability::ReadDisturbModel>(
         config_.read_disturb.model, reduced_model_);
   }
+  qos_mode_ = config_.qos.enabled;
+  tenant_count_ = qos_mode_ ? config_.qos.tenants : 1;
+  if (qos_mode_) {
+    scheduler_.enable_qos(
+        {.policy = config_.qos.policy,
+         .read_deadline = config_.qos.read_deadline,
+         .write_deadline = config_.qos.write_deadline,
+         .background_deadline = config_.qos.background_deadline,
+         .tenant_weights = config_.qos.tenant_weights,
+         .fair_share_slack = config_.qos.fair_share_slack,
+         .gc_throttle_queue_depth = config_.qos.gc_throttle_queue_depth},
+        this);
+    qos_outstanding_.assign(tenant_count_, 0);
+  }
   clear_results();
 }
 
@@ -177,6 +234,7 @@ void SsdSimulator::clear_results() {
   results_ = SsdResults{};
   results_.sensing_level_reads.assign(
       static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
+  results_.tenant.assign(tenant_count_, TenantStats{});
 }
 
 void SsdSimulator::reset_measurements() {
@@ -184,6 +242,9 @@ void SsdSimulator::reset_measurements() {
   prefill_stats_ = ftl_.stats();
   scheduler_.reset_stats();
   policy_->reset_stats();
+  // Slots still in flight across the reset stay counted in the new
+  // window's high-water mark.
+  qos_slots_high_water_ = qos_requests_.size() - qos_free_slots_.size();
   if (telemetry_) {
     telemetry_->metrics.zero();
     telemetry_->spans.clear();
@@ -206,6 +267,9 @@ void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
     acked_metric_ = nullptr;
     durable_metric_ = nullptr;
     crashes_metric_ = nullptr;
+    tenant_reads_metrics_.clear();
+    tenant_writes_metrics_.clear();
+    tenant_rejected_metrics_.clear();
     read_latency_us_hist_ = nullptr;
     return;
   }
@@ -219,6 +283,16 @@ void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
   acked_metric_ = &registry.counter("ssd.writes_acked");
   durable_metric_ = &registry.counter("ssd.writes_durable");
   crashes_metric_ = &registry.counter("ssd.crashes");
+  tenant_reads_metrics_.clear();
+  tenant_writes_metrics_.clear();
+  tenant_rejected_metrics_.clear();
+  for (std::uint32_t i = 0; i < tenant_count_; ++i) {
+    const std::string prefix = "tenant." + std::to_string(i) + ".";
+    tenant_reads_metrics_.push_back(&registry.counter(prefix + "reads"));
+    tenant_writes_metrics_.push_back(&registry.counter(prefix + "writes"));
+    tenant_rejected_metrics_.push_back(
+        &registry.counter(prefix + "rejected"));
+  }
   read_latency_us_hist_ = &registry.histogram(
       "ssd.read_latency_us",
       telemetry::HistogramSpec{
@@ -389,7 +463,11 @@ void SsdSimulator::mark_durable(std::uint64_t lpn) {
 void SsdSimulator::flush_victim(std::uint64_t lpn, SimTime now) {
   const ftl::WriteResult result =
       ftl_.write(lpn, policy_->write_mode(lpn), now);
-  scheduler_.submit_background(now, result, config_.latency);
+  if (qos_mode_) {
+    scheduler_.submit_background_qos(now, result, config_.latency);
+  } else {
+    scheduler_.submit_background(now, result, config_.latency);
+  }
   mark_durable(lpn);
   ++results_.writes_durable;
   if (telemetry_) ++durable_metric_->value;
@@ -451,6 +529,10 @@ void SsdSimulator::power_loss() {
   events_.drop_pending();
   results_.dirty_buffer_pages = buffer_.power_loss();
   scheduler_.power_loss(now);
+  // In-flight QoS requests vanish with their queued commands.
+  qos_requests_.clear();
+  qos_free_slots_.clear();
+  std::fill(qos_outstanding_.begin(), qos_outstanding_.end(), 0);
   ++results_.crashes;
   if (telemetry_) {
     ++crashes_metric_->value;
@@ -500,27 +582,14 @@ ftl::MountReport SsdSimulator::mount() {
   return report;
 }
 
-void SsdSimulator::service_request(const trace::Request& request,
-                                   SimTime now) {
-  const std::uint64_t logical = ftl_.logical_pages();
-  Duration response = 0;
-  // Pages of one request are served concurrently on their chips; the
-  // request completes with its slowest page. The first slowest page (ties
-  // broken by page order) supplies the read's latency decomposition.
-  PageService slowest;
-  for (std::uint32_t i = 0; i < request.pages; ++i) {
-    const std::uint64_t lpn = (request.lpn + i) % logical;
-    if (request.is_write) {
-      response = std::max(response, service_write_page(lpn, now));
-    } else {
-      const PageService page = service_read_page(lpn, now);
-      if (page.response > slowest.response) slowest = page;
-    }
-  }
-  if (!request.is_write) response = slowest.response;
+void SsdSimulator::record_request_stats(bool is_write, std::uint16_t tenant,
+                                        Duration response,
+                                        const PageService& slowest,
+                                        SimTime arrival, std::uint64_t lpn,
+                                        std::uint32_t pages) {
   const double seconds = to_seconds(response);
   results_.all_response.add(seconds);
-  if (request.is_write) {
+  if (is_write) {
     results_.write_response.add(seconds);
   } else {
     results_.read_response.add(seconds);
@@ -538,40 +607,262 @@ void SsdSimulator::service_request(const trace::Request& request,
       results_.decode_share_hist.add(slowest.decode / total);
     }
   }
+  TenantStats& tstats = results_.tenant[tenant];
+  if (is_write) {
+    tstats.write_response.add(seconds);
+  } else {
+    tstats.read_response.add(seconds);
+    tstats.read_latency_hist.add(seconds);
+  }
   if (telemetry_) {
     ++requests_metric_->value;
-    if (request.is_write) {
+    if (is_write) {
       ++writes_metric_->value;
+      ++tenant_writes_metrics_[tenant]->value;
     } else {
       ++reads_metric_->value;
+      ++tenant_reads_metrics_[tenant]->value;
       read_latency_us_hist_->add(seconds * 1e6);
     }
     if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
-      tracer->record({.name = request.is_write ? "write" : "read",
+      tracer->record({.name = is_write ? "write" : "read",
                       .cat = "request",
                       .pid = telemetry_->pid,
                       .tid = telemetry::kHostTrack,
-                      .start = now,
+                      .start = arrival,
                       .dur = response,
                       .arg0_key = "lpn",
-                      .arg0 = static_cast<double>(request.lpn),
+                      .arg0 = static_cast<double>(lpn),
                       .arg1_key = "pages",
-                      .arg1 = static_cast<double>(request.pages)});
+                      .arg1 = static_cast<double>(pages)});
     }
   }
 }
 
-void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
-  // A crashed simulator refuses work until mount(): requests against a
-  // powered-off drive would silently vanish.
-  if (crashed_) return;
-  // Arrival events dispatch through the deterministic kernel: equal-time
-  // arrivals keep trace order via the queue's sequence tie-breaking.
-  for (const auto& request : requests) {
-    events_.schedule(request.arrival, [this, &request](SimTime now) {
-      service_request(request, now);
-    });
+void SsdSimulator::service_request(const trace::Request& request,
+                                   SimTime now) {
+  if (qos_mode_) {
+    service_request_qos(request, now);
+    return;
   }
+  const std::uint64_t logical = ftl_.logical_pages();
+  Duration response = 0;
+  // Pages of one request are served concurrently on their chips; the
+  // request completes with its slowest page. The first slowest page (ties
+  // broken by page order) supplies the read's latency decomposition.
+  PageService slowest;
+  for (std::uint32_t i = 0; i < request.pages; ++i) {
+    const std::uint64_t lpn = (request.lpn + i) % logical;
+    if (request.is_write) {
+      response = std::max(response, service_write_page(lpn, now));
+    } else {
+      const PageService page = service_read_page(lpn, now);
+      if (page.response > slowest.response) slowest = page;
+    }
+  }
+  if (!request.is_write) response = slowest.response;
+  record_request_stats(request.is_write, tenant_of(request), response,
+                       slowest, now, request.lpn, request.pages);
+}
+
+void SsdSimulator::service_request_qos(const trace::Request& request,
+                                       SimTime now) {
+  const std::uint16_t tenant = tenant_of(request);
+  if (config_.qos.admission_max_outstanding > 0 &&
+      qos_outstanding_[tenant] >= config_.qos.admission_max_outstanding) {
+    // Rejected before any FTL mutation: admission control is what bounds
+    // both queue memory and drive-state divergence under overload.
+    ++results_.tenant[tenant].admission_rejected;
+    ++results_.admission_rejected;
+    if (telemetry_) ++tenant_rejected_metrics_[tenant]->value;
+    return;
+  }
+  std::uint64_t slot;
+  if (!qos_free_slots_.empty()) {
+    slot = qos_free_slots_.back();
+    qos_free_slots_.pop_back();
+  } else {
+    slot = qos_requests_.size();
+    qos_requests_.emplace_back();
+  }
+  qos_requests_[slot] = QosRequest{.arrival = now,
+                                   .lpn = request.lpn,
+                                   .pages = request.pages,
+                                   .tenant = tenant,
+                                   .is_write = request.is_write,
+                                   .outstanding = 1};  // issue guard
+  ++qos_outstanding_[tenant];
+  qos_slots_high_water_ =
+      std::max<std::uint64_t>(qos_slots_high_water_,
+                              qos_requests_.size() - qos_free_slots_.size());
+
+  const std::uint64_t logical = ftl_.logical_pages();
+  for (std::uint32_t i = 0; i < request.pages; ++i) {
+    const std::uint64_t lpn = (request.lpn + i) % logical;
+    if (request.is_write) {
+      issue_write_page_qos(lpn, slot, request.priority, now);
+    } else {
+      issue_read_page_qos(lpn, slot, request.priority, now);
+    }
+  }
+  // Drop the issue guard; a request whose pages all resolved
+  // synchronously (buffer hits, buffered writes) finalizes here.
+  if (--qos_requests_[slot].outstanding == 0) finalize_qos(slot, now);
+}
+
+void SsdSimulator::issue_read_page_qos(std::uint64_t lpn, std::uint64_t slot,
+                                       std::uint8_t priority, SimTime now) {
+  QosRequest& st = qos_requests_[slot];
+  if (buffer_.contains(lpn)) {
+    ++results_.buffer_hits;
+    if (telemetry_) ++buffer_hits_metric_->value;
+    const PageService page{.response = config_.latency.buffer_latency,
+                           .buffer = config_.latency.buffer_latency};
+    if (page.response > st.slowest.response) st.slowest = page;
+    return;
+  }
+  const auto info = ftl_.lookup(lpn);
+  if (!info.has_value()) {
+    ++results_.unmapped_reads;
+    if (telemetry_) ++unmapped_metric_->value;
+    const PageService page{.response = config_.latency.buffer_latency,
+                           .buffer = config_.latency.buffer_latency};
+    if (page.response > st.slowest.response) st.slowest = page;
+    return;
+  }
+
+  const SimTime birth =
+      config_.age_model == AgeModel::kStaticPerLba &&
+              lpn < static_birth_.size()
+          ? static_birth_[lpn]
+          : info->write_time;
+  const Hours age = static_cast<double>(now - birth) / (3600.0 * 1e9);
+  const bool reduced = info->mode == ftl::PageMode::kReduced;
+  bool correctable = true;
+  const int required =
+      required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
+                             info->block_reads, &correctable);
+  if (!correctable) {
+    ++results_.uncorrectable_reads;
+    if (telemetry_) ++uncorrectable_metric_->value;
+  }
+  ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
+
+  const ReadContext ctx{.lpn = lpn,
+                        .ppn = info->ppn,
+                        .required_levels = required,
+                        .block_reads = info->block_reads,
+                        .correctable = correctable,
+                        .now = now};
+  // The whole read cost (progressive ladder, recovery re-read) is
+  // computed at arrival and travels with the queued command; per-attempt
+  // child spans are not recorded in QoS mode because the service start is
+  // unknown until dispatch (the chip-level "read" span still is).
+  const ReadCost cost = policy_->read_cost(ctx);
+  ++st.outstanding;
+  scheduler_.submit_qos(scheduler_.chip_of(info->ppn), now,
+                        ChipCommand{.channel = cost.channel,
+                                    .die = cost.die,
+                                    .controller = cost.controller},
+                        QosClass::kRead, st.tenant, priority, slot, "read");
+  // FTL state mutations stay synchronous at arrival (identical drive-state
+  // trajectory under every dispatch policy); a refresh scrub triggered by
+  // this read queues its relocation train as throttleable background work.
+  const std::uint64_t before_moves = ftl_.stats().refresh_page_moves;
+  const std::uint64_t before_runs = ftl_.stats().refresh_runs;
+  ftl_.record_read(info->ppn);
+  policy_->on_read_complete(ctx);
+  const std::uint64_t moves =
+      ftl_.stats().refresh_page_moves - before_moves;
+  const std::uint64_t erases = ftl_.stats().refresh_runs - before_runs;
+  if (moves + erases > 0) {
+    scheduler_.submit_maintenance_qos(now, moves, erases, config_.latency);
+  }
+}
+
+void SsdSimulator::issue_write_page_qos(std::uint64_t lpn,
+                                        std::uint64_t slot,
+                                        std::uint8_t priority, SimTime now) {
+  QosRequest& st = qos_requests_[slot];
+  ++results_.writes_acked;
+  if (telemetry_) ++acked_metric_->value;
+  // Write admission: past the dirty watermark (or always, under kFua) the
+  // page programs through to NAND as a *queued* host command — the ack
+  // waits for the program, which is the back-pressure that keeps the
+  // dirty set bounded under sustained write overload.
+  const bool write_through =
+      config_.durability.policy == DurabilityPolicy::kFua ||
+      (config_.qos.write_admission_dirty_watermark > 0 &&
+       buffer_.dirty_pages() >= config_.qos.write_admission_dirty_watermark);
+  if (write_through) {
+    const ftl::WriteResult result =
+        ftl_.write(lpn, policy_->write_mode(lpn), now);
+    ++st.outstanding;
+    scheduler_.submit_qos(scheduler_.chip_of(result.ppn), now,
+                          ChipCommand{.die = config_.latency.program()},
+                          QosClass::kWrite, st.tenant, priority, slot,
+                          "program");
+    const std::uint64_t moves =
+        result.page_programs > 0 ? result.page_programs - 1 : 0;
+    if (moves + result.erases > 0) {
+      scheduler_.submit_maintenance_qos(now, moves, result.erases,
+                                        config_.latency);
+    }
+    mark_durable(lpn);
+    ++results_.writes_durable;
+    if (telemetry_) ++durable_metric_->value;
+    for (const std::uint64_t victim : buffer_.insert_clean(lpn)) {
+      flush_victim(victim, now);
+    }
+    return;
+  }
+  const std::vector<std::uint64_t>& flush = buffer_.write(lpn);
+  for (const std::uint64_t victim : flush) {
+    flush_victim(victim, now);
+  }
+  if (config_.durability.policy == DurabilityPolicy::kFlushBarrier &&
+      ++acked_since_barrier_ >= config_.durability.flush_barrier_interval) {
+    acked_since_barrier_ = 0;
+    flush_barrier_at(now);
+  }
+  st.write_response =
+      std::max(st.write_response, config_.latency.buffer_latency);
+}
+
+void SsdSimulator::on_qos_complete(const QosCompletion& done) {
+  QosRequest& st = qos_requests_[done.tag];
+  if (st.is_write) {
+    // Buffer insertion precedes the program, as under kFua.
+    st.write_response =
+        std::max(st.write_response, done.completion - done.arrival +
+                                        config_.latency.buffer_latency);
+  } else {
+    // Commands are queued at request arrival, so wait + occupancy spans
+    // [arrival, completion] exactly and the breakdown identity holds.
+    const PageService page{.response = done.completion - done.arrival,
+                           .wait = done.start - done.arrival,
+                           .sense = done.cmd.die,
+                           .transfer = done.cmd.channel,
+                           .decode = done.cmd.controller};
+    if (page.response > st.slowest.response) st.slowest = page;
+  }
+  FLEX_ASSERT(st.outstanding > 0);
+  if (--st.outstanding == 0) finalize_qos(done.tag, done.completion);
+}
+
+void SsdSimulator::finalize_qos(std::uint64_t slot, SimTime completion) {
+  (void)completion;  // response latencies are measured per page
+  const QosRequest st = qos_requests_[slot];
+  qos_free_slots_.push_back(slot);
+  FLEX_ASSERT(qos_outstanding_[st.tenant] > 0);
+  --qos_outstanding_[st.tenant];
+  const Duration response =
+      st.is_write ? st.write_response : st.slowest.response;
+  record_request_stats(st.is_write, st.tenant, response, st.slowest,
+                       st.arrival, st.lpn, st.pages);
+}
+
+void SsdSimulator::drain_events() {
   if (injector_ != nullptr && config_.faults.crash_enabled) {
     // Crash-armed dispatch: adjudicate power loss at every event-queue
     // boundary. The injector hashes (seed, ordinal, salt) statelessly —
@@ -589,7 +880,59 @@ void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
   } else {
     events_.run_all();
   }
+}
 
+void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
+  // A crashed simulator refuses work until mount(): requests against a
+  // powered-off drive would silently vanish.
+  if (crashed_) return;
+  // Arrival events dispatch through the deterministic kernel: equal-time
+  // arrivals keep trace order via the queue's sequence tie-breaking.
+  for (const auto& request : requests) {
+    events_.schedule(request.arrival, [this, &request](SimTime now) {
+      service_request(request, now);
+    });
+  }
+  drain_events();
+  collect_results();
+}
+
+void SsdSimulator::pump_open_loop() {
+  if (open_loop_remaining_ == 0) return;
+  const std::optional<trace::Request> request = open_loop_source_->next();
+  if (!request.has_value()) return;
+  --open_loop_remaining_;
+  open_loop_next_ = *request;
+  // Scheduling in the past would run the kernel clock backwards (the
+  // queue fires events in (when, seq) order, not wall order); an arrival
+  // the source stamped before `now` is served immediately instead.
+  const SimTime when = std::max(request->arrival, events_.now());
+  events_.schedule(when, [this](SimTime now) {
+    // Copy out, then pump: the successor arrival overwrites the slot.
+    const trace::Request current = open_loop_next_;
+    pump_open_loop();
+    service_request(current, now);
+  });
+}
+
+void SsdSimulator::run_open_loop(trace::RequestSource& source,
+                                 std::uint64_t max_requests) {
+  if (crashed_) return;
+  open_loop_source_ = &source;
+  open_loop_remaining_ = max_requests == 0
+                             ? std::numeric_limits<std::uint64_t>::max()
+                             : max_requests;
+  // Exactly one arrival event is pending at any time: each arrival
+  // schedules its successor when it fires, so the event queue holds the
+  // in-flight completions plus a single arrival — open-loop pressure
+  // without a materialised trace.
+  pump_open_loop();
+  drain_events();
+  collect_results();
+  open_loop_source_ = nullptr;
+}
+
+void SsdSimulator::collect_results() {
   const ReadPolicyStats policy_stats = policy_->stats();
   results_.migrations_to_reduced = policy_stats.migrations_to_reduced;
   results_.migrations_to_normal = policy_stats.migrations_to_normal;
@@ -630,6 +973,10 @@ void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
       total.mount_mappings_recovered - prefill_stats_.mount_mappings_recovered;
   results_.ftl.mount_stale_records =
       total.mount_stale_records - prefill_stats_.mount_stale_records;
+  results_.qos_request_slots_high_water = qos_slots_high_water_;
+  results_.qos_pending_high_water = scheduler_.qos_pending_high_water();
+  results_.background_deferrals = scheduler_.qos_background_deferrals();
+  results_.fairness_overrides = scheduler_.qos_fairness_overrides();
   // The crash path captured the gauge at the instant of power loss.
   if (!crashed_) results_.dirty_buffer_pages = buffer_.dirty_pages();
   if (telemetry_) {

@@ -19,6 +19,7 @@
 //                      per-read sensing requirement from age and P/E.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -100,6 +101,43 @@ struct DurabilityConfig {
   std::uint64_t flush_barrier_interval = 1024;
 };
 
+/// Multi-tenant QoS mode. Off by default — the legacy path (synchronous
+/// chip reservation, single implicit tenant) reproduces every seed figure
+/// bit-identically. When enabled, host NAND commands queue per chip and
+/// dispatch by the configured policy (see chip_scheduler.h), request
+/// latencies become event-driven (a request completes when its slowest
+/// queued command completes), and per-tenant response stats land in
+/// SsdResults::tenant. FTL state mutations (placement, GC, hotness,
+/// disturb counters) stay synchronous at arrival time, so FIFO and
+/// deadline policies walk the *identical* drive-state trajectory and
+/// differ only in queueing — which is exactly what makes the policy
+/// ablation a controlled experiment.
+struct QosConfig {
+  bool enabled = false;
+  QosPolicy policy = QosPolicy::kDeadline;
+  /// Number of tenants; requests carry a tenant index (clamped here).
+  std::uint32_t tenants = 1;
+  /// Fair-share weights, empty (all 1) or exactly `tenants` entries.
+  std::vector<double> tenant_weights;
+  /// Per-class deadline budgets (see QosSchedulerConfig).
+  Duration read_deadline = 2 * kMillisecond;
+  Duration write_deadline = 10 * kMillisecond;
+  Duration background_deadline = 50 * kMillisecond;
+  Duration fair_share_slack = 5 * kMillisecond;
+  /// Defer background work while this many host commands wait on the same
+  /// chip (0 = off); deferral ends when the background deadline expires.
+  std::uint64_t gc_throttle_queue_depth = 0;
+  /// Admission control: reject a request outright when its tenant already
+  /// has this many requests in flight (0 = off). Rejection happens before
+  /// any FTL mutation and bounds queue memory under overload.
+  std::uint64_t admission_max_outstanding = 0;
+  /// Write admission: at or above this many dirty buffer pages, host
+  /// writes switch to queued write-through (ack at program completion)
+  /// instead of buffering — back-pressure instead of unbounded dirtying.
+  /// 0 = off. Must be <= write_buffer_pages.
+  std::uint64_t write_admission_dirty_watermark = 0;
+};
+
 struct SsdConfig {
   Scheme scheme = Scheme::kLdpcInSsd;
   ftl::FtlConfig ftl;
@@ -141,6 +179,9 @@ struct SsdConfig {
   /// reproduces every seed figure bit-identically; crash injection
   /// (faults.crash_enabled) requires kFua or kFlushBarrier.
   DurabilityConfig durability;
+  /// Multi-tenant QoS scheduling; off by default (bit-identical legacy
+  /// path). Incompatible with crash injection.
+  QosConfig qos;
   std::uint64_t seed = 0x5EED;
 
   /// Range- and consistency-checks the whole configuration. The simulator
@@ -165,6 +206,16 @@ struct ReadBreakdown {
     return queue_wait + sensing + transfer + decode + buffer;
   }
   bool operator==(const ReadBreakdown&) const = default;
+};
+
+/// Per-tenant response accounting (always at least one slot; requests of
+/// out-of-range tenants fold into the last slot).
+struct TenantStats {
+  RunningStats read_response;   ///< seconds
+  RunningStats write_response;  ///< seconds
+  Histogram read_latency_hist = Histogram::log_spaced(1e-6, 1.0, 480);
+  /// Requests rejected by admission control before any FTL mutation.
+  std::uint64_t admission_rejected = 0;
 };
 
 struct SsdResults {
@@ -217,6 +268,21 @@ struct SsdResults {
   /// Blocks out of service at the end of the run (gauge; fault injection
   /// only — includes retirements during prefill/preconditioning).
   std::uint64_t retired_blocks = 0;
+  /// Per-tenant response stats, sized max(1, qos.tenants); the legacy
+  /// path records into it too (requests default to tenant 0), so single-
+  /// tenant runs read identically from either view.
+  std::vector<TenantStats> tenant;
+  /// Requests rejected by admission control (sum over tenants).
+  std::uint64_t admission_rejected = 0;
+  /// QoS-mode gauges for the bounded-queue-memory invariant: high-water
+  /// marks of in-flight request slots and of queued-but-not-in-service
+  /// chip commands since the last reset_measurements().
+  std::uint64_t qos_request_slots_high_water = 0;
+  std::uint64_t qos_pending_high_water = 0;
+  /// Dispatch decisions that deferred background work / overrode deadline
+  /// order for fairness (QoS mode only).
+  std::uint64_t background_deferrals = 0;
+  std::uint64_t fairness_overrides = 0;
   /// Distribution of extra sensing levels over NAND reads.
   std::vector<std::uint64_t> sensing_level_reads;
   /// Per-chip command / queue-depth / occupancy counters for the measured
@@ -227,9 +293,15 @@ struct SsdResults {
   telemetry::MetricsSnapshot metrics;
   /// Spans recorded by the attached context (empty unless tracing).
   std::vector<telemetry::Span> spans;
+  /// Host wall-clock seconds of the run that produced these results,
+  /// stamped by the bench harness (always zero inside the simulator).
+  /// Machine noise, not simulation state: it lands in BENCH_*.json but
+  /// never in stdout, so the byte-identical --jobs contract only covers
+  /// deterministic fields.
+  double wall_seconds = 0;
 };
 
-class SsdSimulator {
+class SsdSimulator : private QosSink {
  public:
   /// The BerModels are shared (they are expensive to build); `normal` maps
   /// the 4-level baseline cell, `reduced` the NUNMA reduced cell.
@@ -284,6 +356,15 @@ class SsdSimulator {
   /// run_segment plus a copy of the accumulated results, for callers that
   /// want a self-contained snapshot.
   SsdResults run(const std::vector<trace::Request>& requests);
+
+  /// Open-loop run: draws arrivals from `source` one at a time through a
+  /// self-rescheduling arrival event (no pre-materialised trace), until
+  /// the source is exhausted or `max_requests` have been drawn (0 = until
+  /// exhaustion). Arrivals in the past are clamped to the current
+  /// simulated time, so a source resumed across calls stays monotone.
+  /// Results accumulate exactly as with run_segment().
+  void run_open_loop(trace::RequestSource& source,
+                     std::uint64_t max_requests = 0);
 
   /// Measurements accumulated since the last reset_measurements() —
   /// borrowed, valid until the next run_segment()/run() call mutates it.
@@ -349,7 +430,46 @@ class SsdSimulator {
     Duration buffer = 0;    ///< DRAM service (buffer hit / unmapped)
   };
 
+  /// One in-flight request in QoS mode: slot-pooled so the steady state
+  /// allocates nothing; `tag` handed to the scheduler is the slot index.
+  struct QosRequest {
+    SimTime arrival = 0;
+    std::uint64_t lpn = 0;
+    std::uint32_t pages = 1;
+    std::uint16_t tenant = 0;
+    bool is_write = false;
+    /// Queued chip commands still outstanding, plus an issue guard held
+    /// while the request's pages are being issued (so a synchronous
+    /// completion cannot finalize a half-issued request).
+    std::uint32_t outstanding = 0;
+    PageService slowest;          ///< reads: slowest page's decomposition
+    Duration write_response = 0;  ///< writes: slowest page ack latency
+  };
+
   void service_request(const trace::Request& request, SimTime now);
+  void service_request_qos(const trace::Request& request, SimTime now);
+  void issue_read_page_qos(std::uint64_t lpn, std::uint64_t slot,
+                           std::uint8_t priority, SimTime now);
+  void issue_write_page_qos(std::uint64_t lpn, std::uint64_t slot,
+                            std::uint8_t priority, SimTime now);
+  void on_qos_complete(const QosCompletion& done) override;
+  void finalize_qos(std::uint64_t slot, SimTime completion);
+  /// Shared stat-recording tail of both service paths.
+  void record_request_stats(bool is_write, std::uint16_t tenant,
+                            Duration response, const PageService& slowest,
+                            SimTime arrival, std::uint64_t lpn,
+                            std::uint32_t pages);
+  std::uint16_t tenant_of(const trace::Request& request) const {
+    return static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(request.tenant, tenant_count_ - 1));
+  }
+  /// Schedules the next open-loop arrival from open_loop_source_.
+  void pump_open_loop();
+  /// Runs the event queue dry (crash-armed when injection is on).
+  void drain_events();
+  /// Folds policy/FTL/scheduler counters into results_ (the shared tail
+  /// of run_segment and run_open_loop).
+  void collect_results();
   PageService service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
   /// Programs one buffered page to NAND and records it durable.
@@ -401,6 +521,20 @@ class SsdSimulator {
   std::uint64_t crash_ordinal_ = 0;
   /// kFlushBarrier: acked host page writes since the last barrier.
   std::uint64_t acked_since_barrier_ = 0;
+  /// QoS mode (config_.qos.enabled) state: request slot pool + free list,
+  /// per-tenant in-flight counts for admission control, and the slot
+  /// high-water gauge.
+  bool qos_mode_ = false;
+  std::uint32_t tenant_count_ = 1;
+  std::vector<QosRequest> qos_requests_;
+  std::vector<std::uint64_t> qos_free_slots_;
+  std::vector<std::uint64_t> qos_outstanding_;
+  std::uint64_t qos_slots_high_water_ = 0;
+  /// Open-loop pump state: the prefetched next request and how many more
+  /// the current run_open_loop() call may draw.
+  trace::RequestSource* open_loop_source_ = nullptr;
+  trace::Request open_loop_next_;
+  std::uint64_t open_loop_remaining_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::MetricsRegistry::Counter* requests_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* reads_metric_ = nullptr;
@@ -411,6 +545,11 @@ class SsdSimulator {
   telemetry::MetricsRegistry::Counter* acked_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* durable_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* crashes_metric_ = nullptr;
+  /// Per-tenant counters (tenant.<i>.reads/.writes/.rejected), sized
+  /// tenant_count_ when telemetry is attached.
+  std::vector<telemetry::MetricsRegistry::Counter*> tenant_reads_metrics_;
+  std::vector<telemetry::MetricsRegistry::Counter*> tenant_writes_metrics_;
+  std::vector<telemetry::MetricsRegistry::Counter*> tenant_rejected_metrics_;
   Histogram* read_latency_us_hist_ = nullptr;
 };
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,20 @@ struct Request {
   bool is_write = false;
   std::uint64_t lpn = 0;      ///< first logical page
   std::uint32_t pages = 1;    ///< request length in pages
+  std::uint16_t tenant = 0;   ///< QoS tenant index (0 = default tenant)
+  std::uint8_t priority = 0;  ///< 0 = normal; higher tightens deadlines
 
   bool operator==(const Request&) const = default;
+};
+
+/// Pull-based request stream: the open-loop workload engine implements this
+/// so the simulator can draw arrivals one at a time instead of replaying a
+/// pre-materialised vector. `next()` returns requests in non-decreasing
+/// arrival order and std::nullopt when the stream is exhausted.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  virtual std::optional<Request> next() = 0;
 };
 
 /// Summary statistics of a trace (used by tests and the workload report).

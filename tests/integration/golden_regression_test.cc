@@ -199,6 +199,9 @@ TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
       {"ssd.writes", 1479},
       {"ssd.writes_acked", 2044},
       {"ssd.writes_durable", 1568},
+      {"tenant.0.reads", 8521},
+      {"tenant.0.rejected", 0},
+      {"tenant.0.writes", 1479},
   };
   ASSERT_EQ(results.metrics.counters.size(), std::size(expected));
   for (const auto& [name, value] : expected) {

@@ -1,0 +1,51 @@
+// Chi-square goodness-of-fit helper for the workload statistical tests.
+//
+// The tests run at fixed seeds, so they are deterministic — the critical
+// values below are only about choosing seeds honestly: a distributional
+// regression (wrong sampler, biased thinning, an extra RNG draw shifting
+// the stream) moves the statistic by orders of magnitude, while the
+// 99.9th-percentile thresholds leave room for ordinary sampling noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace flex::workload::testing {
+
+/// Pearson's chi-square statistic for observed counts against expected
+/// counts (same length; every expected count must be positive).
+inline double chi_square_stat(const std::vector<std::uint64_t>& observed,
+                              const std::vector<double>& expected) {
+  FLEX_EXPECTS(observed.size() == expected.size());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    FLEX_EXPECTS(expected[i] > 0.0);
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+/// 99.9th-percentile critical values of the chi-square distribution for
+/// the degrees of freedom the tests use (standard tables).
+inline double chi_square_critical_999(int df) {
+  switch (df) {
+    case 3:
+      return 16.266;
+    case 7:
+      return 24.322;
+    case 9:
+      return 27.877;
+    case 15:
+      return 37.697;
+    case 19:
+      return 43.820;
+    default:
+      FLEX_EXPECTS(false && "add the critical value for this df");
+      return 0.0;
+  }
+}
+
+}  // namespace flex::workload::testing
