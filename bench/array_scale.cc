@@ -1,0 +1,409 @@
+// Multi-SSD array scaling bench (no paper figure — the DAC'15 evaluation
+// is single-drive; this bench exercises the src/host array subsystem:
+// shared-kernel composition, NVMe-ish queue pairs, the interconnect, and
+// the striped/replicated volume).
+//
+// Three experiments:
+//  * a RAID-0 scale sweep (1/2/4/8 drives) at a fixed per-drive offered
+//    load (60% of the single-drive saturation knee) — read throughput
+//    must scale near-linearly with drive count, since the volume stripes
+//    the address space and the drives share nothing but the host links;
+//  * a replica-steering comparison on a 4-drive RAID-10 (2 copies) under
+//    a read-hot population with accelerated read disturb — round-robin
+//    vs. shortest-queue vs. disturb-aware placement, the last spreading
+//    block read counts across copies to defer refresh scrubs;
+//  * the AccessEval scope ablation on a FlexLevel RAID-10: kPerDrive
+//    (each copy learns only the reads it serves — replication dilutes
+//    the hotness signal) vs. kGlobal (replicated reads also feed the
+//    sibling copies, so all replicas converge on the array-wide view).
+//
+// Stdout is fully deterministic (simulated clocks only, no wall-clock or
+// machine state) and must be byte-identical across --jobs values; host
+// wall-clock per run goes to BENCH_array.json only.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "host/array.h"
+#include "telemetry/export.h"
+#include "workload/engine.h"
+
+namespace {
+
+using flex::bench::ExperimentHarness;
+using flex::host::ArrayConfig;
+using flex::host::ArrayResults;
+using flex::host::ArraySimulator;
+
+// Per-drive offered load: 60% of the 4k requests/s knee where the scaled
+// drive saturates under this tenant mix (see ablation_qos.cc) — every
+// array size runs its drives at the same utilisation, so total offered
+// IOPS grows linearly with drive count and measured throughput is the
+// scaling signal.
+constexpr double kPerDriveIops = 0.6 * 4'000.0;
+
+struct Variant {
+  std::string label;
+  std::uint32_t drives = 1;
+  std::uint32_t replication = 1;
+  flex::host::ReplicaPolicy policy = flex::host::ReplicaPolicy::kRoundRobin;
+  flex::host::AccessEvalScope scope = flex::host::AccessEvalScope::kPerDrive;
+  flex::ssd::Scheme scheme = flex::ssd::Scheme::kLdpcInSsd;
+  double read_fraction = 0.7;
+  flex::ssd::ReadDisturbConfig disturb;
+  /// Tenant footprint in host pages; 0 = the whole standing population.
+  /// The disturb and AccessEval rows concentrate reads on a small working
+  /// set — block read counts and hotness classification need repeats.
+  std::uint64_t footprint_pages = 0;
+  /// Hotness-filter rotation window override (accesses per filter); 0 =
+  /// the drive default, which is sized for a drive receiving the whole
+  /// host stream. An array drive sees 1/N of the reads, so the AccessEval
+  /// rows shrink the window to keep the identifier's timescale constant.
+  std::uint64_t hotness_window = 0;
+};
+
+const char* policy_name(flex::host::ReplicaPolicy policy) {
+  switch (policy) {
+    case flex::host::ReplicaPolicy::kRoundRobin: return "round-robin";
+    case flex::host::ReplicaPolicy::kShortestQueue: return "shortest-queue";
+    case flex::host::ReplicaPolicy::kDisturbAware: return "disturb-aware";
+  }
+  return "?";
+}
+
+/// The non-degenerate host profile shared by every row: per-hop costs are
+/// small against the ~0.3 ms drive service time, so they tax rather than
+/// dominate the response (the zero-cost identity profile lives in the
+/// tests, not here).
+ArrayConfig array_config(const Variant& v) {
+  ArrayConfig cfg;
+  cfg.drives = v.drives;
+  cfg.replication_factor = v.replication;
+  cfg.stripe_pages = 64;
+  cfg.replica_policy = v.policy;
+  cfg.access_eval_scope = v.scope;
+  cfg.tenants = 4;
+  cfg.queue_pair.queue_pairs = 4;
+  cfg.queue_pair.sq_depth = 64;
+  cfg.queue_pair.cq_depth = 64;
+  cfg.queue_pair.doorbell_latency = 500;    // ns
+  cfg.queue_pair.completion_latency = 500;  // ns
+  cfg.interconnect.requesters = 2;
+  cfg.interconnect.requester_link = {.latency = 200, .gb_per_s = 8.0};
+  cfg.interconnect.switch_fabric = {.latency = 100, .gb_per_s = 16.0};
+  cfg.interconnect.drive_link = {.latency = 200, .gb_per_s = 4.0};
+  cfg.drive = ExperimentHarness::drive_config(v.scheme, 6000);
+  cfg.drive.read_disturb = v.disturb;
+  if (v.hotness_window > 0) {
+    cfg.drive.access_eval.hotness.window_accesses = v.hotness_window;
+  }
+  return cfg;
+}
+
+/// One row under the harness methodology: 80% standing population,
+/// warmup window feeding seamlessly into the measured window.
+ArrayResults run_row(const ExperimentHarness& harness, const Variant& v,
+                     std::uint64_t warmup, std::uint64_t requests) {
+  const auto start = std::chrono::steady_clock::now();
+  auto built = ArraySimulator::Builder(harness.normal_model(),
+                                       harness.reduced_model())
+                   .config(array_config(v))
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "array config rejected (%s): %s\n",
+                 v.label.c_str(), built.status().to_string().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  ArraySimulator& array = **built;
+  const std::uint64_t standing = array.logical_pages() * 4 / 5;
+  array.prefill(standing);
+  const std::uint64_t footprint =
+      v.footprint_pages > 0 ? std::min(v.footprint_pages, standing)
+                            : standing;
+
+  // 4 Zipf(0.9) tenants over equal slices of the standing population;
+  // tenant 0 is the latency-sensitive foreground service, and tenants pin
+  // to alternating host ports so both uplinks carry traffic.
+  flex::workload::EngineConfig engine;
+  engine.arrivals.base_iops = kPerDriveIops * v.drives;
+  engine.tenants = flex::workload::zipf_tenant_population(4, 0.9, footprint);
+  for (std::size_t i = 0; i < engine.tenants.size(); ++i) {
+    engine.tenants[i].read_fraction = v.read_fraction;
+    engine.tenants[i].requester = static_cast<std::uint8_t>(i % 2);
+  }
+  engine.tenants[0].priority = 1;
+  engine.seed = 0xA44A;
+  if (const flex::Status status = engine.Validate(); !status.ok()) {
+    std::fprintf(stderr, "array workload rejected (%s): %s\n",
+                 v.label.c_str(), status.to_string().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  flex::workload::WorkloadEngine source(engine);
+
+  if (warmup > 0) array.run_open_loop(source, warmup);
+  array.reset_measurements();
+  array.run_open_loop(source, requests);
+  ArrayResults results = array.results();
+  results.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return results;
+}
+
+/// run_indexed's work-stealing fan-out, for ArrayResults rows (the shared
+/// helper is typed to SsdResults). Results land in index order, so output
+/// is identical to a serial sweep.
+std::vector<ArrayResults> run_rows(
+    std::size_t count,
+    const std::function<ArrayResults(std::size_t)>& runner, int jobs) {
+  if (jobs == 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  std::vector<ArrayResults> results(count);
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = runner(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
+      results[i] = runner(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const auto threads =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), count);
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+double reads_per_second(const ArrayResults& r) {
+  const double window = flex::to_seconds(r.window);
+  return window <= 0.0
+             ? 0.0
+             : static_cast<double>(r.read_response.count()) / window;
+}
+
+std::uint64_t sum_refresh(const ArrayResults& r) {
+  std::uint64_t sum = 0;
+  for (const auto& d : r.drive) sum += d.refresh_blocks;
+  return sum;
+}
+
+std::uint64_t sum_migrations(const ArrayResults& r) {
+  std::uint64_t sum = 0;
+  for (const auto& d : r.drive) {
+    sum += d.migrations_to_reduced + d.migrations_to_normal;
+  }
+  return sum;
+}
+
+void write_array_json(const std::string& path, std::uint64_t requests,
+                      int jobs, const std::vector<Variant>& variants,
+                      const std::vector<ArrayResults>& all) {
+  using flex::telemetry::format_double;
+  using flex::telemetry::json_escape;
+  const flex::ssd::SsdConfig drive =
+      ExperimentHarness::drive_config(flex::ssd::Scheme::kLdpcInSsd, 6000);
+  std::ofstream out(path);
+  out << "{\n\"bench\":\"array\",\n"
+      << "\"git_sha\":\"" << json_escape(FLEX_GIT_SHA) << "\",\n"
+      << "\"config\":{"
+      << "\"chips\":" << drive.ftl.spec.chips
+      << ",\"blocks_per_chip\":" << drive.ftl.spec.blocks_per_chip
+      << ",\"pages_per_block\":" << drive.ftl.spec.pages_per_block
+      << ",\"page_size_bytes\":" << drive.ftl.spec.page_size_bytes
+      << ",\"per_drive_iops\":" << format_double(kPerDriveIops)
+      << ",\"requests_override\":" << requests << ",\"jobs\":" << jobs
+      << "},\n\"runs\":[";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const ArrayResults& r = all[i];
+    const flex::Duration window = r.window > 0 ? r.window : 1;
+    out << (i == 0 ? "\n" : ",\n") << "{\"label\":\""
+        << json_escape(v.label) << '"' << ",\"drives\":" << v.drives
+        << ",\"replication\":" << v.replication << ",\"policy\":\""
+        << policy_name(v.policy) << "\",\"access_eval_scope\":\""
+        << (v.scope == flex::host::AccessEvalScope::kGlobal ? "global"
+                                                            : "per-drive")
+        << "\",\"scheme\":\"" << json_escape(flex::ssd::scheme_name(v.scheme))
+        << "\",\"requests\":" << r.all_response.count()
+        << ",\"reads\":" << r.read_response.count()
+        << ",\"writes\":" << r.write_response.count()
+        << ",\"window_s\":" << format_double(flex::to_seconds(r.window))
+        << ",\"read_throughput_rps\":" << format_double(reads_per_second(r))
+        << ",\"read_mean_s\":" << format_double(r.read_response.mean())
+        << ",\"read_p99_s\":"
+        << format_double(r.read_latency_hist.quantile(0.99))
+        << ",\"read_p999_s\":"
+        << format_double(r.read_latency_hist.quantile(0.999))
+        << ",\"write_mean_s\":" << format_double(r.write_response.mean())
+        << ",\"breakdown_s\":{\"submit\":"
+        << format_double(flex::to_seconds(r.read_breakdown.submit))
+        << ",\"queue\":"
+        << format_double(flex::to_seconds(r.read_breakdown.queue))
+        << ",\"drive\":"
+        << format_double(flex::to_seconds(r.read_breakdown.drive))
+        << ",\"completion\":"
+        << format_double(flex::to_seconds(r.read_breakdown.completion))
+        << "},\"switch_utilization\":"
+        << format_double(r.switch_fabric.utilization(window))
+        << ",\"observe_feeds\":" << r.observe_feeds
+        << ",\"refresh_blocks\":" << sum_refresh(r)
+        << ",\"migrations\":" << sum_migrations(r)
+        << ",\"wall_clock_s\":" << format_double(r.wall_seconds)
+        << ",\"replica_reads\":[";
+    for (std::size_t d = 0; d < r.replica_reads.size(); ++d) {
+      out << (d == 0 ? "" : ",") << r.replica_reads[d];
+    }
+    out << "],\"drive_link_utilization\":[";
+    for (std::size_t d = 0; d < r.drive_link.size(); ++d) {
+      out << (d == 0 ? "" : ",")
+          << format_double(r.drive_link[d].utilization(window));
+    }
+    out << "],\"qp\":[";
+    for (std::size_t d = 0; d < r.qp.size(); ++d) {
+      out << (d == 0 ? "" : ",") << "{\"submitted\":" << r.qp[d].submitted
+          << ",\"backlogged\":" << r.qp[d].backlogged
+          << ",\"cq_stalls\":" << r.qp[d].cq_stalls
+          << ",\"sq_high_water\":" << r.qp[d].sq_high_water << '}';
+    }
+    out << "],\"tenants\":[";
+    for (std::size_t t = 0; t < r.tenant.size(); ++t) {
+      const flex::ssd::TenantStats& ts = r.tenant[t];
+      out << (t == 0 ? "" : ",") << "{\"reads\":"
+          << ts.read_response.count()
+          << ",\"read_mean_s\":" << format_double(ts.read_response.mean())
+          << ",\"read_p99_s\":"
+          << format_double(ts.read_latency_hist.quantile(0.99))
+          << ",\"read_p999_s\":"
+          << format_double(ts.read_latency_hist.quantile(0.999)) << '}';
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using flex::TablePrinter;
+  const flex::bench::OutputOptions outputs =
+      flex::bench::parse_outputs(&argc, argv);
+  const int jobs = flex::bench::parse_jobs(&argc, argv);
+  std::uint64_t requests = 40'000;
+  if (argc > 1) requests = std::strtoull(argv[1], nullptr, 10);
+  const std::uint64_t warmup = requests / 3;
+
+  std::printf(
+      "=== Array scaling (per-drive load %.0f req/s, 4 tenants, %llu "
+      "requests) ===\n\n",
+      kPerDriveIops, static_cast<unsigned long long>(requests));
+  ExperimentHarness harness;
+
+  std::vector<Variant> variants;
+  for (const std::uint32_t drives : {1u, 2u, 4u, 8u}) {
+    Variant v;
+    v.label = "scale/raid0-" + std::to_string(drives);
+    v.drives = drives;
+    variants.push_back(std::move(v));
+  }
+  for (const flex::host::ReplicaPolicy policy :
+       {flex::host::ReplicaPolicy::kRoundRobin,
+        flex::host::ReplicaPolicy::kShortestQueue,
+        flex::host::ReplicaPolicy::kDisturbAware}) {
+    // Read-hot mirror pair under accelerated disturb: replica steering
+    // decides which copy's blocks absorb the read-count pressure.
+    Variant v;
+    v.label = std::string("replica/") + policy_name(policy);
+    v.drives = 4;
+    v.replication = 2;
+    v.policy = policy;
+    v.read_fraction = 0.98;
+    v.footprint_pages = 96'000;
+    v.disturb.enabled = true;
+    v.disturb.model.vth_shift_per_read = 1.8e-4;
+    v.disturb.refresh_threshold = 64;
+    variants.push_back(std::move(v));
+  }
+  for (const flex::host::AccessEvalScope scope :
+       {flex::host::AccessEvalScope::kPerDrive,
+        flex::host::AccessEvalScope::kGlobal}) {
+    Variant v;
+    v.label = std::string("accesseval/") +
+              (scope == flex::host::AccessEvalScope::kGlobal ? "global"
+                                                             : "per-drive");
+    v.drives = 4;
+    v.replication = 2;
+    v.scope = scope;
+    v.scheme = flex::ssd::Scheme::kFlexLevel;
+    v.footprint_pages = 96'000;
+    v.hotness_window = 4'096;
+    variants.push_back(std::move(v));
+  }
+
+  const auto all = run_rows(
+      variants.size(),
+      [&](std::size_t i) {
+        return run_row(harness, variants[i], warmup, requests);
+      },
+      jobs);
+
+  TablePrinter table({"variant", "drives", "R", "reads/s", "scaling",
+                      "read mean ms", "read p99 ms", "t0 p99 ms",
+                      "refresh", "feeds"});
+  const double base_rps = reads_per_second(all[0]);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const ArrayResults& r = all[i];
+    const bool scale_row = v.label.rfind("scale/", 0) == 0;
+    table.add_row(
+        {v.label, std::to_string(v.drives), std::to_string(v.replication),
+         TablePrinter::num(reads_per_second(r), 6),
+         scale_row && base_rps > 0
+             ? TablePrinter::num(reads_per_second(r) / base_rps, 2) + "x"
+             : "-",
+         TablePrinter::num(r.read_response.mean() * 1e3, 3),
+         TablePrinter::num(r.read_latency_hist.quantile(0.99) * 1e3, 3),
+         TablePrinter::num(
+             r.tenant[0].read_latency_hist.quantile(0.99) * 1e3, 3),
+         std::to_string(sum_refresh(r)), std::to_string(r.observe_feeds)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Scale rows stripe one address space across N drives at a fixed "
+      "per-drive offered load, so reads/s tracks drive count while the "
+      "per-request response stays flat: the drives share nothing but the "
+      "host links. Replica rows mirror a read-hot population under "
+      "accelerated read disturb — disturb-aware steering splits each "
+      "block's read count across the two copies, deferring refresh "
+      "scrubs. AccessEval rows measure what an array-wide hotness view "
+      "buys FlexLevel on a mirror: per-drive scope halves each copy's "
+      "view of a page's heat, the global scope feeds served reads to the "
+      "sibling replicas too. The feed roughly doubles promotions into the "
+      "ReducedCell pool (the migrations column of BENCH_array.json); "
+      "whether that pays depends on the marginal pages' re-read rate — "
+      "here their relocation traffic costs more than their sensing "
+      "savings return, so the diluted per-drive signal acts as a useful "
+      "promotion filter.\n");
+
+  write_array_json(
+      outputs.bench_out.empty() ? "BENCH_array.json" : outputs.bench_out,
+      requests, jobs, variants, all);
+  return 0;
+}

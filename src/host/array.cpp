@@ -1,0 +1,531 @@
+#include "host/array.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace flex::host {
+namespace {
+
+/// Golden-ratio seed stride: drive d runs the template seed + d * phi, so
+/// sibling drives draw independent prefill-age/preconditioning streams
+/// while drive 0 keeps the template seed bit-for-bit (the 1-drive
+/// identity).
+constexpr std::uint64_t kSeedStride = 0x9E3779B97F4A7C15ULL;
+
+Status validate_drive_config(const ssd::SsdConfig& drive,
+                             const std::string& who) {
+  if (Status s = drive.Validate(); !s.ok()) return s;
+  if (drive.qos.enabled) {
+    return Status::InvalidArgument(
+        who + ".qos.enabled is unsupported in an array: the host layer "
+              "owns queueing above the drive (queue pairs + interconnect); "
+              "drive-level QoS mode would double-queue every command");
+  }
+  if (drive.faults.crash_enabled) {
+    return Status::InvalidArgument(
+        who + ".faults.crash_enabled is unsupported in an array: the "
+              "shared kernel's drain loop is owned by the host layer, not "
+              "the drive's crash-armed loop");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::unique_ptr<ssd::SsdSimulator>> build_drives(
+    const ArrayConfig& config, const reliability::BerModel& normal,
+    const reliability::BerModel& reduced, ssd::EventQueue& kernel) {
+  std::vector<std::unique_ptr<ssd::SsdSimulator>> drives;
+  drives.reserve(config.drives);
+  for (std::uint32_t d = 0; d < config.drives; ++d) {
+    ssd::SsdConfig cfg =
+        config.drive_overrides.empty() ? config.drive
+                                       : config.drive_overrides[d];
+    if (config.drive_overrides.empty()) cfg.seed += d * kSeedStride;
+    drives.push_back(
+        std::make_unique<ssd::SsdSimulator>(cfg, normal, reduced, &kernel));
+  }
+  return drives;
+}
+
+}  // namespace
+
+Status ArrayConfig::Validate() const {
+  if (drives < 1 || drives > 1024) {
+    return Status::OutOfRange("array.drives must be in [1, 1024]");
+  }
+  if (replication_factor > drives) {
+    return Status::InvalidArgument(
+        "array.replication_factor exceeds the drive count: there are not "
+        "enough drives to hold that many copies");
+  }
+  if (replication_factor < 1 || drives % replication_factor != 0) {
+    return Status::InvalidArgument(
+        "array.replication_factor must be >= 1 and divide array.drives "
+        "(drives are partitioned into equal replica groups)");
+  }
+  if (stripe_pages < 1) {
+    return Status::OutOfRange("array.stripe_pages must be >= 1");
+  }
+  if (tenants < 1 || tenants > 65'535) {
+    return Status::OutOfRange("array.tenants must be in [1, 65535]");
+  }
+  if (replica_policy != ReplicaPolicy::kRoundRobin &&
+      replication_factor == 1) {
+    return Status::InvalidArgument(
+        "array.replica_policy is set but replication_factor is 1: with a "
+        "single copy there is nothing to steer — raise the replication "
+        "factor or keep the round-robin default");
+  }
+  if (access_eval_scope == AccessEvalScope::kGlobal) {
+    if (replication_factor == 1) {
+      return Status::InvalidArgument(
+          "array.access_eval_scope = kGlobal with replication_factor 1: "
+          "there are no sibling replicas to feed — the global scope would "
+          "be silently identical to per-drive");
+    }
+    if (drive.scheme != ssd::Scheme::kFlexLevel) {
+      return Status::InvalidArgument(
+          "array.access_eval_scope = kGlobal requires the FlexLevel "
+          "scheme: no other scheme consumes AccessEval statistics");
+    }
+  }
+  const QueuePairConfig& qp = queue_pair;
+  if (qp.queue_pairs < 1 || qp.queue_pairs > 65'536) {
+    return Status::OutOfRange(
+        "array.queue_pair.queue_pairs must be in [1, 65536]");
+  }
+  if (qp.sq_depth < 1 || qp.cq_depth < 1) {
+    return Status::OutOfRange(
+        "array.queue_pair.sq_depth and cq_depth must be >= 1");
+  }
+  if (qp.doorbell_latency < 0 || qp.completion_latency < 0) {
+    return Status::OutOfRange(
+        "array.queue_pair doorbell/completion latencies must be >= 0");
+  }
+  if (!qp.qp_weights.empty()) {
+    if (qp.arbitration != Arbitration::kWeighted) {
+      return Status::InvalidArgument(
+          "array.queue_pair.qp_weights are set but arbitration is "
+          "round-robin: the weights would be silently ignored — switch to "
+          "kWeighted or clear them");
+    }
+    if (qp.qp_weights.size() != qp.queue_pairs) {
+      return Status::InvalidArgument(
+          "array.queue_pair.qp_weights must be empty or have exactly "
+          "queue_pairs entries");
+    }
+    for (const double w : qp.qp_weights) {
+      if (!(w > 0.0)) {
+        return Status::OutOfRange(
+            "array.queue_pair.qp_weights must all be > 0");
+      }
+    }
+  }
+  if (interconnect.requesters < 1 || interconnect.requesters > 256) {
+    return Status::OutOfRange(
+        "array.interconnect.requesters must be in [1, 256]");
+  }
+  for (const auto& [name, link] :
+       {std::pair{"requester_link", interconnect.requester_link},
+        std::pair{"switch_fabric", interconnect.switch_fabric},
+        std::pair{"drive_link", interconnect.drive_link}}) {
+    if (link.latency < 0) {
+      return Status::OutOfRange(std::string("array.interconnect.") + name +
+                                ".latency must be >= 0");
+    }
+  }
+  if (interconnect.command_bytes < 1) {
+    return Status::OutOfRange(
+        "array.interconnect.command_bytes must be >= 1");
+  }
+  if (Status s = validate_drive_config(drive, "array.drive"); !s.ok()) {
+    return s;
+  }
+  if (!drive_overrides.empty()) {
+    if (drive_overrides.size() != drives) {
+      return Status::InvalidArgument(
+          "array.drive_overrides must be empty or have exactly "
+          "array.drives entries");
+    }
+    for (std::size_t d = 0; d < drive_overrides.size(); ++d) {
+      const ssd::SsdConfig& o = drive_overrides[d];
+      const std::string who =
+          "array.drive_overrides[" + std::to_string(d) + "]";
+      if (Status s = validate_drive_config(o, who); !s.ok()) return s;
+      // Striping math requires every drive to expose the same logical
+      // capacity: same geometry, same over-provisioning, same reduced-
+      // capacity squeeze. Aging heterogeneity (initial P/E, prefill ages)
+      // is welcome; capacity heterogeneity breaks the bijection.
+      const auto& spec = o.ftl.spec;
+      const auto& tmpl = drive.ftl.spec;
+      if (spec.page_size_bytes != tmpl.page_size_bytes ||
+          spec.pages_per_block != tmpl.pages_per_block ||
+          spec.blocks_per_chip != tmpl.blocks_per_chip ||
+          spec.chips != tmpl.chips ||
+          o.ftl.over_provisioning != drive.ftl.over_provisioning ||
+          o.ftl.reduced_capacity_factor !=
+              drive.ftl.reduced_capacity_factor) {
+        return Status::InvalidArgument(
+            who + " geometry/capacity mismatches the template drive: a "
+                  "striped volume needs identical logical capacity on "
+                  "every drive");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+ArraySimulator::ArraySimulator(const ArrayConfig& config,
+                               const reliability::BerModel& normal,
+                               const reliability::BerModel& reduced)
+    : config_(config),
+      drives_(build_drives(config_, normal, reduced, kernel_)),
+      volume_({.drives = config_.drives,
+               .replication_factor = config_.replication_factor,
+               .stripe_pages = config_.stripe_pages,
+               .drive_pages = drives_[0]->ftl().logical_pages()}),
+      interconnect_(config_.interconnect, config_.drives),
+      page_bytes_(config_.drive.ftl.spec.page_size_bytes) {
+  qps_.reserve(config_.drives);
+  for (std::uint32_t d = 0; d < config_.drives; ++d) {
+    qps_.push_back(std::make_unique<QueuePairSet>(
+        config_.queue_pair, kernel_, static_cast<Transport&>(*this),
+        static_cast<Dispatcher&>(*this)));
+  }
+  replica_rr_.assign(volume_.groups(), 0);
+  replica_reads_.assign(config_.drives, 0);
+  results_.tenant.assign(config_.tenants, ssd::TenantStats{});
+  results_.qp.resize(config_.drives);
+  results_.drive.resize(config_.drives);
+  results_.requester_link.resize(config_.interconnect.requesters);
+  results_.drive_link.resize(config_.drives);
+  results_.replica_reads.assign(config_.drives, 0);
+}
+
+StatusOr<std::unique_ptr<ArraySimulator>> ArraySimulator::Builder::Build()
+    const {
+  if (Status status = config_.Validate(); !status.ok()) return status;
+  auto array = std::unique_ptr<ArraySimulator>(
+      new ArraySimulator(config_, normal_, reduced_));
+  if (telemetry_ != nullptr) array->attach_telemetry(telemetry_);
+  return array;
+}
+
+void ArraySimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  kernel_.attach_telemetry(telemetry);
+  if (!telemetry_) {
+    requests_metric_ = nullptr;
+    reads_metric_ = nullptr;
+    writes_metric_ = nullptr;
+    commands_metric_ = nullptr;
+    observe_metric_ = nullptr;
+    return;
+  }
+  telemetry::MetricsRegistry& registry = telemetry_->metrics;
+  requests_metric_ = &registry.counter("array.requests");
+  reads_metric_ = &registry.counter("array.reads");
+  writes_metric_ = &registry.counter("array.writes");
+  commands_metric_ = &registry.counter("array.commands");
+  observe_metric_ = &registry.counter("array.observe_feeds");
+}
+
+void ArraySimulator::prefill(std::uint64_t host_pages) {
+  FLEX_EXPECTS(host_pages <= volume_.logical_pages());
+  for (std::uint32_t g = 0; g < volume_.groups(); ++g) {
+    const std::uint64_t pages = volume_.prefill_pages(g, host_pages);
+    for (std::uint32_t r = 0; r < volume_.replicas(); ++r) {
+      drives_[volume_.drive_of(g, r)]->prefill(pages);
+    }
+  }
+}
+
+std::uint32_t ArraySimulator::pick_replica(std::uint32_t group,
+                                           std::uint64_t dlpn) {
+  const std::uint32_t replicas = volume_.replicas();
+  if (replicas == 1) return volume_.drive_of(group, 0);
+  switch (config_.replica_policy) {
+    case ReplicaPolicy::kRoundRobin: {
+      const std::uint32_t r = replica_rr_[group]++ % replicas;
+      return volume_.drive_of(group, r);
+    }
+    case ReplicaPolicy::kShortestQueue: {
+      std::uint32_t best = volume_.drive_of(group, 0);
+      for (std::uint32_t r = 1; r < replicas; ++r) {
+        const std::uint32_t d = volume_.drive_of(group, r);
+        if (qps_[d]->outstanding() < qps_[best]->outstanding()) best = d;
+      }
+      return best;
+    }
+    case ReplicaPolicy::kDisturbAware: {
+      // Lowest disturb pressure on the backing block; ties fall back to
+      // the shorter queue, then the lower index — all deterministic.
+      std::uint32_t best = volume_.drive_of(group, 0);
+      std::uint64_t best_reads = drives_[best]->block_read_count(dlpn);
+      for (std::uint32_t r = 1; r < replicas; ++r) {
+        const std::uint32_t d = volume_.drive_of(group, r);
+        const std::uint64_t reads = drives_[d]->block_read_count(dlpn);
+        if (reads < best_reads ||
+            (reads == best_reads &&
+             qps_[d]->outstanding() < qps_[best]->outstanding())) {
+          best = d;
+          best_reads = reads;
+        }
+      }
+      return best;
+    }
+  }
+  FLEX_ASSERT(false && "unreachable");
+  return 0;
+}
+
+void ArraySimulator::submit_command(std::uint64_t slot, std::uint32_t drive,
+                                    const VolumeMapper::Extent& extent,
+                                    SimTime now) {
+  const ArrayRequest& req = requests_[slot];
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(extent.pages) * page_bytes_;
+  const std::uint32_t capsule = config_.interconnect.command_bytes;
+  HostCommand cmd{
+      .request_slot = slot,
+      .drive = drive,
+      .lpn = extent.dlpn,
+      .pages = extent.pages,
+      .is_write = req.is_write,
+      .tenant = req.tenant,
+      .priority = 0,
+      .requester = req.requester,
+      .qp = req.tenant % config_.queue_pair.queue_pairs,
+      .submit_bytes = capsule + (req.is_write ? payload : 0),
+      .complete_bytes = capsule + (req.is_write ? 0 : payload)};
+  ++requests_[slot].outstanding;
+  if (telemetry_) ++commands_metric_->value;
+  qps_[drive]->submit(cmd, now);
+}
+
+void ArraySimulator::submit_request(const trace::Request& request,
+                                    SimTime now) {
+  std::uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = requests_.size();
+    requests_.emplace_back();
+  }
+  const auto tenant = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(request.tenant, config_.tenants - 1));
+  requests_[slot] = ArrayRequest{
+      .arrival = now,
+      .lpn = request.lpn,
+      .pages = request.pages,
+      .tenant = tenant,
+      .requester = static_cast<std::uint8_t>(
+          request.requester % config_.interconnect.requesters),
+      .is_write = request.is_write,
+      .outstanding = 1};  // issue guard against same-time completion
+  record_queue_.push_back(slot);
+
+  volume_.split(request.lpn, request.pages, extent_scratch_);
+  for (const VolumeMapper::Extent& extent : extent_scratch_) {
+    if (request.is_write) {
+      for (std::uint32_t r = 0; r < volume_.replicas(); ++r) {
+        submit_command(slot, volume_.drive_of(extent.group, r), extent,
+                       now);
+      }
+    } else {
+      const std::uint32_t drive = pick_replica(extent.group, extent.dlpn);
+      if (volume_.replicas() > 1) ++replica_reads_[drive];
+      submit_command(slot, drive, extent, now);
+    }
+  }
+  --requests_[slot].outstanding;  // release the issue guard
+  drain_finalized();
+}
+
+SimTime ArraySimulator::deliver_command(const HostCommand& cmd,
+                                        SimTime now) {
+  return interconnect_.to_drive(cmd.requester, cmd.drive, cmd.submit_bytes,
+                                now);
+}
+
+SimTime ArraySimulator::deliver_completion(const HostCommand& cmd,
+                                           SimTime now) {
+  return interconnect_.to_host(cmd.drive, cmd.requester, cmd.complete_bytes,
+                               now);
+}
+
+Duration ArraySimulator::dispatch(const HostCommand& cmd, SimTime now) {
+  const trace::Request req{.arrival = now,
+                           .is_write = cmd.is_write,
+                           .lpn = cmd.lpn,
+                           .pages = cmd.pages,
+                           .tenant = cmd.tenant,
+                           .priority = cmd.priority,
+                           .requester = cmd.requester};
+  const Duration service = drives_[cmd.drive]->service_external(req, now);
+  if (!cmd.is_write &&
+      config_.access_eval_scope == AccessEvalScope::kGlobal) {
+    // Feed the replicated read's access statistics to the sibling copies:
+    // every replica sees the array-wide pattern, not its 1/R sample.
+    const std::uint32_t group = cmd.drive / volume_.replicas();
+    for (std::uint32_t r = 0; r < volume_.replicas(); ++r) {
+      const std::uint32_t sibling = volume_.drive_of(group, r);
+      if (sibling == cmd.drive) continue;
+      for (std::uint32_t i = 0; i < cmd.pages; ++i) {
+        drives_[sibling]->observe_read_access(cmd.lpn + i, now);
+        ++observe_feeds_;
+      }
+      if (telemetry_) observe_metric_->value += cmd.pages;
+    }
+  }
+  return service;
+}
+
+void ArraySimulator::complete(const HostCommand& cmd,
+                              const CommandTiming& timing) {
+  ArrayRequest& req = requests_[cmd.request_slot];
+  const Duration response = timing.done - req.arrival;
+  if (response > req.response || req.response == 0) {
+    req.response = response;
+    req.slowest =
+        HostBreakdown{.submit = timing.doorbell - timing.submitted,
+                      .queue = timing.fetched - timing.doorbell,
+                      .drive = timing.service_end - timing.fetched,
+                      .completion = timing.done - timing.service_end};
+  }
+  FLEX_ASSERT(req.outstanding > 0);
+  if (--req.outstanding == 0) drain_finalized();
+}
+
+void ArraySimulator::drain_finalized() {
+  while (!record_queue_.empty() &&
+         requests_[record_queue_.front()].outstanding == 0) {
+    finalize(record_queue_.front());
+    record_queue_.pop_front();
+  }
+}
+
+void ArraySimulator::finalize(std::uint64_t slot) {
+  const ArrayRequest req = requests_[slot];
+  free_slots_.push_back(slot);
+  const double seconds = to_seconds(req.response);
+  results_.all_response.add(seconds);
+  ssd::TenantStats& tstats = results_.tenant[req.tenant];
+  if (req.is_write) {
+    results_.write_response.add(seconds);
+    tstats.write_response.add(seconds);
+  } else {
+    results_.read_response.add(seconds);
+    results_.read_latency_hist.add(seconds);
+    results_.read_breakdown.submit += req.slowest.submit;
+    results_.read_breakdown.queue += req.slowest.queue;
+    results_.read_breakdown.drive += req.slowest.drive;
+    results_.read_breakdown.completion += req.slowest.completion;
+    tstats.read_response.add(seconds);
+    tstats.read_latency_hist.add(seconds);
+  }
+  if (telemetry_) {
+    ++requests_metric_->value;
+    if (req.is_write) {
+      ++writes_metric_->value;
+    } else {
+      ++reads_metric_->value;
+    }
+    if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+      tracer->record({.name = req.is_write ? "write" : "read",
+                      .cat = "array",
+                      .pid = telemetry_->pid,
+                      .tid = telemetry::kHostTrack,
+                      .start = req.arrival,
+                      .dur = req.response,
+                      .arg0_key = "lpn",
+                      .arg0 = static_cast<double>(req.lpn),
+                      .arg1_key = "tenant",
+                      .arg1 = static_cast<double>(req.tenant)});
+    }
+  }
+}
+
+void ArraySimulator::run_segment(const std::vector<trace::Request>& requests) {
+  for (const auto& request : requests) {
+    kernel_.schedule(request.arrival, [this, &request](SimTime now) {
+      submit_request(request, now);
+    });
+  }
+  kernel_.run_all();
+  collect_results();
+}
+
+void ArraySimulator::pump_open_loop() {
+  if (open_loop_remaining_ == 0) return;
+  const std::optional<trace::Request> request = open_loop_source_->next();
+  if (!request.has_value()) return;
+  --open_loop_remaining_;
+  open_loop_next_ = *request;
+  const SimTime when = std::max(request->arrival, kernel_.now());
+  kernel_.schedule(when, [this](SimTime now) {
+    const trace::Request current = open_loop_next_;
+    pump_open_loop();
+    submit_request(current, now);
+  });
+}
+
+void ArraySimulator::run_open_loop(trace::RequestSource& source,
+                                   std::uint64_t max_requests) {
+  open_loop_source_ = &source;
+  open_loop_remaining_ = max_requests == 0
+                             ? std::numeric_limits<std::uint64_t>::max()
+                             : max_requests;
+  pump_open_loop();
+  kernel_.run_all();
+  collect_results();
+  open_loop_source_ = nullptr;
+}
+
+void ArraySimulator::collect_results() {
+  for (std::uint32_t d = 0; d < drives(); ++d) {
+    drives_[d]->collect_results();
+    results_.drive[d] = drives_[d]->results();
+    results_.qp[d] = qps_[d]->stats();
+    results_.drive_link[d] = interconnect_.drive_stats(d);
+    results_.replica_reads[d] = replica_reads_[d];
+  }
+  for (std::uint32_t r = 0; r < config_.interconnect.requesters; ++r) {
+    results_.requester_link[r] = interconnect_.requester_stats(r);
+  }
+  results_.switch_fabric = interconnect_.switch_stats();
+  results_.observe_feeds = observe_feeds_;
+  results_.window = kernel_.now() - window_start_;
+}
+
+void ArraySimulator::reset_measurements() {
+  const std::vector<ssd::TenantStats> tenants(config_.tenants,
+                                              ssd::TenantStats{});
+  const std::vector<ssd::SsdResults> drive_results(drives());
+  results_ = ArrayResults{};
+  results_.tenant = tenants;
+  results_.drive = drive_results;
+  results_.qp.resize(drives());
+  results_.requester_link.resize(config_.interconnect.requesters);
+  results_.drive_link.resize(drives());
+  results_.replica_reads.assign(drives(), 0);
+  for (std::uint32_t d = 0; d < drives(); ++d) {
+    drives_[d]->reset_measurements();
+    qps_[d]->reset_stats();
+  }
+  interconnect_.reset_stats();
+  std::fill(replica_reads_.begin(), replica_reads_.end(), 0);
+  observe_feeds_ = 0;
+  window_start_ = kernel_.now();
+  if (telemetry_) {
+    telemetry_->metrics.zero();
+    telemetry_->spans.clear();
+  }
+}
+
+}  // namespace flex::host

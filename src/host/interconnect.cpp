@@ -1,0 +1,61 @@
+#include "host/interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace flex::host {
+namespace {
+
+Duration transfer_time(const LinkSpec& spec, std::uint64_t bytes) {
+  if (!(spec.gb_per_s > 0.0)) return spec.latency;
+  // ns per byte at `gb_per_s` GB/s (decimal GB): 1 / gb_per_s.
+  return spec.latency +
+         static_cast<Duration>(std::llround(
+             static_cast<double>(bytes) / spec.gb_per_s));
+}
+
+}  // namespace
+
+Interconnect::Interconnect(const InterconnectConfig& config,
+                           std::uint32_t drives)
+    : config_(config) {
+  FLEX_EXPECTS(config_.requesters >= 1);
+  requester_.assign(config_.requesters, Port{});
+  drive_.assign(drives, Port{});
+}
+
+SimTime Interconnect::hop(Port& port, const LinkSpec& spec,
+                          std::uint64_t bytes, SimTime now) {
+  const SimTime start = std::max(now, port.free_at);
+  const Duration dur = transfer_time(spec, bytes);
+  port.free_at = start + dur;
+  port.stats.busy += dur;
+  ++port.stats.transfers;
+  return start + dur;
+}
+
+SimTime Interconnect::to_drive(std::uint32_t requester, std::uint32_t drive,
+                               std::uint64_t bytes, SimTime now) {
+  FLEX_EXPECTS(requester < requester_.size() && drive < drive_.size());
+  SimTime t = hop(requester_[requester], config_.requester_link, bytes, now);
+  t = hop(switch_, config_.switch_fabric, bytes, t);
+  return hop(drive_[drive], config_.drive_link, bytes, t);
+}
+
+SimTime Interconnect::to_host(std::uint32_t drive, std::uint32_t requester,
+                              std::uint64_t bytes, SimTime now) {
+  FLEX_EXPECTS(requester < requester_.size() && drive < drive_.size());
+  SimTime t = hop(drive_[drive], config_.drive_link, bytes, now);
+  t = hop(switch_, config_.switch_fabric, bytes, t);
+  return hop(requester_[requester], config_.requester_link, bytes, t);
+}
+
+void Interconnect::reset_stats() {
+  for (Port& p : requester_) p.stats = LinkStats{};
+  for (Port& p : drive_) p.stats = LinkStats{};
+  switch_.stats = LinkStats{};
+}
+
+}  // namespace flex::host

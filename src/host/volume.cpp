@@ -1,0 +1,74 @@
+#include "host/volume.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace flex::host {
+
+VolumeMapper::VolumeMapper(const VolumeConfig& config) : config_(config) {
+  FLEX_EXPECTS(config_.drives >= 1);
+  FLEX_EXPECTS(config_.replication_factor >= 1 &&
+               config_.replication_factor <= config_.drives);
+  FLEX_EXPECTS(config_.drives % config_.replication_factor == 0);
+  FLEX_EXPECTS(config_.stripe_pages >= 1);
+  FLEX_EXPECTS(config_.drive_pages >= 1);
+  groups_ = config_.drives / config_.replication_factor;
+  logical_pages_ = config_.drive_pages * groups_;
+}
+
+VolumeMapper::Location VolumeMapper::locate(std::uint64_t host_lpn) const {
+  FLEX_EXPECTS(host_lpn < logical_pages_);
+  const std::uint64_t stripe = host_lpn / config_.stripe_pages;
+  return {.group = static_cast<std::uint32_t>(stripe % groups_),
+          .dlpn = (stripe / groups_) * config_.stripe_pages +
+                  host_lpn % config_.stripe_pages};
+}
+
+std::uint64_t VolumeMapper::host_lpn(const Location& loc) const {
+  const std::uint64_t row = loc.dlpn / config_.stripe_pages;
+  return (row * groups_ + loc.group) * config_.stripe_pages +
+         loc.dlpn % config_.stripe_pages;
+}
+
+void VolumeMapper::split(std::uint64_t lpn, std::uint32_t pages,
+                         std::vector<Extent>& out) const {
+  out.clear();
+  std::uint64_t h = lpn % logical_pages_;
+  std::uint32_t remaining = pages;
+  while (remaining > 0) {
+    const Location loc = locate(h);
+    // A run ends at the stripe-unit boundary or the volume end, whichever
+    // comes first; within it, host and drive addresses advance together.
+    const std::uint64_t to_stripe_end =
+        config_.stripe_pages - h % config_.stripe_pages;
+    const std::uint64_t to_volume_end = logical_pages_ - h;
+    const auto run = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        remaining, std::min(to_stripe_end, to_volume_end)));
+    if (!out.empty() && out.back().group == loc.group &&
+        out.back().dlpn + out.back().pages == loc.dlpn) {
+      out.back().pages += run;
+    } else {
+      out.push_back({.group = loc.group, .dlpn = loc.dlpn, .pages = run});
+    }
+    remaining -= run;
+    h = (h + run) % logical_pages_;
+  }
+}
+
+std::uint64_t VolumeMapper::prefill_pages(std::uint32_t group,
+                                          std::uint64_t host_pages) const {
+  FLEX_EXPECTS(group < groups_);
+  FLEX_EXPECTS(host_pages <= logical_pages_);
+  const std::uint64_t row_pages = config_.stripe_pages * groups_;
+  const std::uint64_t full_rows = host_pages / row_pages;
+  const std::uint64_t tail = host_pages % row_pages;
+  const std::uint64_t group_start = group * config_.stripe_pages;
+  const std::uint64_t tail_in_group =
+      tail <= group_start
+          ? 0
+          : std::min(tail - group_start, config_.stripe_pages);
+  return full_rows * config_.stripe_pages + tail_in_group;
+}
+
+}  // namespace flex::host

@@ -1,0 +1,86 @@
+// Volume layer: host LPN -> (replica group, drive-LPN) address math for a
+// striped + replicated array (RAID-0 / RAID-1 / RAID-10).
+//
+// The N drives are partitioned into G = N / R replica groups of R drives
+// each; every group's members hold identical data. Host addresses stripe
+// across groups in `stripe_pages` units:
+//
+//   group(h) = (h / S) % G
+//   dlpn(h)  = (h / (S * G)) * S + h % S      (stripe row * S + offset)
+//
+// which is a bijection between [0, G * drive_pages) and
+// {(g, dlpn)}: R = 1 is pure RAID-0, R = N is an N-way mirror, anything
+// between is RAID-10. For a fixed group, ascending host addresses map to
+// ascending *contiguous* drive-LPNs starting at 0 — so a sequential host
+// prefill is a sequential per-drive prefill (prefill_pages()).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flex::host {
+
+struct VolumeConfig {
+  std::uint32_t drives = 1;
+  /// Copies of each page (drives % replication_factor must be 0).
+  std::uint32_t replication_factor = 1;
+  /// Stripe unit in pages.
+  std::uint64_t stripe_pages = 64;
+  /// Per-drive logical capacity (ftl::PageMappingFtl::logical_pages()).
+  std::uint64_t drive_pages = 0;
+};
+
+class VolumeMapper {
+ public:
+  /// The caller (ArrayConfig::Validate) has checked divisibility/ranges.
+  explicit VolumeMapper(const VolumeConfig& config);
+
+  struct Location {
+    std::uint32_t group = 0;
+    std::uint64_t dlpn = 0;
+
+    bool operator==(const Location&) const = default;
+  };
+
+  /// One contiguous per-group run of a (possibly wrapping) host request.
+  struct Extent {
+    std::uint32_t group = 0;
+    std::uint64_t dlpn = 0;
+    std::uint32_t pages = 0;
+  };
+
+  std::uint32_t groups() const { return groups_; }
+  std::uint32_t replicas() const { return config_.replication_factor; }
+  /// Array logical capacity: G * per-drive capacity.
+  std::uint64_t logical_pages() const { return logical_pages_; }
+
+  Location locate(std::uint64_t host_lpn) const;
+  /// Inverse of locate(): locate(host_lpn(loc)) == loc.
+  std::uint64_t host_lpn(const Location& loc) const;
+
+  /// Drive index of `replica` (in [0, R)) of `group`.
+  std::uint32_t drive_of(std::uint32_t group, std::uint32_t replica) const {
+    return group * config_.replication_factor + replica;
+  }
+
+  /// Splits [lpn, lpn + pages) — wrapping modulo logical_pages(), the same
+  /// folding the single-drive simulator applies — into per-group extents,
+  /// merging runs that stay contiguous on one group (a 1-group volume
+  /// always yields a single extent per wrap segment). Appends to `out`
+  /// (cleared first).
+  void split(std::uint64_t lpn, std::uint32_t pages,
+             std::vector<Extent>& out) const;
+
+  /// Number of drive-LPNs a sequential host prefill of [0, host_pages)
+  /// touches on `group` — they are exactly [0, prefill_pages), so
+  /// SsdSimulator::prefill(prefill_pages) reproduces the volume fill.
+  std::uint64_t prefill_pages(std::uint32_t group,
+                              std::uint64_t host_pages) const;
+
+ private:
+  VolumeConfig config_;
+  std::uint32_t groups_;
+  std::uint64_t logical_pages_;
+};
+
+}  // namespace flex::host

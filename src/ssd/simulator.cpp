@@ -178,7 +178,7 @@ Status SsdConfig::Validate() const {
   } else if (qos.tenants != 1 || !qos.tenant_weights.empty() ||
              qos.admission_max_outstanding != 0 ||
              qos.write_admission_dirty_watermark != 0 ||
-             qos.gc_throttle_queue_depth != 0) {
+             qos.gc_throttle_queue_depth != 0 || qos.slo_read_admission) {
     return Status::InvalidArgument(
         "qos knobs are set but qos.enabled is false: the legacy path "
         "ignores them silently — enable QoS mode or clear the knobs");
@@ -189,11 +189,19 @@ Status SsdConfig::Validate() const {
 SsdSimulator::SsdSimulator(SsdConfig config,
                            const reliability::BerModel& normal,
                            const reliability::BerModel& reduced)
+    : SsdSimulator(std::move(config), normal, reduced, nullptr) {}
+
+SsdSimulator::SsdSimulator(SsdConfig config,
+                           const reliability::BerModel& normal,
+                           const reliability::BerModel& reduced,
+                           EventQueue* kernel)
     : config_(validated(std::move(config))),
       normal_model_(normal),
       reduced_model_(reduced),
       ftl_(config_.ftl),
       buffer_(config_.write_buffer_pages, config_.write_buffer_flush_batch),
+      events_(kernel != nullptr ? *kernel : own_events_),
+      external_kernel_(kernel != nullptr),
       scheduler_(config_.ftl.spec.chips, events_),
       injector_(config_.faults.enabled
                     ? std::make_unique<faults::FaultInjector>(config_.faults,
@@ -226,6 +234,19 @@ SsdSimulator::SsdSimulator(SsdConfig config,
          .gc_throttle_queue_depth = config_.qos.gc_throttle_queue_depth},
         this);
     qos_outstanding_.assign(tenant_count_, 0);
+    if (config_.qos.slo_read_admission) {
+      // Conservative worst-case page service: the full progressive ladder
+      // walk to the deepest step (an upper bound on every scheme's read
+      // cost), plus the deepest-sensing recovery re-read when fault
+      // injection can trigger one.
+      const int deepest = ladder_.steps().back().extra_levels;
+      slo_service_estimate_ =
+          config_.latency.read_progressive(deepest, ladder_);
+      if (injector_ != nullptr) {
+        slo_service_estimate_ += config_.latency.read_fixed(deepest);
+      }
+      slo_extra_.assign(config_.ftl.spec.chips, 0);
+    }
   }
   clear_results();
 }
@@ -639,11 +660,11 @@ void SsdSimulator::record_request_stats(bool is_write, std::uint16_t tenant,
   }
 }
 
-void SsdSimulator::service_request(const trace::Request& request,
-                                   SimTime now) {
+Duration SsdSimulator::service_request(const trace::Request& request,
+                                       SimTime now) {
   if (qos_mode_) {
     service_request_qos(request, now);
-    return;
+    return 0;
   }
   const std::uint64_t logical = ftl_.logical_pages();
   Duration response = 0;
@@ -663,6 +684,46 @@ void SsdSimulator::service_request(const trace::Request& request,
   if (!request.is_write) response = slowest.response;
   record_request_stats(request.is_write, tenant_of(request), response,
                        slowest, now, request.lpn, request.pages);
+  return response;
+}
+
+Duration SsdSimulator::service_external(const trace::Request& request,
+                                        SimTime now) {
+  FLEX_EXPECTS(external_kernel_ && !qos_mode_ && !crashed_);
+  return service_request(request, now);
+}
+
+void SsdSimulator::observe_read_access(std::uint64_t lpn, SimTime now) {
+  if (buffer_.contains(lpn)) return;
+  const auto info = ftl_.lookup(lpn);
+  if (!info.has_value()) return;
+  const SimTime birth =
+      config_.age_model == AgeModel::kStaticPerLba &&
+              lpn < static_birth_.size()
+          ? static_birth_[lpn]
+          : info->write_time;
+  const Hours age = static_cast<double>(now - birth) / (3600.0 * 1e9);
+  const bool reduced = info->mode == ftl::PageMode::kReduced;
+  bool correctable = true;
+  const int required =
+      required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
+                             info->block_reads, &correctable);
+  // Pure access-statistics update: no scheduler occupancy, no disturb
+  // stress (ftl_.record_read is skipped — the sibling never touched its
+  // NAND), no uncorrectable/sensing-histogram accounting. Migrations the
+  // policy decides here are real FTL work, exactly as they would be had
+  // the read landed on this replica.
+  policy_->on_read_complete({.lpn = lpn,
+                             .ppn = info->ppn,
+                             .required_levels = required,
+                             .block_reads = info->block_reads,
+                             .correctable = correctable,
+                             .now = now});
+}
+
+std::uint64_t SsdSimulator::block_read_count(std::uint64_t lpn) const {
+  const auto info = ftl_.lookup(lpn);
+  return info.has_value() ? info->block_reads : 0;
 }
 
 void SsdSimulator::service_request_qos(const trace::Request& request,
@@ -674,6 +735,16 @@ void SsdSimulator::service_request_qos(const trace::Request& request,
     // both queue memory and drive-state divergence under overload.
     ++results_.tenant[tenant].admission_rejected;
     ++results_.admission_rejected;
+    if (telemetry_) ++tenant_rejected_metrics_[tenant]->value;
+    return;
+  }
+  if (!request.is_write && config_.qos.slo_read_admission &&
+      !slo_admit_read(request, now)) {
+    // Predicted deadline miss: rejected before any slot or FTL mutation,
+    // like the queue-depth cap above.
+    ++results_.tenant[tenant].admission_rejected;
+    ++results_.admission_rejected;
+    ++results_.slo_rejected;
     if (telemetry_) ++tenant_rejected_metrics_[tenant]->value;
     return;
   }
@@ -708,6 +779,38 @@ void SsdSimulator::service_request_qos(const trace::Request& request,
   // Drop the issue guard; a request whose pages all resolved
   // synchronously (buffer hits, buffered writes) finalizes here.
   if (--qos_requests_[slot].outstanding == 0) finalize_qos(slot, now);
+}
+
+bool SsdSimulator::slo_admit_read(const trace::Request& request,
+                                  SimTime now) {
+  // The same priority tightening the dispatcher applies when it assigns
+  // the queued command's deadline (chip_scheduler submit_qos).
+  const Duration budget =
+      config_.qos.read_deadline / (1 + request.priority);
+  if (config_.latency.buffer_latency > budget) return false;
+  const std::uint64_t logical = ftl_.logical_pages();
+  bool admit = true;
+  for (std::uint32_t i = 0; i < request.pages; ++i) {
+    const std::uint64_t lpn = (request.lpn + i) % logical;
+    // Buffer hits and unmapped reads are DRAM-served: no chip backlog.
+    if (buffer_.contains(lpn)) continue;
+    const auto info = ftl_.lookup(lpn);
+    if (!info.has_value()) continue;
+    const std::size_t chip = scheduler_.chip_of(info->ppn);
+    const Duration predicted = scheduler_.qos_backlog(chip, now) +
+                               slo_extra_[chip] + slo_service_estimate_;
+    if (predicted > budget) {
+      admit = false;
+      break;
+    }
+    if (slo_extra_[chip] == 0) {
+      slo_touched_.push_back(static_cast<std::uint32_t>(chip));
+    }
+    slo_extra_[chip] += slo_service_estimate_;
+  }
+  for (const std::uint32_t chip : slo_touched_) slo_extra_[chip] = 0;
+  slo_touched_.clear();
+  return admit;
 }
 
 void SsdSimulator::issue_read_page_qos(std::uint64_t lpn, std::uint64_t slot,
@@ -885,6 +988,7 @@ void SsdSimulator::drain_events() {
 void SsdSimulator::run_segment(const std::vector<trace::Request>& requests) {
   // A crashed simulator refuses work until mount(): requests against a
   // powered-off drive would silently vanish.
+  FLEX_EXPECTS(!external_kernel_);
   if (crashed_) return;
   // Arrival events dispatch through the deterministic kernel: equal-time
   // arrivals keep trace order via the queue's sequence tie-breaking.
@@ -917,6 +1021,7 @@ void SsdSimulator::pump_open_loop() {
 
 void SsdSimulator::run_open_loop(trace::RequestSource& source,
                                  std::uint64_t max_requests) {
+  FLEX_EXPECTS(!external_kernel_);
   if (crashed_) return;
   open_loop_source_ = &source;
   open_loop_remaining_ = max_requests == 0
@@ -993,7 +1098,7 @@ SsdResults SsdSimulator::run(const std::vector<trace::Request>& requests) {
 StatusOr<std::unique_ptr<SsdSimulator>> SsdSimulator::Builder::Build() const {
   if (Status status = config_.Validate(); !status.ok()) return status;
   auto simulator = std::unique_ptr<SsdSimulator>(
-      new SsdSimulator(config_, normal_, reduced_));
+      new SsdSimulator(config_, normal_, reduced_, kernel_));
   if (telemetry_ != nullptr) simulator->attach_telemetry(telemetry_);
   return simulator;
 }

@@ -136,6 +136,16 @@ struct QosConfig {
   /// instead of buffering — back-pressure instead of unbounded dirtying.
   /// 0 = off. Must be <= write_buffer_pages.
   std::uint64_t write_admission_dirty_watermark = 0;
+  /// Latency-SLO admission: reject a read when its *predicted* completion
+  /// would miss the tenant's deadline budget — current chip backlog plus a
+  /// conservative worst-case service estimate, evaluated per page before
+  /// any slot or FTL mutation. The budget is read_deadline tightened by
+  /// priority exactly as the dispatcher tightens it (deadline / (1 +
+  /// priority)), so admission and scheduling agree on what "on time"
+  /// means. Under kFifo the predictor is exact (wait == backlog at
+  /// enqueue), making "admitted implies met deadline" a checkable
+  /// property; under kDeadline it is a conservative heuristic.
+  bool slo_read_admission = false;
 };
 
 struct SsdConfig {
@@ -274,6 +284,9 @@ struct SsdResults {
   std::vector<TenantStats> tenant;
   /// Requests rejected by admission control (sum over tenants).
   std::uint64_t admission_rejected = 0;
+  /// Subset of admission_rejected due to predicted-deadline-miss SLO
+  /// admission (qos.slo_read_admission).
+  std::uint64_t slo_rejected = 0;
   /// QoS-mode gauges for the bounded-queue-memory invariant: high-water
   /// marks of in-flight request slots and of queued-but-not-in-service
   /// chip commands since the last reset_measurements().
@@ -310,6 +323,16 @@ class SsdSimulator : private QosSink {
   SsdSimulator(SsdConfig config, const reliability::BerModel& normal,
                const reliability::BerModel& reduced);
 
+  /// External-kernel construction: the drive schedules all of its events
+  /// on `kernel` instead of an internal queue, so a host layer can compose
+  /// several drives under one deterministic clock. The caller owns the
+  /// kernel and is responsible for draining it; run_segment()/run()/
+  /// run_open_loop() are disallowed in this mode (the host drives the
+  /// simulation via service_external() and drains the shared kernel).
+  /// A null `kernel` is identical to the legacy constructor.
+  SsdSimulator(SsdConfig config, const reliability::BerModel& normal,
+               const reliability::BerModel& reduced, EventQueue* kernel);
+
   /// Validated construction: fuses configuration, validation, and
   /// telemetry attachment into one path that reports bad configurations
   /// as a Status instead of aborting mid-constructor.
@@ -333,6 +356,12 @@ class SsdSimulator : private QosSink {
       telemetry_ = telemetry;
       return *this;
     }
+    /// Shared external event kernel (see the external-kernel constructor);
+    /// nullptr (the default) keeps the drive's own queue.
+    Builder& kernel(EventQueue* kernel) {
+      kernel_ = kernel;
+      return *this;
+    }
 
     /// Validates, then constructs (a unique_ptr: the simulator holds
     /// reference members and is not movable).
@@ -343,6 +372,7 @@ class SsdSimulator : private QosSink {
     const reliability::BerModel& reduced_;
     SsdConfig config_;
     telemetry::Telemetry* telemetry_ = nullptr;
+    EventQueue* kernel_ = nullptr;
   };
 
   /// Fills `pages` logical pages with data aged log-uniformly over
@@ -365,6 +395,34 @@ class SsdSimulator : private QosSink {
   /// Results accumulate exactly as with run_segment().
   void run_open_loop(trace::RequestSource& source,
                      std::uint64_t max_requests = 0);
+
+  /// Host-layer service entry (external-kernel mode): serves one request
+  /// at simulated time `now` through the legacy synchronous path and
+  /// returns its response latency. Chip occupancy, FTL mutations, and
+  /// per-drive stats land exactly as under run_segment(); the caller owns
+  /// draining the shared kernel afterwards. Requires a drive built with an
+  /// external kernel and qos.enabled == false (the array layer does its
+  /// own queueing above the drive).
+  Duration service_external(const trace::Request& request, SimTime now);
+
+  /// Out-of-band hotness feed for array-global AccessEval: runs the read
+  /// policy's access-statistics update (Bloom hotness, HLO classification,
+  /// a possible ReducedCell migration) for `lpn` as if it had been read at
+  /// `now`, with zero latency cost and no disturb/wear side effects. This
+  /// is how replica siblings of a drive that served a replicated read
+  /// learn the array-wide access pattern. No-op for unmapped or buffered
+  /// pages.
+  void observe_read_access(std::uint64_t lpn, SimTime now);
+
+  /// Accumulated read count of the block currently backing `lpn` (0 when
+  /// unmapped) — the disturb-pressure signal the array's disturb-aware
+  /// replica steering spreads across copies.
+  std::uint64_t block_read_count(std::uint64_t lpn) const;
+
+  /// Folds policy/FTL/scheduler counters into results_ (the shared tail
+  /// of run_segment and run_open_loop). Public so an external-kernel host
+  /// can snapshot per-drive results after draining the shared kernel.
+  void collect_results();
 
   /// Measurements accumulated since the last reset_measurements() —
   /// borrowed, valid until the next run_segment()/run() call mutates it.
@@ -446,8 +504,11 @@ class SsdSimulator : private QosSink {
     Duration write_response = 0;  ///< writes: slowest page ack latency
   };
 
-  void service_request(const trace::Request& request, SimTime now);
+  Duration service_request(const trace::Request& request, SimTime now);
   void service_request_qos(const trace::Request& request, SimTime now);
+  /// SLO admission predicate (qos.slo_read_admission): true when every
+  /// page of this read is predicted to meet its deadline budget.
+  bool slo_admit_read(const trace::Request& request, SimTime now);
   void issue_read_page_qos(std::uint64_t lpn, std::uint64_t slot,
                            std::uint8_t priority, SimTime now);
   void issue_write_page_qos(std::uint64_t lpn, std::uint64_t slot,
@@ -467,9 +528,6 @@ class SsdSimulator : private QosSink {
   void pump_open_loop();
   /// Runs the event queue dry (crash-armed when injection is on).
   void drain_events();
-  /// Folds policy/FTL/scheduler counters into results_ (the shared tail
-  /// of run_segment and run_open_loop).
-  void collect_results();
   PageService service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
   /// Programs one buffered page to NAND and records it durable.
@@ -492,7 +550,12 @@ class SsdSimulator : private QosSink {
   reliability::SensingRequirement ladder_;
   ftl::PageMappingFtl ftl_;
   ftl::WriteBuffer buffer_;
-  EventQueue events_;
+  /// The drive's own kernel, idle when an external kernel is supplied;
+  /// events_ binds to one or the other at construction so every use site
+  /// is oblivious to the mode.
+  EventQueue own_events_;
+  EventQueue& events_;
+  const bool external_kernel_ = false;
   ChipScheduler scheduler_;
   /// Null unless config_.faults.enabled; attached to ftl_ and the read
   /// policy's recovery decorator. Declared before policy_ (construction
@@ -526,6 +589,14 @@ class SsdSimulator : private QosSink {
   /// high-water gauge.
   bool qos_mode_ = false;
   std::uint32_t tenant_count_ = 1;
+  /// SLO admission (qos.slo_read_admission): conservative worst-case
+  /// per-page service estimate (full progressive ladder walk, plus the
+  /// recovery re-read when fault injection is armed), and per-chip scratch
+  /// accumulating the estimates of pages admitted earlier in the *same*
+  /// request (slo_touched_ lists the dirtied entries for O(pages) reset).
+  Duration slo_service_estimate_ = 0;
+  std::vector<Duration> slo_extra_;
+  std::vector<std::uint32_t> slo_touched_;
   std::vector<QosRequest> qos_requests_;
   std::vector<std::uint64_t> qos_free_slots_;
   std::vector<std::uint64_t> qos_outstanding_;

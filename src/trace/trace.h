@@ -22,6 +22,10 @@ struct Request {
   std::uint32_t pages = 1;    ///< request length in pages
   std::uint16_t tenant = 0;   ///< QoS tenant index (0 = default tenant)
   std::uint8_t priority = 0;  ///< 0 = normal; higher tightens deadlines
+  /// Host port originating the request in an array (src/host): requests
+  /// from different requesters contend on different uplinks into the
+  /// switch. Single-drive runs and CSV traces leave it 0.
+  std::uint8_t requester = 0;
 
   bool operator==(const Request&) const = default;
 };

@@ -145,6 +145,7 @@ std::optional<trace::Request> WorkloadEngine::next() {
   }
   req.tenant = static_cast<std::uint16_t>(tenant);
   req.priority = spec.priority;
+  req.requester = spec.requester;
   ++generated_;
   return req;
 }

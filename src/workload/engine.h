@@ -46,6 +46,10 @@ struct TenantSpec {
   std::uint32_t max_request_pages = 32;
   /// Deadline class: higher priority tightens the scheduler deadline.
   std::uint8_t priority = 0;
+  /// Host port this tenant submits through in an array (src/host): pinning
+  /// tenants to requesters models per-port uplink contention. Ignored by
+  /// the single-drive simulator.
+  std::uint8_t requester = 0;
 };
 
 struct EngineConfig {

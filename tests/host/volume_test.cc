@@ -1,0 +1,138 @@
+#include "host/volume.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flex::host {
+namespace {
+
+VolumeMapper make(std::uint32_t drives, std::uint32_t replicas,
+                  std::uint64_t stripe, std::uint64_t drive_pages) {
+  return VolumeMapper({.drives = drives,
+                       .replication_factor = replicas,
+                       .stripe_pages = stripe,
+                       .drive_pages = drive_pages});
+}
+
+TEST(VolumeMapperTest, CapacityIsGroupsTimesDrivePages) {
+  EXPECT_EQ(make(1, 1, 64, 1000).logical_pages(), 1000u);
+  EXPECT_EQ(make(8, 1, 64, 1000).logical_pages(), 8000u);
+  EXPECT_EQ(make(8, 2, 64, 1000).logical_pages(), 4000u);
+  EXPECT_EQ(make(8, 8, 64, 1000).logical_pages(), 1000u);
+}
+
+TEST(VolumeMapperTest, LocateIsABijection) {
+  // Every host LPN maps to a distinct (group, dlpn) in range, and
+  // host_lpn() inverts locate() — exhaustively, on several shapes
+  // including stripes that don't divide the drive capacity.
+  const struct {
+    std::uint32_t drives, replicas;
+    std::uint64_t stripe, drive_pages;
+  } shapes[] = {
+      {1, 1, 64, 500},  {4, 1, 8, 96},  {4, 2, 8, 96},
+      {6, 3, 5, 100},   {8, 1, 7, 63},  {3, 1, 1, 50},
+  };
+  for (const auto& s : shapes) {
+    const VolumeMapper vol =
+        make(s.drives, s.replicas, s.stripe, s.drive_pages);
+    std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+    for (std::uint64_t h = 0; h < vol.logical_pages(); ++h) {
+      const VolumeMapper::Location loc = vol.locate(h);
+      ASSERT_LT(loc.group, vol.groups());
+      ASSERT_LT(loc.dlpn, s.drive_pages);
+      ASSERT_TRUE(seen.insert({loc.group, loc.dlpn}).second)
+          << "host lpn " << h << " collides";
+      ASSERT_EQ(vol.host_lpn(loc), h);
+    }
+    EXPECT_EQ(seen.size(), vol.logical_pages());
+  }
+}
+
+TEST(VolumeMapperTest, SplitCoversEveryPageExactlyOnce) {
+  const VolumeMapper vol = make(4, 1, 8, 96);
+  std::vector<VolumeMapper::Extent> extents;
+  for (const std::uint64_t lpn : {0ull, 5ull, 7ull, 31ull, 380ull}) {
+    for (const std::uint32_t pages : {1u, 3u, 8u, 17u, 64u}) {
+      vol.split(lpn, pages, extents);
+      std::uint32_t covered = 0;
+      std::uint64_t h = lpn;
+      for (const VolumeMapper::Extent& e : extents) {
+        ASSERT_GE(e.pages, 1u);
+        for (std::uint32_t i = 0; i < e.pages; ++i) {
+          const std::uint64_t expect = (h + i) % vol.logical_pages();
+          ASSERT_EQ(vol.locate(expect),
+                    (VolumeMapper::Location{e.group, e.dlpn + i}))
+              << "lpn " << lpn << " pages " << pages << " offset " << covered;
+        }
+        h += e.pages;
+        covered += e.pages;
+      }
+      ASSERT_EQ(covered, pages) << "lpn " << lpn;
+    }
+  }
+}
+
+TEST(VolumeMapperTest, SplitWrapsModuloLogicalPages) {
+  // Same folding the single-drive simulator applies to out-of-range LPNs.
+  const VolumeMapper vol = make(2, 1, 8, 40);
+  std::vector<VolumeMapper::Extent> extents;
+  vol.split(vol.logical_pages() - 2, 4, extents);
+  std::uint32_t covered = 0;
+  for (const auto& e : extents) covered += e.pages;
+  EXPECT_EQ(covered, 4u);
+  // The run restarts at host LPN 0 after the wrap.
+  EXPECT_EQ(extents.back().dlpn + extents.back().pages - 1,
+            vol.locate(1).dlpn);
+}
+
+TEST(VolumeMapperTest, SingleGroupSplitsToOneExtent) {
+  // With one group the stripe boundaries are invisible: any in-range run
+  // is a single contiguous extent on drive 0's address space.
+  const VolumeMapper vol = make(2, 2, 8, 96);
+  std::vector<VolumeMapper::Extent> extents;
+  vol.split(3, 40, extents);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].group, 0u);
+  EXPECT_EQ(extents[0].dlpn, 3u);
+  EXPECT_EQ(extents[0].pages, 40u);
+}
+
+TEST(VolumeMapperTest, PrefillPagesMatchesBruteForce) {
+  const struct {
+    std::uint32_t drives, replicas;
+    std::uint64_t stripe, drive_pages;
+  } shapes[] = {{4, 1, 8, 96}, {6, 2, 5, 100}, {3, 1, 7, 63}};
+  for (const auto& s : shapes) {
+    const VolumeMapper vol =
+        make(s.drives, s.replicas, s.stripe, s.drive_pages);
+    for (const std::uint64_t host_pages : std::vector<std::uint64_t>{
+             0, 1, 7, 40, vol.logical_pages() / 2, vol.logical_pages()}) {
+      // Brute force: which dlpns does a sequential host fill touch on
+      // each group? The claim is they are exactly [0, prefill_pages).
+      std::map<std::uint32_t, std::set<std::uint64_t>> touched;
+      for (std::uint64_t h = 0; h < host_pages; ++h) {
+        const auto loc = vol.locate(h);
+        touched[loc.group].insert(loc.dlpn);
+      }
+      std::uint64_t total = 0;
+      for (std::uint32_t g = 0; g < vol.groups(); ++g) {
+        const std::uint64_t n = vol.prefill_pages(g, host_pages);
+        total += n;
+        const auto& set = touched[g];
+        ASSERT_EQ(set.size(), n) << "group " << g;
+        if (!set.empty()) {
+          EXPECT_EQ(*set.begin(), 0u);
+          EXPECT_EQ(*set.rbegin(), n - 1);
+        }
+      }
+      EXPECT_EQ(total, host_pages);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flex::host
