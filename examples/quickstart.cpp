@@ -38,7 +38,7 @@ int main() {
   std::printf("  raw BER              : %.3e\n", baseline_ber);
   std::printf("  extra sensing levels : %d\n", baseline_levels);
   std::printf("  progressive read     : %.0f us\n\n",
-              to_micros(latency.read_progressive(baseline_levels, ladder)));
+              to_micros(latency.read_latency({.required_levels = baseline_levels}, ladder)));
 
   // --- 3. FlexLevel reduced state (3 levels, ReduceCode, NUNMA 3) --------
   const flexlevel::ReduceCodeMapper reduce;
@@ -52,11 +52,11 @@ int main() {
   std::printf("  raw BER              : %.3e\n", reduced_ber);
   std::printf("  extra sensing levels : %d\n", reduced_levels);
   std::printf("  progressive read     : %.0f us\n\n",
-              to_micros(latency.read_progressive(reduced_levels, ladder)));
+              to_micros(latency.read_latency({.required_levels = reduced_levels}, ladder)));
 
   const double speedup =
-      static_cast<double>(latency.read_progressive(baseline_levels, ladder)) /
-      static_cast<double>(latency.read_progressive(reduced_levels, ladder));
+      static_cast<double>(latency.read_latency({.required_levels = baseline_levels}, ladder)) /
+      static_cast<double>(latency.read_latency({.required_levels = reduced_levels}, ladder));
   std::printf("FlexLevel read speedup on this data: %.2fx\n", speedup);
   std::printf("Cost: reduced pages store 3 bits per 2 cells (25%% density "
               "loss),\nwhich is why AccessEval applies this only to "

@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
       const double rb = reduced.total_ber(pe, age);
       const int nl = ladder.required_levels(nb);
       const int rl = ladder.required_levels(rb);
-      const double nt = to_micros(latency.read_progressive(nl, ladder));
-      const double rt = to_micros(latency.read_progressive(rl, ladder));
+      const double nt = to_micros(latency.read_latency({.required_levels = nl}, ladder));
+      const double rt = to_micros(latency.read_latency({.required_levels = rl}, ladder));
       char speedup[16];
       std::snprintf(speedup, sizeof(speedup), "%.2fx", nt / rt);
       table.add_row({label, TablePrinter::num(nb), std::to_string(nl),

@@ -2,15 +2,155 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "common/assert.h"
 #include "common/normal.h"
 
 namespace flex::ldpc {
+namespace {
+
+/// P(observation in (lo, hi] | signal mean) for +/-1 signaling with noise
+/// sigma.
+double region_prob(double lo, double hi, double mean, double sigma) {
+  return normal_cdf((hi - mean) / sigma) - normal_cdf((lo - mean) / sigma);
+}
+
+/// Mutual information of the quantized binary-input AWGN channel with
+/// equiprobable inputs: I(X; R) = sum_r sum_x p(x) p(r|x) log2(p(r|x)/p(r)).
+double quantized_mi(const std::vector<double>& boundaries, double sigma) {
+  const double inf = std::numeric_limits<double>::infinity();
+  double mi = 0.0;
+  for (std::size_t r = 0; r <= boundaries.size(); ++r) {
+    const double lo = r == 0 ? -inf : boundaries[r - 1];
+    const double hi = r == boundaries.size() ? inf : boundaries[r];
+    const double p_plus = region_prob(lo, hi, +1.0, sigma);
+    const double p_minus = region_prob(lo, hi, -1.0, sigma);
+    const double p_r = 0.5 * (p_plus + p_minus);
+    if (p_r <= 0.0) continue;
+    if (p_plus > 0.0) mi += 0.5 * p_plus * std::log2(p_plus / p_r);
+    if (p_minus > 0.0) mi += 0.5 * p_minus * std::log2(p_minus / p_r);
+  }
+  return mi;
+}
+
+/// The seed model's uniform placement: hard reference at 0, offsets
+/// alternating +d, -d, +2d, ... tiling (-T, T) with T = 1.5 sigma. Shared
+/// by the kUniform constructor path and the optimizer's starting point.
+std::vector<double> uniform_boundaries(double sigma, int extra_levels) {
+  std::vector<double> boundaries;
+  boundaries.push_back(0.0);
+  const double t = 1.5 * sigma;
+  const double step = 2.0 * t / (extra_levels + 2);
+  for (int i = 1; i <= extra_levels; ++i) {
+    const int k = (i + 1) / 2;
+    boundaries.push_back(i % 2 == 1 ? k * step : -k * step);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  return boundaries;
+}
+
+/// Coordinate-wise golden-section ascent of the quantized-channel MI over
+/// the boundary positions, keeping the hard reference at 0 fixed. MI is
+/// smooth and unimodal in each boundary between its neighbours, so a few
+/// sweeps converge to placement noise far below the MI resolution the
+/// ladder calibration cares about. Fully deterministic (fixed iteration
+/// counts, no data-dependent termination).
+std::vector<double> optimize_boundaries(double sigma, int extra_levels) {
+  std::vector<double> b = uniform_boundaries(sigma, extra_levels);
+  if (extra_levels == 0) return b;  // only the immovable hard reference
+  constexpr double kGolden = 0.6180339887498949;
+  constexpr int kSweeps = 6;
+  constexpr int kSectionSteps = 48;
+  const double span = 6.0 * sigma;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (b[i] == 0.0) continue;  // the hard reference never moves
+      const double gap = 1e-6 * sigma;
+      double lo = i == 0 ? -span : b[i - 1] + gap;
+      double hi = i + 1 == b.size() ? span : b[i + 1] - gap;
+      const auto eval = [&](double x) {
+        b[i] = x;
+        return quantized_mi(b, sigma);
+      };
+      double x1 = hi - kGolden * (hi - lo);
+      double x2 = lo + kGolden * (hi - lo);
+      double f1 = eval(x1);
+      double f2 = eval(x2);
+      for (int it = 0; it < kSectionSteps; ++it) {
+        if (f1 < f2) {
+          lo = x1;
+          x1 = x2;
+          f1 = f2;
+          x2 = lo + kGolden * (hi - lo);
+          f2 = eval(x2);
+        } else {
+          hi = x2;
+          x2 = x1;
+          f2 = f1;
+          x1 = hi - kGolden * (hi - lo);
+          f1 = eval(x1);
+        }
+      }
+      b[i] = f1 > f2 ? x1 : x2;
+    }
+  }
+  FLEX_ENSURES(std::is_sorted(b.begin(), b.end()));
+  return b;
+}
+
+// The (BER bucket, level count) placement table. 16 log-spaced buckets per
+// decade from 1e-5: fine enough that the placement optimized for a
+// bucket's geometric centre is second-order-close to the per-BER optimum
+// (the MI gradient vanishes at the optimum), coarse enough that the table
+// stays tiny and every run — regardless of thread count or call order —
+// computes the identical entries.
+constexpr double kBucketFloorBer = 1e-5;
+constexpr double kBucketsPerDecade = 16.0;
+
+std::uint64_t mi_bucket_of(double raw_ber) {
+  const double clamped = std::max(raw_ber, kBucketFloorBer);
+  const double idx =
+      std::floor(std::log10(clamped / kBucketFloorBer) * kBucketsPerDecade);
+  return static_cast<std::uint64_t>(std::max(idx, 0.0));
+}
+
+double mi_bucket_center(std::uint64_t bucket) {
+  const double ber = kBucketFloorBer * std::pow(10.0, (static_cast<double>(bucket) + 0.5) /
+                                                          kBucketsPerDecade);
+  return std::min(ber, 0.45);
+}
+
+}  // namespace
+
+std::vector<double> mi_sensing_boundaries(double raw_ber, int extra_levels) {
+  FLEX_EXPECTS(raw_ber > 0.0 && raw_ber < 0.5);
+  FLEX_EXPECTS(extra_levels >= 0);
+  const std::uint64_t key =
+      (mi_bucket_of(raw_ber) << 8) | static_cast<std::uint64_t>(extra_levels);
+  static std::mutex mutex;
+  static std::map<std::uint64_t, std::vector<double>>* table =
+      new std::map<std::uint64_t, std::vector<double>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = table->find(key);
+  if (it == table->end()) {
+    const double center = mi_bucket_center(mi_bucket_of(raw_ber));
+    const double sigma = -1.0 / normal_quantile(center);
+    it = table->emplace(key, optimize_boundaries(sigma, extra_levels)).first;
+  }
+  return it->second;
+}
 
 SensingChannel::SensingChannel(double raw_ber, int extra_levels)
-    : raw_ber_(raw_ber), extra_levels_(extra_levels) {
+    : SensingChannel(raw_ber, extra_levels, QuantizerKind::kUniform) {}
+
+SensingChannel::SensingChannel(double raw_ber, int extra_levels,
+                               QuantizerKind quantizer)
+    : raw_ber_(raw_ber), extra_levels_(extra_levels), quantizer_(quantizer) {
   FLEX_EXPECTS(raw_ber > 0.0 && raw_ber < 0.5);
   FLEX_EXPECTS(extra_levels >= 0);
   // Hard-decision error rate of +/-1 signaling: p = Q(1/sigma).
@@ -19,26 +159,18 @@ SensingChannel::SensingChannel(double raw_ber, int extra_levels)
   // Sensing boundaries: the hard reference at 0 is always present; each
   // extra level adds one more threshold bracketing it (+d, -d, +2d, -2d,
   // ...), mirroring how flash soft sensing strobes offsets around the
-  // nominal read reference. The offsets tile (-T, T) with T = 1.5 sigma.
-  boundaries_.push_back(0.0);
-  const double t = 1.5 * sigma_;
-  const double step = 2.0 * t / (extra_levels + 2);
-  for (int i = 1; i <= extra_levels; ++i) {
-    const int k = (i + 1) / 2;
-    boundaries_.push_back(i % 2 == 1 ? k * step : -k * step);
-  }
-  std::sort(boundaries_.begin(), boundaries_.end());
+  // nominal read reference.
+  boundaries_ = quantizer == QuantizerKind::kMiOptimized
+                    ? mi_sensing_boundaries(raw_ber, extra_levels)
+                    : uniform_boundaries(sigma_, extra_levels);
 
   // Region LLRs: log P(region | bit 0 -> +1) / P(region | bit 1 -> -1).
-  const auto prob = [&](double lo, double hi, double mean) {
-    return normal_cdf((hi - mean) / sigma_) - normal_cdf((lo - mean) / sigma_);
-  };
   const double inf = std::numeric_limits<double>::infinity();
   for (std::size_t r = 0; r <= boundaries_.size(); ++r) {
     const double lo = r == 0 ? -inf : boundaries_[r - 1];
     const double hi = r == boundaries_.size() ? inf : boundaries_[r];
-    const double p_plus = std::max(prob(lo, hi, +1.0), 1e-300);
-    const double p_minus = std::max(prob(lo, hi, -1.0), 1e-300);
+    const double p_plus = std::max(region_prob(lo, hi, +1.0, sigma_), 1e-300);
+    const double p_minus = std::max(region_prob(lo, hi, -1.0, sigma_), 1e-300);
     // Clamp so saturated regions stay finite for the min-sum arithmetic.
     const double llr = std::clamp(std::log(p_plus / p_minus), -30.0, 30.0);
     region_llr_.push_back(static_cast<float>(llr));
@@ -46,19 +178,29 @@ SensingChannel::SensingChannel(double raw_ber, int extra_levels)
   FLEX_ENSURES(std::is_sorted(region_llr_.begin(), region_llr_.end()));
 }
 
+double SensingChannel::mutual_information() const {
+  return quantized_mi(boundaries_, sigma_);
+}
+
 int SensingChannel::region_of(double y) const {
   const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), y);
   return static_cast<int>(it - boundaries_.begin());
 }
 
-std::vector<float> SensingChannel::transmit(
-    std::span<const std::uint8_t> bits, Rng& rng) const {
-  std::vector<float> llr(bits.size());
+void SensingChannel::transmit(std::span<const std::uint8_t> bits, Rng& rng,
+                              std::vector<float>& out) const {
+  out.resize(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const double mean = (bits[i] & 1) ? -1.0 : 1.0;
     const double y = rng.normal(mean, sigma_);
-    llr[i] = region_llr_[static_cast<std::size_t>(region_of(y))];
+    out[i] = region_llr_[static_cast<std::size_t>(region_of(y))];
   }
+}
+
+std::vector<float> SensingChannel::transmit(
+    std::span<const std::uint8_t> bits, Rng& rng) const {
+  std::vector<float> llr;
+  transmit(bits, rng, llr);
   return llr;
 }
 

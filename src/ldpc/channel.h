@@ -10,6 +10,16 @@
 // degrade to a binary symmetric channel, and each added level recovers part
 // of the soft information — which is precisely the latency/capability
 // trade-off FlexLevel manipulates.
+//
+// Boundary placement is a quantizer design choice:
+//  * kUniform — the seed model: offsets tile (-1.5 sigma, 1.5 sigma)
+//    uniformly around the hard reference;
+//  * kMiOptimized — place the offsets to maximize the mutual information
+//    of the quantized channel ("Mutual-Information Optimized Quantization
+//    for LDPC Decoding", PAPERS.md): the same sensing budget keeps more of
+//    the soft information, so the same ladder step corrects a higher raw
+//    BER. Placements come from a precomputed deterministic table keyed by
+//    (BER bucket, level count).
 #pragma once
 
 #include <cstdint>
@@ -20,11 +30,27 @@
 
 namespace flex::ldpc {
 
+/// Sensing-boundary placement strategy (see file comment).
+enum class QuantizerKind { kUniform, kMiOptimized };
+
+/// MI-optimized boundary placements for `extra_levels` offsets around the
+/// hard reference at raw BER `raw_ber`. Deterministic: the optimization
+/// runs once per (BER bucket, level count) — 16 log-spaced buckets per
+/// decade — and is cached process-wide, so every caller (any thread, any
+/// call order) sees the identical placement. The hard reference at 0 is
+/// always included and never moves (the threshold estimator owns its
+/// position).
+std::vector<double> mi_sensing_boundaries(double raw_ber, int extra_levels);
+
 class SensingChannel {
  public:
   /// `raw_ber` in (0, 0.5); `extra_levels >= 0` additional sensing levels
   /// beyond the single hard-decision reference.
   SensingChannel(double raw_ber, int extra_levels);
+
+  /// Same, with an explicit boundary-placement strategy; the two-argument
+  /// constructor is kUniform.
+  SensingChannel(double raw_ber, int extra_levels, QuantizerKind quantizer);
 
   double raw_ber() const { return raw_ber_; }
   int extra_levels() const { return extra_levels_; }
@@ -32,14 +58,27 @@ class SensingChannel {
   int regions() const { return static_cast<int>(region_llr_.size()); }
   /// Equivalent AWGN noise sigma for the +/-1 signaling.
   double sigma() const { return sigma_; }
+  QuantizerKind quantizer() const { return quantizer_; }
 
   /// LLR assigned to each region, ordered from most-negative observation.
   const std::vector<float>& region_llrs() const { return region_llr_; }
+
+  /// Mutual information (bits per channel use) between the equiprobable
+  /// channel input and the quantized region output — the quantity the
+  /// kMiOptimized placement maximizes, and the density-evolution proxy for
+  /// how high a raw BER a fixed-rate LDPC code can still decode.
+  double mutual_information() const;
 
   /// Transmits `bits` (one per byte) and produces the quantized-region LLR
   /// for each. Positive LLR favours bit 0.
   std::vector<float> transmit(std::span<const std::uint8_t> bits,
                               Rng& rng) const;
+
+  /// Caller-pooled transmit: overwrites `out` (resized to bits.size()),
+  /// reusing its capacity so an in-loop caller allocates nothing in steady
+  /// state. Identical output to the allocating overload.
+  void transmit(std::span<const std::uint8_t> bits, Rng& rng,
+                std::vector<float>& out) const;
 
   /// The region index an observation `y` falls into.
   int region_of(double y) const;
@@ -51,6 +90,7 @@ class SensingChannel {
  private:
   double raw_ber_;
   int extra_levels_;
+  QuantizerKind quantizer_;
   double sigma_;
   std::vector<double> boundaries_;  // ascending quantization thresholds
   std::vector<float> region_llr_;

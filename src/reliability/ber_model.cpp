@@ -109,7 +109,8 @@ BerModel::BerModel(nand::LevelConfig level_config, const BitMapper& mapper,
   }
 }
 
-double BerModel::retention_ber(int pe_cycles, Hours age) const {
+double BerModel::retention_ber(int pe_cycles, Hours age,
+                               Volt ref_shift) const {
   if (pe_cycles <= 0 || age <= 0.0) return 0.0;
   const int levels = level_config_.levels();
   const Volt vpp = level_config_.vpp();
@@ -125,7 +126,7 @@ double BerModel::retention_ber(int pe_cycles, Hours age) const {
     for (int i = 0; i < kIsppPoints; ++i) {
       // Midpoint rule over the uniform ISPP placement.
       const Volt x = verify + vpp * (i + 0.5) / kIsppPoints;
-      const Volt margin = x - lower_ref;
+      const Volt margin = x - lower_ref + ref_shift;
       double p_x0 = 0.0;
       for (int g = 0; g < 8; ++g) {
         const Volt x0 =
@@ -140,6 +141,40 @@ double BerModel::retention_ber(int pe_cycles, Hours age) const {
            drop_damage_[static_cast<std::size_t>(l)];
   }
   return ber;
+}
+
+double BerModel::mean_retention_loss(int pe_cycles, Hours age) const {
+  if (pe_cycles <= 0 || age <= 0.0) return 0.0;
+  const int levels = level_config_.levels();
+  const Volt vpp = level_config_.vpp();
+  const double x0_mean = level_config_.erased_mean();
+  const double x0_sigma = level_config_.erased_sigma();
+  constexpr int kIsppPoints = 16;
+
+  // Same ISPP x Gauss-Hermite quadrature as retention_ber, but over the
+  // Eq. 3 loss *mean* instead of the margin-exceedance tail, weighted by
+  // the programmed-level occupancy (the erased state holds no charge to
+  // lose and sits below every reference the estimator re-centers).
+  double loss = 0.0;
+  double weight = 0.0;
+  for (int l = 1; l < levels; ++l) {
+    const Volt verify = level_config_.verify(l);
+    double level_loss = 0.0;
+    for (int i = 0; i < kIsppPoints; ++i) {
+      const Volt x = verify + vpp * (i + 0.5) / kIsppPoints;
+      double mu_x0 = 0.0;
+      for (int g = 0; g < 8; ++g) {
+        const Volt x0 =
+            x0_mean + std::numbers::sqrt2 * x0_sigma * kGhNodes[g];
+        mu_x0 += kGhWeights[g] * retention_.mu(x, x0, pe_cycles, age);
+      }
+      level_loss += mu_x0 / std::sqrt(std::numbers::pi);
+    }
+    level_loss /= kIsppPoints;
+    loss += occupancy_[static_cast<std::size_t>(l)] * level_loss;
+    weight += occupancy_[static_cast<std::size_t>(l)];
+  }
+  return weight > 0.0 ? loss / weight : 0.0;
 }
 
 }  // namespace flex::reliability

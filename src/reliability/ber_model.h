@@ -36,7 +36,21 @@ class BerModel {
   double c2c_ber() const { return c2c_ber_; }
 
   /// Bit error rate from retention loss after `pe_cycles` and `age`.
-  double retention_ber(int pe_cycles, Hours age) const;
+  double retention_ber(int pe_cycles, Hours age) const {
+    return retention_ber(pe_cycles, age, 0.0);
+  }
+
+  /// Retention BER when every lower read reference has been lowered by
+  /// `ref_shift` volts to chase the drifting V_th distribution (adaptive
+  /// threshold tracking, reliability/read_channel): each level's margin to
+  /// its lower reference grows by the shift. `ref_shift = 0` is exactly
+  /// the static-reference model.
+  double retention_ber(int pe_cycles, Hours age, Volt ref_shift) const;
+
+  /// Occupancy-weighted mean V_th retention loss (volts) over the
+  /// programmed levels at this wear/age — the statistic a per-block
+  /// threshold estimator tracks to re-center the read references.
+  double mean_retention_loss(int pe_cycles, Hours age) const;
 
   /// Combined raw BER a read at this wear/age sees.
   double total_ber(int pe_cycles, Hours age) const {

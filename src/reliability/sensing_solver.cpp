@@ -1,5 +1,7 @@
 #include "reliability/sensing_solver.h"
 
+#include <cstddef>
+
 #include "common/assert.h"
 
 namespace flex::reliability {
@@ -10,6 +12,15 @@ SensingRequirement::SensingRequirement()
               {.extra_levels = 2, .max_raw_ber = 7.2e-3},
               {.extra_levels = 4, .max_raw_ber = 1.3e-2},
               {.extra_levels = 6, .max_raw_ber = 2.2e-2}}} {}
+
+SensingRequirement::SensingRequirement(const std::array<Step, 5>& steps)
+    : steps_(steps) {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    FLEX_EXPECTS(steps_[i].max_raw_ber > 0.0);
+    FLEX_EXPECTS(i == 0 || steps_[i].extra_levels > steps_[i - 1].extra_levels);
+    FLEX_EXPECTS(i == 0 || steps_[i].max_raw_ber > steps_[i - 1].max_raw_ber);
+  }
+}
 
 int SensingRequirement::required_levels(double raw_ber,
                                         bool* correctable) const {

@@ -26,6 +26,11 @@ class SensingRequirement {
   /// The default ladder used throughout the paper reproduction.
   SensingRequirement();
 
+  /// A ladder with custom BER caps over the same level counts — how the
+  /// ReadChannel installs MI-calibrated caps (read_channel.cpp). Steps
+  /// must be strictly increasing in both extra_levels and max_raw_ber.
+  explicit SensingRequirement(const std::array<Step, 5>& steps);
+
   /// Extra sensing levels needed to correct `raw_ber`; returns the top step
   /// when even it is insufficient *and* sets `*correctable = false`.
   int required_levels(double raw_ber, bool* correctable = nullptr) const;

@@ -3,6 +3,39 @@
 #include "common/assert.h"
 
 namespace flex::ssd {
+namespace {
+
+/// The one progressive ladder walk behind read_cost and read_attempts.
+/// Invokes `attempt(first, levels, delta)` once per decode attempt —
+/// `delta` new reference voltages sensed incrementally, `levels` the depth
+/// the decode runs at — and returns false when every ladder step sits
+/// below plan.start_levels (the read still pays its base sense/transfer,
+/// but no decode runs).
+template <typename Attempt>
+bool walk_ladder(const ReadPlan& plan,
+                 const reliability::SensingRequirement& ladder,
+                 Attempt&& attempt) {
+  FLEX_EXPECTS(plan.start_levels >= 0);
+  FLEX_EXPECTS(plan.required_levels >= 0);
+  bool first = true;
+  int sensed = 0;
+  for (const auto& step : ladder.steps()) {
+    if (step.extra_levels < plan.start_levels) continue;
+    // Escalation re-senses only the new reference voltages and transfers
+    // only the new soft bits.
+    const int delta = step.extra_levels - sensed;
+    FLEX_ASSERT(delta >= 0);
+    sensed = step.extra_levels;
+    attempt(first, sensed, delta);
+    first = false;
+    // Decode at this step succeeds; deeper steps never run. When even the
+    // deepest step falls short the walk ends there too.
+    if (sensed >= plan.required_levels) break;
+  }
+  return !first;
+}
+
+}  // namespace
 
 ReadCost LatencyModel::read_fixed_cost(int levels) const {
   FLEX_EXPECTS(levels >= 0);
@@ -10,75 +43,46 @@ ReadCost LatencyModel::read_fixed_cost(int levels) const {
       .die = spec.read_latency + levels * extra_sense_per_level,
       .channel = spec.page_transfer_latency +
                  levels * extra_transfer_per_level,
-      .controller = decode_base + levels * decode_per_level,
+      .controller = decode_time(levels),
   };
 }
 
-ReadCost LatencyModel::read_progressive_cost(
-    int required_levels,
+ReadCost LatencyModel::read_cost(
+    const ReadPlan& plan,
     const reliability::SensingRequirement& ladder) const {
-  return read_progressive_from_cost(0, required_levels, ladder);
-}
-
-ReadCost LatencyModel::read_progressive_from_cost(
-    int start_levels, int required_levels,
-    const reliability::SensingRequirement& ladder) const {
-  FLEX_EXPECTS(start_levels >= 0);
-  FLEX_EXPECTS(required_levels >= 0);
   ReadCost cost{.die = spec.read_latency,
                 .channel = spec.page_transfer_latency,
                 .controller = 0};
-  int sensed = 0;
-  for (const auto& step : ladder.steps()) {
-    if (step.extra_levels < start_levels) continue;
-    // Escalation re-senses only the new reference voltages and transfers
-    // only the new soft bits.
-    const int delta = step.extra_levels - sensed;
-    FLEX_ASSERT(delta >= 0);
+  walk_ladder(plan, ladder, [&](bool, int levels, int delta) {
     cost.die += delta * extra_sense_per_level;
     cost.channel += delta * extra_transfer_per_level;
-    sensed = step.extra_levels;
     // Decode attempt at this step (full price whether it succeeds or not).
-    cost.controller += decode_base + sensed * decode_per_level;
-    if (sensed >= required_levels) return cost;
-  }
-  // Even the deepest read fails to satisfy `required_levels`: the
-  // controller has exhausted the ladder (treated as the deepest read; the
-  // caller accounts the uncorrectable event separately).
+    cost.controller += decode_time(levels);
+  });
   return cost;
 }
 
-void LatencyModel::read_progressive_attempts(
-    int start_levels, int required_levels,
-    const reliability::SensingRequirement& ladder,
+void LatencyModel::read_attempts(
+    const ReadPlan& plan, const reliability::SensingRequirement& ladder,
     std::vector<ReadAttempt>& out) const {
-  FLEX_EXPECTS(start_levels >= 0);
-  FLEX_EXPECTS(required_levels >= 0);
-  bool first = true;
-  int sensed = 0;
-  for (const auto& step : ladder.steps()) {
-    if (step.extra_levels < start_levels) continue;
-    const int delta = step.extra_levels - sensed;
-    FLEX_ASSERT(delta >= 0);
-    ReadAttempt attempt;
-    attempt.levels = step.extra_levels;
-    attempt.cost.die = delta * extra_sense_per_level;
-    attempt.cost.channel = delta * extra_transfer_per_level;
-    if (first) {
-      attempt.cost.die += spec.read_latency;
-      attempt.cost.channel += spec.page_transfer_latency;
-      first = false;
-    }
-    sensed = step.extra_levels;
-    attempt.cost.controller = decode_base + sensed * decode_per_level;
-    out.push_back(attempt);
-    if (sensed >= required_levels) return;
-  }
-  if (first) {
-    // Every ladder step sits below start_levels: read_progressive_from_cost
-    // charges the base sense/transfer and no decode; mirror that.
+  const bool any_attempt =
+      walk_ladder(plan, ladder, [&](bool first, int levels, int delta) {
+        ReadAttempt attempt;
+        attempt.levels = levels;
+        attempt.cost.die = delta * extra_sense_per_level;
+        attempt.cost.channel = delta * extra_transfer_per_level;
+        if (first) {
+          attempt.cost.die += spec.read_latency;
+          attempt.cost.channel += spec.page_transfer_latency;
+        }
+        attempt.cost.controller = decode_time(levels);
+        out.push_back(attempt);
+      });
+  if (!any_attempt) {
+    // Every ladder step sits below start_levels: read_cost charges the
+    // base sense/transfer and no decode; mirror that.
     out.push_back(
-        ReadAttempt{.levels = start_levels,
+        ReadAttempt{.levels = plan.start_levels,
                     .cost = {.die = spec.read_latency,
                              .channel = spec.page_transfer_latency}});
   }

@@ -8,9 +8,10 @@
 //  * fixed: one attempt at a predetermined level count (the paper's
 //    baseline, which must provision for the worst case), and
 //  * progressive: start hard, escalate along the sensing ladder after each
-//    decode failure (LDPC-in-SSD [2]).
+//    decode failure (LDPC-in-SSD [2]) — described by a ReadPlan.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/units.h"
@@ -40,6 +41,17 @@ struct ReadAttempt {
   ReadCost cost;
 };
 
+/// Everything that determines a progressive read's ladder walk: the first
+/// attempt senses `start_levels` at once (0 = plain hard-first read; a
+/// remembered per-block hint under LDPC-in-SSD's fine-grained scheme [2]),
+/// then escalation continues up the ladder until a step reaches
+/// `required_levels`. A start above the requirement wastes some sensing
+/// but saves the failed-decode retries.
+struct ReadPlan {
+  int start_levels = 0;
+  int required_levels = 0;
+};
+
 struct LatencyModel {
   nand::NandSpec spec;
 
@@ -60,45 +72,53 @@ struct LatencyModel {
   /// the programmed pages plus one summary read per block.
   Duration oob_scan_per_page = 4 * kMicrosecond;
 
+  /// Decoder-measured latency mode (reliability::ReadChannel): decode
+  /// duration per extra-level count, indexed by level, replacing the
+  /// `decode_base + levels * decode_per_level` table. Empty (the default)
+  /// keeps the table — the byte-identical seed path. Installed by the
+  /// simulator from measured min-sum iteration counts; levels past the
+  /// last entry clamp to it.
+  std::vector<Duration> measured_decode;
+  /// Conversion constants for measured decode: controller time per min-sum
+  /// iteration, and the fixed per-attempt overhead (LLR load + syndrome
+  /// check setup). Only read when measured_decode is being built.
+  Duration decode_per_iteration = 3 * kMicrosecond;
+  Duration decode_overhead = 4 * kMicrosecond;
+
+  /// Controller time of one decode attempt at `levels` extra levels.
+  Duration decode_time(int levels) const {
+    if (!measured_decode.empty()) {
+      const auto i = std::min<std::size_t>(
+          static_cast<std::size_t>(levels), measured_decode.size() - 1);
+      return measured_decode[i];
+    }
+    return decode_base + levels * decode_per_level;
+  }
+
   /// One read attempt with `levels` extra sensing levels, start to finish.
   ReadCost read_fixed_cost(int levels) const;
   Duration read_fixed(int levels) const { return read_fixed_cost(levels).total(); }
 
-  /// Progressive ladder read that ends at `required_levels`: every ladder
-  /// step below it is a failed attempt whose sensing/transfer work is
-  /// incremental but whose decode time is paid in full.
-  ReadCost read_progressive_cost(
-      int required_levels,
-      const reliability::SensingRequirement& ladder) const;
-  Duration read_progressive(int required_levels,
-                            const reliability::SensingRequirement& ladder)
-      const {
-    return read_progressive_cost(required_levels, ladder).total();
+  /// Progressive ladder read described by `plan`: every ladder step below
+  /// the requirement is a failed attempt whose sensing/transfer work is
+  /// incremental but whose decode time is paid in full. When even the
+  /// deepest step falls short the walk ends there (the caller accounts the
+  /// uncorrectable event separately).
+  ReadCost read_cost(const ReadPlan& plan,
+                     const reliability::SensingRequirement& ladder) const;
+  Duration read_latency(const ReadPlan& plan,
+                        const reliability::SensingRequirement& ladder) const {
+    return read_cost(plan, ladder).total();
   }
 
-  /// Progressive read that *starts* at `start_levels` (a remembered
-  /// per-block hint, as in LDPC-in-SSD's fine-grained scheme): the first
-  /// attempt senses start_levels at once; escalation continues up the
-  /// ladder if `required_levels` is higher. A hint above the requirement
-  /// wastes some sensing but saves the failed-decode retries.
-  ReadCost read_progressive_from_cost(
-      int start_levels, int required_levels,
-      const reliability::SensingRequirement& ladder) const;
-  Duration read_progressive_from(
-      int start_levels, int required_levels,
-      const reliability::SensingRequirement& ladder) const {
-    return read_progressive_from_cost(start_levels, required_levels, ladder)
-        .total();
-  }
-
-  /// Per-attempt decomposition of read_progressive_from_cost, appended to
-  /// `out`: one entry per decode attempt, mirroring that routine's ladder
-  /// walk step for step, so the appended costs sum exactly to the closed
-  /// form. Appends (never clears) so policy decorators can stack attempts
-  /// into one caller-pooled vector.
-  void read_progressive_attempts(int start_levels, int required_levels,
-                                 const reliability::SensingRequirement& ladder,
-                                 std::vector<ReadAttempt>& out) const;
+  /// Per-attempt decomposition of read_cost, appended to `out`: one entry
+  /// per decode attempt, mirroring the same ladder walk step for step, so
+  /// the appended costs sum exactly to the closed form. Appends (never
+  /// clears) so policy decorators can stack attempts into one
+  /// caller-pooled vector.
+  void read_attempts(const ReadPlan& plan,
+                     const reliability::SensingRequirement& ladder,
+                     std::vector<ReadAttempt>& out) const;
 
   /// Page program / block erase passthroughs (Table 6).
   Duration program() const { return spec.program_latency; }

@@ -48,12 +48,14 @@ class ProgressivePolicy : public ReadPolicy {
       : latency_(latency), ladder_(ladder), storage_mode_(storage_mode) {}
 
   ReadCost read_cost(const ReadContext& ctx) override {
-    return latency_.read_progressive_cost(ctx.required_levels, ladder_);
+    return latency_.read_cost({.required_levels = ctx.required_levels},
+                              ladder_);
   }
 
   void trace_attempts(const ReadContext& ctx,
                       std::vector<ReadAttempt>& out) const override {
-    latency_.read_progressive_attempts(0, ctx.required_levels, ladder_, out);
+    latency_.read_attempts({.required_levels = ctx.required_levels}, ladder_,
+                           out);
   }
 
   ftl::PageMode write_mode(std::uint64_t) const override {
@@ -83,8 +85,9 @@ class ProgressiveHintPolicy final : public ProgressivePolicy {
 
   ReadCost read_cost(const ReadContext& ctx) override {
     const auto page = static_cast<std::size_t>(ctx.ppn);
-    const ReadCost cost = latency_.read_progressive_from_cost(
-        hint_[page], ctx.required_levels, ladder_);
+    const ReadCost cost = latency_.read_cost(
+        {.start_levels = hint_[page], .required_levels = ctx.required_levels},
+        ladder_);
     hint_[page] = static_cast<std::int8_t>(ctx.required_levels);
     return cost;
   }
@@ -93,8 +96,9 @@ class ProgressiveHintPolicy final : public ProgressivePolicy {
                       std::vector<ReadAttempt>& out) const override {
     // Reads the hint but must not update it: the simulator calls this
     // before read_cost, which performs the update.
-    latency_.read_progressive_attempts(
-        hint_[static_cast<std::size_t>(ctx.ppn)], ctx.required_levels,
+    latency_.read_attempts(
+        {.start_levels = hint_[static_cast<std::size_t>(ctx.ppn)],
+         .required_levels = ctx.required_levels},
         ladder_, out);
   }
 

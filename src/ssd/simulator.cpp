@@ -183,6 +183,33 @@ Status SsdConfig::Validate() const {
         "qos knobs are set but qos.enabled is false: the legacy path "
         "ignores them silently — enable QoS mode or clear the knobs");
   }
+  const bool channel_armed =
+      channel.adaptive_thresholds ||
+      channel.quantizer != reliability::ChannelQuantizer::kUniform ||
+      channel.decode_latency != reliability::DecodeLatencyMode::kTable;
+  if (!channel.enabled && channel_armed) {
+    return Status::InvalidArgument(
+        "channel knobs are armed (adaptive_thresholds / quantizer / "
+        "decode_latency) but channel.enabled is false: the static path "
+        "ignores them silently — enable the channel or clear the knobs");
+  }
+  if (channel.enabled && !channel_armed) {
+    return Status::InvalidArgument(
+        "channel.enabled with every feature off would change nothing: arm "
+        "adaptive_thresholds, an MI quantizer, or measured decode latency "
+        "— or disable the channel");
+  }
+  if (channel.enabled) {
+    if (!(channel.tracking_gain > 0.0 && channel.tracking_gain <= 1.0)) {
+      return Status::OutOfRange("channel.tracking_gain must be in (0, 1]");
+    }
+    if (channel.calibrate_interval < 1) {
+      return Status::OutOfRange("channel.calibrate_interval must be >= 1");
+    }
+    if (channel.calibration_trials < 1) {
+      return Status::OutOfRange("channel.calibration_trials must be >= 1");
+    }
+  }
   return Status::Ok();
 }
 
@@ -198,6 +225,14 @@ SsdSimulator::SsdSimulator(SsdConfig config,
     : config_(validated(std::move(config))),
       normal_model_(normal),
       reduced_model_(reduced),
+      channel_({.config = config_.channel,
+                .disturb_enabled = config_.read_disturb.enabled,
+                .disturb = config_.read_disturb.model,
+                .pages_per_block = config_.ftl.spec.pages_per_block,
+                .physical_blocks =
+                    static_cast<std::uint64_t>(config_.ftl.spec.chips) *
+                    config_.ftl.spec.blocks_per_chip},
+               normal_model_, reduced_model_),
       ftl_(config_.ftl),
       buffer_(config_.write_buffer_pages, config_.write_buffer_flush_batch),
       events_(kernel != nullptr ? *kernel : own_events_),
@@ -207,7 +242,7 @@ SsdSimulator::SsdSimulator(SsdConfig config,
                     ? std::make_unique<faults::FaultInjector>(config_.faults,
                                                               config_.seed)
                     : nullptr),
-      policy_(make_read_policy(config_, config_.latency, ladder_,
+      policy_(make_read_policy(config_, config_.latency, channel_.ladder(),
                                normal_model_,
                                ftl_.physical_blocks() *
                                    config_.ftl.spec.pages_per_block,
@@ -215,11 +250,11 @@ SsdSimulator::SsdSimulator(SsdConfig config,
       rng_(config_.seed) {
   ftl_.attach_fault_injector(injector_.get());
   durable_version_.assign(ftl_.logical_pages(), 0);
-  if (config_.read_disturb.enabled) {
-    disturb_[0] = std::make_unique<reliability::ReadDisturbModel>(
-        config_.read_disturb.model, normal_model_);
-    disturb_[1] = std::make_unique<reliability::ReadDisturbModel>(
-        config_.read_disturb.model, reduced_model_);
+  if (config_.channel.enabled &&
+      config_.channel.decode_latency ==
+          reliability::DecodeLatencyMode::kMeasured) {
+    config_.latency.measured_decode = channel_.measured_decode_times(
+        config_.latency.decode_per_iteration, config_.latency.decode_overhead);
   }
   qos_mode_ = config_.qos.enabled;
   tenant_count_ = qos_mode_ ? config_.qos.tenants : 1;
@@ -239,9 +274,9 @@ SsdSimulator::SsdSimulator(SsdConfig config,
       // walk to the deepest step (an upper bound on every scheme's read
       // cost), plus the deepest-sensing recovery re-read when fault
       // injection can trigger one.
-      const int deepest = ladder_.steps().back().extra_levels;
-      slo_service_estimate_ =
-          config_.latency.read_progressive(deepest, ladder_);
+      const int deepest = channel_.ladder().steps().back().extra_levels;
+      slo_service_estimate_ = config_.latency.read_latency(
+          {.required_levels = deepest}, channel_.ladder());
       if (injector_ != nullptr) {
         slo_service_estimate_ += config_.latency.read_fixed(deepest);
       }
@@ -254,7 +289,9 @@ SsdSimulator::SsdSimulator(SsdConfig config,
 void SsdSimulator::clear_results() {
   results_ = SsdResults{};
   results_.sensing_level_reads.assign(
-      static_cast<std::size_t>(ladder_.steps().back().extra_levels) + 1, 0);
+      static_cast<std::size_t>(channel_.ladder().steps().back().extra_levels) +
+          1,
+      0);
   results_.tenant.assign(tenant_count_, TenantStats{});
 }
 
@@ -354,30 +391,13 @@ void SsdSimulator::prefill(std::uint64_t pages) {
 }
 
 int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
-                                         Hours age,
+                                         Hours age, std::uint64_t ppn,
                                          std::uint64_t block_reads,
                                          bool* correctable) {
-  // ~1.5% age resolution per bucket: far finer than the ladder's BER steps.
-  const auto bucket = static_cast<std::uint64_t>(
-      age <= 0.0 ? 0 : 1 + std::llround(48.0 * std::log2(1.0 + age)));
-  const std::uint64_t key = (static_cast<std::uint64_t>(pe) << 16) | bucket;
-  auto& cache = ber_cache_[reduced ? 1 : 0];
-  double ber;
-  if (const double* hit = cache.find(key)) {
-    ber = *hit;
-  } else {
-    const reliability::BerModel& model =
-        reduced ? reduced_model_ : normal_model_;
-    ber = model.total_ber(static_cast<int>(pe), age);
-    if (cache.size() >= kBerCacheMaxEntries) cache.clear();
-    cache.insert(key, ber);
-  }
-  // Disturb is closed-form (no integral), so it is evaluated exactly per
-  // read instead of being folded into the cache key.
-  if (disturb_[reduced ? 1 : 0]) {
-    ber += disturb_[reduced ? 1 : 0]->ber(block_reads);
-  }
-  return ladder_.required_levels(ber, correctable);
+  const auto assessment =
+      channel_.assess(reduced, pe, age, ppn, block_reads);
+  if (correctable != nullptr) *correctable = assessment.correctable;
+  return assessment.required_levels;
 }
 
 SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
@@ -407,7 +427,7 @@ SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
   bool correctable = true;
   const int required =
       required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
-                             info->block_reads, &correctable);
+                             info->ppn, info->block_reads, &correctable);
   if (!correctable) {
     ++results_.uncorrectable_reads;
     if (telemetry_) ++uncorrectable_metric_->value;
@@ -707,7 +727,7 @@ void SsdSimulator::observe_read_access(std::uint64_t lpn, SimTime now) {
   bool correctable = true;
   const int required =
       required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
-                             info->block_reads, &correctable);
+                             info->ppn, info->block_reads, &correctable);
   // Pure access-statistics update: no scheduler occupancy, no disturb
   // stress (ftl_.record_read is skipped — the sibling never touched its
   // NAND), no uncorrectable/sensing-histogram accounting. Migrations the
@@ -844,7 +864,7 @@ void SsdSimulator::issue_read_page_qos(std::uint64_t lpn, std::uint64_t slot,
   bool correctable = true;
   const int required =
       required_levels_cached(reduced, info->pe_cycles, std::max(age, 0.0),
-                             info->block_reads, &correctable);
+                             info->ppn, info->block_reads, &correctable);
   if (!correctable) {
     ++results_.uncorrectable_reads;
     if (telemetry_) ++uncorrectable_metric_->value;

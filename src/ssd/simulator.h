@@ -35,6 +35,7 @@
 #include "ftl/page_mapping.h"
 #include "ftl/write_buffer.h"
 #include "reliability/ber_model.h"
+#include "reliability/read_channel.h"
 #include "reliability/read_disturb.h"
 #include "reliability/sensing_solver.h"
 #include "ssd/chip_scheduler.h"
@@ -181,6 +182,12 @@ struct SsdConfig {
   /// scheme; the baseline's fixed read is unaffected.
   bool sensing_hint = false;
   ReadDisturbConfig read_disturb;
+  /// The channel<->decoder closed loop (adaptive per-block read
+  /// thresholds, MI-optimized sensing placement, decoder-measured decode
+  /// latency) behind the reliability::ReadChannel facade. Off by default:
+  /// every seed figure is reproduced bit-identically with the channel
+  /// features disabled.
+  reliability::ReadChannelConfig channel;
   /// Fault injection (program/erase failures, grown defects) and the
   /// recovery machinery it exercises. Off by default: every seed figure is
   /// reproduced bit-identically with faults disabled.
@@ -538,16 +545,21 @@ class SsdSimulator : private QosSink {
   /// Resets `results_` to empty, with `sensing_level_reads` sized to the
   /// ladder (shared by the constructor and reset_measurements()).
   void clear_results();
-  /// Sensing requirement. The wear/age BER integral is far too slow to
-  /// evaluate per simulated read, so it is cached by (P/E, age bucket);
-  /// the disturb term is cheap and exact, added per read on top.
+  /// Sensing requirement of one read — a thin delegation to
+  /// channel_.assess() (which owns the BER cache, the disturb models, and
+  /// the threshold-tracking state).
   int required_levels_cached(bool reduced, std::uint32_t pe, Hours age,
-                             std::uint64_t block_reads, bool* correctable);
+                             std::uint64_t ppn, std::uint64_t block_reads,
+                             bool* correctable);
 
   SsdConfig config_;
   const reliability::BerModel& normal_model_;
   const reliability::BerModel& reduced_model_;
-  reliability::SensingRequirement ladder_;
+  /// The channel<->decoder seam: BER composition (wear/age cache +
+  /// disturb), sensing ladder, threshold tracking, decode calibration.
+  /// Declared before policy_ (construction order: the policy captures the
+  /// ladder reference).
+  reliability::ReadChannel channel_;
   ftl::PageMappingFtl ftl_;
   ftl::WriteBuffer buffer_;
   /// The drive's own kernel, idle when an external kernel is supplied;
@@ -562,17 +574,9 @@ class SsdSimulator : private QosSink {
   /// order: the policy captures the pointer).
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<ReadPolicy> policy_;
-  /// Per-mode disturb models (normal, reduced); null when disabled.
-  std::unique_ptr<reliability::ReadDisturbModel> disturb_[2];
   /// Per-LBA data birth time for AgeModel::kStaticPerLba (prefill only).
   std::vector<SimTime> static_birth_;
   Rng rng_;
-  // (pe, age-bucket) -> wear/age raw BER; one map per cell mode. Bounded:
-  // at kBerCacheMaxEntries the whole map is flushed (a deterministic
-  // eviction policy — the cached value is a pure function of the key, so a
-  // flush can only cost recomputation, never change a result).
-  static constexpr std::size_t kBerCacheMaxEntries = 1u << 15;
-  FlatHashMap<double> ber_cache_[2];
   SsdResults results_;
   /// Pooled per-read attempt scratch for latency-breakdown tracing; reused
   /// across reads so the tracing path stops allocating per request.

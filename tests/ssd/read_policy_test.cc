@@ -99,7 +99,7 @@ TEST_F(ReadPolicyTest, ProgressiveClimbsTheLadder) {
     const ReadCost cost =
         f.policy->read_cost(read_of(1, 1, step.extra_levels));
     EXPECT_EQ(cost.total(),
-              f.cfg.latency.read_progressive(step.extra_levels, f.ladder));
+              f.cfg.latency.read_latency({.required_levels = step.extra_levels}, f.ladder));
   }
   // Deeper requirements cost strictly more (failed attempts accumulate).
   EXPECT_LT(f.policy->read_cost(read_of(1, 1, 0)).total(),
@@ -120,10 +120,10 @@ TEST_F(ReadPolicyTest, SensingHintRemembersLastDepth) {
   Fixture f(std::move(cfg));
   // First read of the page: no hint yet, full ladder climb.
   const ReadCost cold = f.policy->read_cost(read_of(1, 9, 4));
-  EXPECT_EQ(cold.total(), f.cfg.latency.read_progressive(4, f.ladder));
+  EXPECT_EQ(cold.total(), f.cfg.latency.read_latency({.required_levels = 4}, f.ladder));
   // Second read starts at the remembered depth: no failed attempts.
   const ReadCost warm = f.policy->read_cost(read_of(1, 9, 4));
-  EXPECT_EQ(warm.total(), f.cfg.latency.read_progressive_from(4, 4, f.ladder));
+  EXPECT_EQ(warm.total(), f.cfg.latency.read_latency({.start_levels = 4, .required_levels = 4}, f.ladder));
   EXPECT_LT(warm.total(), cold.total());
   // The hint is per physical page: another page still climbs from zero.
   const ReadCost other = f.policy->read_cost(read_of(2, 10, 4));
@@ -207,7 +207,7 @@ TEST_F(ReadPolicyTest, RefreshForwardsInnerPolicy) {
   Fixture f(std::move(cfg));
   // Decoration must not change the scheme's cost rule or storage modes.
   EXPECT_EQ(f.policy->read_cost(read_of(1, 1, 2)).total(),
-            f.cfg.latency.read_progressive(2, f.ladder));
+            f.cfg.latency.read_latency({.required_levels = 2}, f.ladder));
   EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kReduced);
   EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kReduced);
 }
@@ -273,7 +273,7 @@ TEST_F(ReadPolicyTest, RecoveryForwardsInnerPolicy) {
   EXPECT_EQ(f.policy->write_mode(0), ftl::PageMode::kReduced);
   EXPECT_EQ(f.policy->prefill_mode(), ftl::PageMode::kReduced);
   EXPECT_EQ(f.policy->read_cost(read_of(1, 1, 2)).total(),
-            f.cfg.latency.read_progressive(2, f.ladder));
+            f.cfg.latency.read_latency({.required_levels = 2}, f.ladder));
 }
 
 TEST_F(ReadPolicyTest, RefreshStatsResetKeepsFtlState) {

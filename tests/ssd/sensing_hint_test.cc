@@ -10,8 +10,8 @@ TEST(SensingHintTest, StartAtZeroIsPlainProgressive) {
   const LatencyModel model;
   const reliability::SensingRequirement ladder;
   for (const int required : {0, 1, 2, 4, 6}) {
-    EXPECT_EQ(model.read_progressive_from(0, required, ladder),
-              model.read_progressive(required, ladder));
+    EXPECT_EQ(model.read_latency({.required_levels = required}, ladder),
+              model.read_latency({.start_levels = 0, .required_levels = required}, ladder));
   }
 }
 
@@ -22,9 +22,9 @@ TEST(SensingHintTest, ExactHintIsOneAttempt) {
   const LatencyModel model;
   const reliability::SensingRequirement ladder;
   for (const int levels : {1, 2, 4, 6}) {
-    const Duration hinted = model.read_progressive_from(levels, levels, ladder);
+    const Duration hinted = model.read_latency({.start_levels = levels, .required_levels = levels}, ladder);
     EXPECT_EQ(hinted, model.read_fixed(levels)) << levels;
-    EXPECT_LT(hinted, model.read_progressive(levels, ladder));
+    EXPECT_LT(hinted, model.read_latency({.required_levels = levels}, ladder));
   }
 }
 
@@ -32,16 +32,16 @@ TEST(SensingHintTest, StaleHighHintWastesSensingButNotRetries) {
   const LatencyModel model;
   const reliability::SensingRequirement ladder;
   // Data needs 0 levels but the hint says 4: one 4-level attempt.
-  const Duration over = model.read_progressive_from(4, 0, ladder);
+  const Duration over = model.read_latency({.start_levels = 4, .required_levels = 0}, ladder);
   EXPECT_EQ(over, model.read_fixed(4));
-  EXPECT_GT(over, model.read_progressive(0, ladder));
+  EXPECT_GT(over, model.read_latency({.required_levels = 0}, ladder));
 }
 
 TEST(SensingHintTest, StaleLowHintEscalates) {
   const LatencyModel model;
   const reliability::SensingRequirement ladder;
   // Hint 1, data needs 4: attempts at 1, 2, 4.
-  const Duration d = model.read_progressive_from(1, 4, ladder);
+  const Duration d = model.read_latency({.start_levels = 1, .required_levels = 4}, ladder);
   const Duration expected =
       model.spec.read_latency + model.spec.page_transfer_latency +
       4 * (model.extra_sense_per_level + model.extra_transfer_per_level) +
@@ -56,7 +56,7 @@ TEST(SensingHintTest, MonotoneInRequirementForFixedStart) {
   const reliability::SensingRequirement ladder;
   Duration prev = 0;
   for (const int required : {0, 1, 2, 4, 6}) {
-    const Duration d = model.read_progressive_from(2, required, ladder);
+    const Duration d = model.read_latency({.start_levels = 2, .required_levels = required}, ladder);
     EXPECT_GE(d, prev);
     prev = d;
   }
