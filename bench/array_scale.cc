@@ -317,7 +317,7 @@ int main(int argc, char** argv) {
   ExperimentHarness harness;
 
   std::vector<Variant> variants;
-  for (const std::uint32_t drives : {1u, 2u, 4u, 8u}) {
+  for (const std::uint32_t drives : {1u, 2u, 4u, 8u, 16u}) {
     Variant v;
     v.label = "scale/raid0-" + std::to_string(drives);
     v.drives = drives;

@@ -10,6 +10,13 @@ Checks (stdlib only, so it runs anywhere CI does):
     non-negative and non-decreasing, and complete events have `dur` >= 0
     (overlap on a track is legal: queued commands' wait spans and in-flight
     host requests genuinely overlap in time);
+  * every span's `cat` is one of the categories the simulator emits
+    (KNOWN_CATEGORIES below — includes the integrity layer's
+    `integrity_recovered`/`integrity_unrecovered` spans under "policy" and
+    the array's `read_repair` spans under "array"). Unknown categories are
+    a *warning* by default so new instrumentation doesn't hard-break older
+    checkouts of this script; `--strict` promotes them to errors for CI
+    runs where the script and the binaries are from the same commit;
   * every metrics JSONL line parses and carries the expected type fields,
     with histogram bin counts summing to their `total`;
   * the BENCH json's per-cell latency breakdown sums to the read-response
@@ -23,13 +30,25 @@ import sys
 
 VALID_PHASES = {"M", "X", "i"}
 
+# Span categories the simulator's telemetry layer emits today:
+#   sim     — simulator lifecycle (mount, crash, power-loss)
+#   request — host request lifetimes
+#   read    — per-read latency breakdown attempts
+#   chip    — chip occupancy / queued commands
+#   ftl     — GC, refresh, migration, relocation maintenance
+#   policy  — read-policy maintenance, incl. integrity_recovered /
+#             integrity_unrecovered adjudication spans
+#   array   — host-array request lifetimes and read_repair spans
+KNOWN_CATEGORIES = {"sim", "request", "read", "chip", "ftl", "policy",
+                    "array"}
+
 
 def fail(message):
     print(f"FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
 
-def validate_trace(path):
+def validate_trace(path, strict=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     events = doc.get("traceEvents")
@@ -38,6 +57,7 @@ def validate_trace(path):
 
     last_ts = None
     counts = {"M": 0, "X": 0, "i": 0}
+    unknown_cats = {}
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph not in VALID_PHASES:
@@ -51,6 +71,12 @@ def validate_trace(path):
             continue
         if not isinstance(ev.get("tid"), int):
             fail(f"{path}: event {i} has bad tid")
+        cat = ev.get("cat")
+        if cat not in KNOWN_CATEGORIES:
+            if strict:
+                fail(f"{path}: event {i} ({ev.get('name')!r}) has unknown "
+                     f"category {cat!r}")
+            unknown_cats[cat] = unknown_cats.get(cat, 0) + 1
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(f"{path}: event {i} has bad ts {ts!r}")
@@ -66,6 +92,10 @@ def validate_trace(path):
             fail(f"{path}: X event {i} has bad dur {dur!r}")
     if counts["X"] == 0:
         fail(f"{path}: no complete (X) events")
+    for cat, n in sorted(unknown_cats.items(), key=repr):
+        print(f"WARN: {path}: {n} events with unknown category {cat!r} "
+              f"(not in {sorted(KNOWN_CATEGORIES)}; --strict makes this an "
+              f"error)", file=sys.stderr)
     print(f"OK: {path}: {len(events)} events "
           f"(M={counts['M']}, X={counts['X']}, i={counts['i']})")
 
@@ -123,8 +153,11 @@ def main():
     parser.add_argument("trace", help="Chrome trace-event JSON")
     parser.add_argument("--metrics", help="metrics JSONL")
     parser.add_argument("--bench", help="BENCH_*.json summary")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat unknown span categories as errors "
+                             "(default: warn)")
     args = parser.parse_args()
-    validate_trace(args.trace)
+    validate_trace(args.trace, strict=args.strict)
     if args.metrics:
         validate_metrics(args.metrics)
     if args.bench:

@@ -28,6 +28,12 @@ FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
   FLEX_EXPECTS(config_.read_retry_rescue >= 0.0 &&
                config_.read_retry_rescue <= 1.0);
   FLEX_EXPECTS(config_.crash_rate >= 0.0 && config_.crash_rate <= 1.0);
+  FLEX_EXPECTS(config_.silent_corruption_rate >= 0.0 &&
+               config_.silent_corruption_rate <= 1.0);
+  FLEX_EXPECTS(config_.misdirected_write_rate >= 0.0 &&
+               config_.misdirected_write_rate <= 1.0);
+  FLEX_EXPECTS(config_.torn_relocation_rate >= 0.0 &&
+               config_.torn_relocation_rate <= 1.0);
 }
 
 double FaultInjector::roll(std::uint64_t kind, std::uint64_t a,
@@ -62,6 +68,21 @@ bool FaultInjector::read_retry_rescues(std::uint64_t ppn,
 bool FaultInjector::crash_at(std::uint64_t event_ordinal) const {
   if (!config_.crash_enabled) return false;
   return roll(5, event_ordinal, config_.crash_salt) < config_.crash_rate;
+}
+
+bool FaultInjector::silent_corruption(std::uint64_t ppn,
+                                      std::uint64_t block_reads) const {
+  return roll(6, ppn, block_reads) < config_.silent_corruption_rate;
+}
+
+bool FaultInjector::misdirected_write(std::uint64_t ppn,
+                                      std::uint32_t erase_count) const {
+  return roll(7, ppn, erase_count) < config_.misdirected_write_rate;
+}
+
+bool FaultInjector::torn_relocation(std::uint64_t ppn,
+                                    std::uint32_t erase_count) const {
+  return roll(8, ppn, erase_count) < config_.torn_relocation_rate;
 }
 
 }  // namespace flex::faults

@@ -60,6 +60,24 @@ struct FaultConfig {
   /// points for one workload seed without perturbing any other fault or
   /// RNG decision (those hash over different kinds / identities).
   std::uint64_t crash_salt = 0;
+  // Silent-data-corruption kinds (only meaningful with
+  // SsdConfig::integrity on — without payload seals nothing in the stack
+  // could observe them, so Validate() rejects arming them integrity-off).
+  /// Probability a read returns wrong bytes with a confident ECC status
+  /// (post-ECC flip — retention/disturb errors that escape the code).
+  /// Transient: adjudicated per read, so the recovery ladder's
+  /// deepest-sensing re-read of the same cells gets clean data.
+  double silent_corruption_rate = 0.0;
+  /// Probability a page program lands its data+seal on some *other*
+  /// physical page while reporting success at the intended one.
+  /// Persistent: the intended page never holds the sealed payload, so no
+  /// re-read of it can help — only a replica (or repair) can.
+  double misdirected_write_rate = 0.0;
+  /// Probability a GC/wear-leveling/refresh relocation program writes the
+  /// *previous* generation of the page's payload under the fresh seal
+  /// (controller DMA raced the host overwrite). Persistent, like a
+  /// misdirected write, but the stale bytes carry a valid-looking page.
+  double torn_relocation_rate = 0.0;
 };
 
 class FaultInjector {
@@ -88,6 +106,20 @@ class FaultInjector {
   /// crash_salt): deterministic per ordinal, independent of every other
   /// fault decision, and disjoint salts select disjoint crash points.
   bool crash_at(std::uint64_t event_ordinal) const;
+
+  /// Does *this* read of `ppn` deliver silently corrupted bytes?
+  /// `block_reads` is the block's read count at the read (same uniqueness
+  /// trick as read_retry_rescues) — a re-read at a later count rolls a
+  /// fresh decision, which is what makes the corruption transient.
+  bool silent_corruption(std::uint64_t ppn, std::uint64_t block_reads) const;
+
+  /// Is the program of `ppn` in erase generation `erase_count` misdirected
+  /// (data written elsewhere, success reported here)?
+  bool misdirected_write(std::uint64_t ppn, std::uint32_t erase_count) const;
+
+  /// Does the relocation program of `ppn` in generation `erase_count` tear
+  /// (stale payload generation under the fresh seal)?
+  bool torn_relocation(std::uint64_t ppn, std::uint32_t erase_count) const;
 
  private:
   /// Uniform [0, 1) from the op identity — the whole injector is this hash.

@@ -9,7 +9,24 @@
 
 namespace flex::ftl {
 
-PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
+namespace {
+
+/// splitmix64 finalizer — derives the nonzero transient-flip delta a
+/// silent corruption XORs into the delivered CRC (any nonzero value
+/// models "some bits differ"; deriving it from the read identity keeps
+/// distinct corruptions distinct).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PageMappingFtl::PageMappingFtl(FtlConfig config)
+    : config_(config),
+      payload_(config.integrity_seed, config.integrity_payload_words) {
   FLEX_EXPECTS(config_.over_provisioning > 0.0 &&
                config_.over_provisioning < 1.0);
   FLEX_EXPECTS(config_.reduced_capacity_factor > 0.0 &&
@@ -49,6 +66,10 @@ PageMappingFtl::PageMappingFtl(FtlConfig config) : config_(config) {
   oob_.assign(config_.spec.total_pages(), OobRecord{});
   summaries_.assign(total_blocks,
                     BlockSummary{.erase_count = config_.initial_pe_cycles});
+  if (config_.integrity) {
+    FLEX_EXPECTS(config_.integrity_payload_words >= 1);
+    seals_.assign(config_.spec.total_pages(), SealRecord{});
+  }
   version_.assign(logical_pages_, 0);
 }
 
@@ -151,7 +172,8 @@ std::uint32_t PageMappingFtl::allocate_block(PageMode mode) {
 }
 
 std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
-                                     SimTime now, std::uint64_t* programs) {
+                                     SimTime now, std::uint64_t* programs,
+                                     bool relocation) {
   const auto mode_index = static_cast<std::size_t>(mode);
   for (;;) {
     std::uint32_t frontier = frontier_[mode_index];
@@ -190,6 +212,34 @@ std::uint64_t PageMappingFtl::append(std::uint64_t lpn, PageMode mode,
                           .write_time = now,
                           .mode = block.mode,
                           .programmed = true};
+    if (config_.integrity) {
+      // Seal the payload (claim == truth on a healthy program), then let
+      // the silent-data fault kinds break it. Identity: a page slot is
+      // programmed once per erase generation, so (ppn, erase_count) is
+      // unique — the same discipline as program_fails.
+      SealRecord seal{.seal_lpn = lpn,
+                      .seal_version = version_[lpn],
+                      .seal_crc = payload_.crc(lpn, version_[lpn]),
+                      .payload_lpn = lpn,
+                      .payload_version = version_[lpn],
+                      .sealed = true};
+      if (injector_ != nullptr &&
+          injector_->misdirected_write(ppn, block.erase_count)) {
+        // Data and seal went to some other page; this slot reports
+        // success but stays unsealed garbage.
+        seal = SealRecord{};
+        ++stats_.misdirected_writes;
+        if (telemetry_) ++metrics_.misdirected_writes->value;
+      } else if (relocation && version_[lpn] > 0 && injector_ != nullptr &&
+                 injector_->torn_relocation(ppn, block.erase_count)) {
+        // Relocation DMA raced a host overwrite: the previous generation's
+        // bytes land under the fresh seal.
+        seal.payload_version = version_[lpn] - 1;
+        ++stats_.torn_relocations;
+        if (telemetry_) ++metrics_.torn_relocations->value;
+      }
+      seals_[ppn] = seal;
+    }
     return ppn;
   }
 }
@@ -279,7 +329,7 @@ void PageMappingFtl::relocate_valid_pages(std::uint32_t block_id, SimTime now,
     pages_[base + p].lpn = kInvalid;
     --victim.valid_count;
     map_[lpn] = kInvalid;
-    append(lpn, victim.mode, now, programs);
+    append(lpn, victim.mode, now, programs, /*relocation=*/true);
     ++*page_moves;
   }
   FLEX_ASSERT(victim.valid_count == 0);
@@ -316,6 +366,11 @@ void PageMappingFtl::reclaim_block(std::uint32_t block_id, SimTime now,
   const std::uint64_t base = make_ppn(block_id, 0);
   for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
     oob_[base + p] = OobRecord{};
+  }
+  if (config_.integrity) {
+    for (std::uint32_t p = 0; p < config_.spec.pages_per_block; ++p) {
+      seals_[base + p] = SealRecord{};
+    }
   }
   free_push(block_id);
 }
@@ -413,9 +468,87 @@ WriteResult PageMappingFtl::migrate(std::uint64_t lpn, PageMode mode,
   if (telemetry_) ++metrics_.mode_migrations->value;
   invalidate(lpn);
   maybe_garbage_collect(now, &result.page_programs, &result.erases);
+  // A migration moves the existing generation between modes — a
+  // relocation program, exposed to the torn-relocation fault like GC.
+  result.ppn = append(lpn, mode, now, &result.page_programs,
+                      /*relocation=*/true);
+  result.mode = mode;
+  return result;
+}
+
+WriteResult PageMappingFtl::repair(std::uint64_t lpn, SimTime now) {
+  FLEX_EXPECTS(config_.integrity);
+  FLEX_EXPECTS(lpn < logical_pages_);
+  FLEX_EXPECTS(map_[lpn] != kInvalid);
+  const PageMode mode = blocks_[block_of(map_[lpn])].mode;
+  WriteResult result;
+  result.page_programs = 0;
+  ++stats_.repair_writes;
+  if (telemetry_) ++metrics_.repair_writes->value;
+  invalidate(lpn);
+  maybe_garbage_collect(now, &result.page_programs, &result.erases);
+  // Fresh current-generation data from the controller buffer (the array
+  // regenerated it from a healthy replica): not a relocation, so the
+  // torn fault cannot strike — though the program can still misdirect,
+  // which is why read-repair scrubs until the copy verifies.
   result.ppn = append(lpn, mode, now, &result.page_programs);
   result.mode = mode;
   return result;
+}
+
+SealVerdict PageMappingFtl::verify_page(std::uint64_t lpn, std::uint64_t ppn,
+                                        std::uint64_t block_reads) const {
+  FLEX_EXPECTS(config_.integrity);
+  FLEX_ASSERT(map_[lpn] == ppn);
+  const SealRecord& seal = seals_[ppn];
+  SealVerdict verdict;
+  if (!seal.sealed) {
+    // Expected a sealed page, found none (misdirected write): whatever
+    // bytes are here, they are not ours and carry no matching seal.
+    verdict.flagged = true;
+    verdict.persistent = true;
+    verdict.delivered_bad = true;
+    return verdict;
+  }
+  const std::uint64_t expect_version = version_[lpn];
+  // The CRC of the bytes the read actually delivers: computed from the
+  // stored payload's identity (the generator stands in for the page
+  // body), XOR-perturbed when this read's transient post-ECC flip fires.
+  std::uint64_t actual_crc =
+      payload_.crc(seal.payload_lpn, seal.payload_version);
+  const bool transient_flip =
+      injector_ != nullptr && injector_->silent_corruption(ppn, block_reads);
+  if (transient_flip) {
+    actual_crc ^= mix(ppn ^ (block_reads << 20)) | 1;
+  }
+  // Cross-checks: delivered bytes vs the seal's CRC claim, and the
+  // seal's identity claim vs what the FTL/ledger expects of this read.
+  const bool crc_ok = actual_crc == seal.seal_crc;
+  const bool identity_ok =
+      seal.seal_lpn == lpn && seal.seal_version == expect_version;
+  verdict.flagged = !crc_ok || !identity_ok;
+  verdict.delivered_bad = transient_flip || seal.payload_lpn != lpn ||
+                          seal.payload_version != expect_version;
+  // Persistent iff the medium itself is wrong: re-delivering the same
+  // cells without the transient flip would still fail the cross-check.
+  verdict.persistent =
+      !identity_ok ||
+      payload_.crc(seal.payload_lpn, seal.payload_version) != seal.seal_crc;
+  return verdict;
+}
+
+DataAudit PageMappingFtl::audit_data(std::uint64_t lpn,
+                                     std::uint64_t version) const {
+  FLEX_EXPECTS(config_.integrity);
+  FLEX_EXPECTS(lpn < logical_pages_ && map_[lpn] != kInvalid);
+  const SealRecord& seal = seals_[map_[lpn]];
+  DataAudit audit;
+  audit.seal_ok =
+      seal.sealed && seal.seal_lpn == lpn && seal.seal_version == version &&
+      seal.seal_crc == payload_.crc(seal.payload_lpn, seal.payload_version);
+  audit.payload_ok = seal.sealed && seal.payload_lpn == lpn &&
+                     seal.payload_version == version;
+  return audit;
 }
 
 MountReport PageMappingFtl::Mount(const MountOptions& options) {
@@ -653,6 +786,9 @@ void PageMappingFtl::attach_telemetry(telemetry::Telemetry* telemetry) {
       &registry.counter("ftl.mount_mappings_recovered");
   metrics_.mount_stale_records =
       &registry.counter("ftl.mount_stale_records");
+  metrics_.misdirected_writes = &registry.counter("ftl.misdirected_writes");
+  metrics_.torn_relocations = &registry.counter("ftl.torn_relocations");
+  metrics_.repair_writes = &registry.counter("ftl.repair_writes");
 }
 
 void PageMappingFtl::attach_fault_injector(

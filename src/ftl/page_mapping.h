@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "faults/fault_injector.h"
+#include "ftl/payload.h"
 #include "nand/geometry.h"
 #include "telemetry/telemetry.h"
 
@@ -39,6 +40,15 @@ struct FtlConfig {
   /// closed block is reclaimed instead of the greedy choice, so blocks
   /// pinned by cold data still circulate. 0 disables.
   std::uint32_t static_wl_interval = 64;
+  /// End-to-end integrity: carry a per-page payload identity + CRC64 seal
+  /// alongside the OOB record of every program (derived by the simulator
+  /// from SsdConfig::integrity — set there, not here). Off keeps the seal
+  /// medium empty and every write path byte-identical.
+  bool integrity = false;
+  /// PayloadModel seed (the simulator passes its run seed).
+  std::uint64_t integrity_seed = 0;
+  /// 8-byte payload words per page (the modeled page body).
+  std::uint32_t integrity_payload_words = 8;
 };
 
 struct FtlStats {
@@ -62,6 +72,10 @@ struct FtlStats {
   std::uint64_t mount_pages_scanned = 0;       ///< OOB records read
   std::uint64_t mount_mappings_recovered = 0;  ///< L2P entries rebuilt
   std::uint64_t mount_stale_records = 0;       ///< lost last-epoch-wins
+  // End-to-end integrity (all zero unless integrity + an injector are on).
+  std::uint64_t misdirected_writes = 0;  ///< programs whose seal went astray
+  std::uint64_t torn_relocations = 0;    ///< stale payload under fresh seal
+  std::uint64_t repair_writes = 0;       ///< read-repair rewrites (repair())
 
   bool operator==(const FtlStats&) const = default;
 
@@ -128,6 +142,34 @@ struct MountReport {
   std::vector<std::uint64_t> reduced_lpns;
 };
 
+/// Outcome of read-back seal verification (integrity on).
+struct SealVerdict {
+  /// The verification cross-check raised an integrity mismatch.
+  bool flagged = false;
+  /// The mismatch is in the cells themselves (misdirected write, torn
+  /// relocation): a deepest-sensing re-read of the same page cannot cure
+  /// it — only a replica or a repair rewrite can. False for a transient
+  /// post-ECC flip, which a re-read does cure.
+  bool persistent = false;
+  /// The delivered bytes were not the expected generation's. A read with
+  /// `delivered_bad && !flagged` is an undetected corruption — possible
+  /// only through a genuine CRC64 collision, and what the bench's
+  /// zero-undetected verdict counts.
+  bool delivered_bad = false;
+};
+
+/// Medium-level data audit of one LPN (crash harness): is the durable
+/// copy's seal self-consistent, and is its payload really the expected
+/// generation? No transient fault is rolled — this inspects the medium,
+/// not one read of it.
+struct DataAudit {
+  /// Seal present, claims (lpn, version), and its CRC matches the bytes
+  /// actually stored. When false, any verifying read flags the page.
+  bool seal_ok = false;
+  /// The stored payload is generation (lpn, version).
+  bool payload_ok = false;
+};
+
 class PageMappingFtl {
  public:
   explicit PageMappingFtl(FtlConfig config);
@@ -155,6 +197,26 @@ class PageMappingFtl {
 
   /// Reads accumulated by the block containing `ppn` since its last erase.
   std::uint64_t block_read_count(std::uint64_t ppn) const;
+
+  /// Read-back verification of one NAND read of `lpn`'s mapped copy at
+  /// `ppn` (integrity on): recomputes the CRC of the bytes the page
+  /// actually delivers (its true payload identity, plus a transient
+  /// post-ECC flip when the injector's silent-corruption roll fires at
+  /// this (ppn, block_reads) identity) and cross-checks it against the
+  /// seal's claim and the FTL's expected (lpn, version).
+  SealVerdict verify_page(std::uint64_t lpn, std::uint64_t ppn,
+                          std::uint64_t block_reads) const;
+
+  /// Medium-level audit of `lpn`'s durable copy against the expected
+  /// write generation `version` (see DataAudit). Requires a mapped lpn.
+  DataAudit audit_data(std::uint64_t lpn, std::uint64_t version) const;
+
+  /// Read-repair rewrite: re-programs `lpn` with a fresh copy of its
+  /// *current* generation (payload and seal regenerated; the version is
+  /// not bumped — this is not a host write). The array layer calls it to
+  /// reconverge a mirror after replica failover found this drive's copy
+  /// persistently corrupt.
+  WriteResult repair(std::uint64_t lpn, SimTime now);
 
   /// Relocates every valid page of the block containing `ppn` into fresh
   /// cells (same storage mode; retention and disturb clocks restart) and
@@ -264,6 +326,28 @@ class PageMappingFtl {
     bool programmed = false;
   };
 
+  /// The durable per-page integrity record (integrity on), written in the
+  /// same page program as the data and OOB record. The *claim* fields are
+  /// the seal the controller computed for the data it intended to write;
+  /// the *payload* fields are the identity of the bytes the page actually
+  /// holds (the generator regenerates any page from its identity, so this
+  /// pair stands in for the full page body). A healthy program has
+  /// claim == payload; the silent-data fault kinds break exactly that:
+  /// a misdirected write leaves the slot unsealed (data and seal landed
+  /// on some other page while success was reported here), and a torn
+  /// relocation stores the *previous* generation's bytes under the fresh
+  /// seal. The per-page OOB mapping record is deliberately untouched by
+  /// both — controller metadata updates travel a separate journaled path,
+  /// so mapping-integrity invariants stay intact while the data rots.
+  struct SealRecord {
+    std::uint64_t seal_lpn = kInvalid;     ///< claim: logical page
+    std::uint64_t seal_version = 0;        ///< claim: write generation
+    std::uint64_t seal_crc = 0;            ///< claim: CRC64 of that payload
+    std::uint64_t payload_lpn = kInvalid;  ///< truth: stored payload's lpn
+    std::uint64_t payload_version = 0;     ///< truth: stored generation
+    bool sealed = false;                   ///< a seal landed here at all
+  };
+
   /// The durable per-block summary page, rewritten on erase / retirement
   /// (controllers keep erase counts and the bad-block table on the medium;
   /// losing either would reset wear leveling or resurrect bad blocks).
@@ -312,8 +396,12 @@ class PageMappingFtl {
   /// Resets the block's slice of pages_ to invalid (erase/retire tail).
   void clear_block_pages(std::uint32_t block_id);
   /// Appends to the frontier of `mode`; assumes space exists.
+  /// `relocation` marks programs that move an existing generation (GC,
+  /// wear leveling, refresh, migration) — the only programs the torn-
+  /// relocation fault can strike; host writes and repairs carry fresh
+  /// data straight from the host/controller buffer.
   std::uint64_t append(std::uint64_t lpn, PageMode mode, SimTime now,
-                       std::uint64_t* programs);
+                       std::uint64_t* programs, bool relocation = false);
   void maybe_garbage_collect(SimTime now, std::uint64_t* programs,
                              std::uint64_t* erases);
   std::optional<std::uint32_t> pick_gc_victim() const;
@@ -371,6 +459,13 @@ class PageMappingFtl {
   // Power loss must not touch these; everything else above is volatile.
   std::vector<OobRecord> oob_;          // by ppn
   std::vector<BlockSummary> summaries_;  // by block id
+  /// Per-page seal medium (by ppn; empty unless config_.integrity).
+  /// Durable like oob_: programmed with the page, wiped by erase,
+  /// untouched by Mount().
+  std::vector<SealRecord> seals_;
+  /// The synthetic-payload generator behind the seals (fixed identity ->
+  /// bytes function; see ftl/payload.h).
+  PayloadModel payload_;
   std::uint64_t epoch_ = 0;
   // Volatile, rebuilt by Mount() from the winning OOB records.
   std::vector<std::uint64_t> version_;  // by lpn
@@ -394,6 +489,9 @@ class PageMappingFtl {
     telemetry::MetricsRegistry::Counter* mount_pages_scanned = nullptr;
     telemetry::MetricsRegistry::Counter* mount_mappings_recovered = nullptr;
     telemetry::MetricsRegistry::Counter* mount_stale_records = nullptr;
+    telemetry::MetricsRegistry::Counter* misdirected_writes = nullptr;
+    telemetry::MetricsRegistry::Counter* torn_relocations = nullptr;
+    telemetry::MetricsRegistry::Counter* repair_writes = nullptr;
   };
   telemetry::Telemetry* telemetry_ = nullptr;
   Metrics metrics_;

@@ -1,0 +1,50 @@
+#include "ftl/payload.h"
+
+namespace flex::ftl {
+namespace {
+
+/// splitmix64 finalizer (same primitive as faults::FaultInjector).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t word_at(std::uint64_t seed, std::uint64_t lpn,
+                      std::uint64_t version, std::uint32_t index) {
+  std::uint64_t h = mix(seed ^ mix(lpn));
+  h = mix(h ^ version);
+  return mix(h ^ index);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PayloadModel::generate(std::uint64_t lpn,
+                                                 std::uint64_t version) const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(words_) * 8);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    const std::uint64_t word = word_at(seed_, lpn, version, w);
+    for (int b = 0; b < 8; ++b) {
+      bytes.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t PayloadModel::crc(std::uint64_t lpn,
+                                std::uint64_t version) const {
+  std::uint64_t running = 0;
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    std::uint8_t chunk[8];
+    const std::uint64_t word = word_at(seed_, lpn, version, w);
+    for (int b = 0; b < 8; ++b) {
+      chunk[b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    running = crc64(chunk, sizeof(chunk), running);
+  }
+  return running;
+}
+
+}  // namespace flex::ftl

@@ -1,9 +1,11 @@
 #include "host/array.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/assert.h"
@@ -224,6 +226,8 @@ void ArraySimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
     writes_metric_ = nullptr;
     commands_metric_ = nullptr;
     observe_metric_ = nullptr;
+    failover_metric_ = nullptr;
+    repair_metric_ = nullptr;
     return;
   }
   telemetry::MetricsRegistry& registry = telemetry_->metrics;
@@ -232,16 +236,46 @@ void ArraySimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
   writes_metric_ = &registry.counter("array.writes");
   commands_metric_ = &registry.counter("array.commands");
   observe_metric_ = &registry.counter("array.observe_feeds");
+  failover_metric_ = &registry.counter("array.integrity_failovers");
+  repair_metric_ = &registry.counter("array.read_repairs");
 }
 
 void ArraySimulator::prefill(std::uint64_t host_pages) {
   FLEX_EXPECTS(host_pages <= volume_.logical_pages());
+  // Batch the per-group page counts into one prefill call per drive,
+  // then fill the drives in parallel: a drive's prefill is synchronous
+  // FTL work on its own RNG stream — it schedules no shared-kernel
+  // events and touches no sibling state — so the fan-out is
+  // byte-identical to the sequential loop while an N-drive array fills
+  // in ~1/N the wall-clock.
+  std::vector<std::uint64_t> per_drive(drives(), 0);
   for (std::uint32_t g = 0; g < volume_.groups(); ++g) {
     const std::uint64_t pages = volume_.prefill_pages(g, host_pages);
     for (std::uint32_t r = 0; r < volume_.replicas(); ++r) {
-      drives_[volume_.drive_of(g, r)]->prefill(pages);
+      per_drive[volume_.drive_of(g, r)] = pages;
     }
   }
+  const auto hw = std::thread::hardware_concurrency();
+  const std::uint32_t workers =
+      std::min<std::uint32_t>(drives(), hw > 0 ? hw : 1);
+  if (workers <= 1) {
+    for (std::uint32_t d = 0; d < drives(); ++d) {
+      drives_[d]->prefill(per_drive[d]);
+    }
+    return;
+  }
+  std::atomic<std::uint32_t> next{0};
+  auto worker = [&] {
+    for (std::uint32_t d = next.fetch_add(1); d < drives();
+         d = next.fetch_add(1)) {
+      drives_[d]->prefill(per_drive[d]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::uint32_t t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
 }
 
 std::uint32_t ArraySimulator::pick_replica(std::uint32_t group,
@@ -367,7 +401,12 @@ Duration ArraySimulator::dispatch(const HostCommand& cmd, SimTime now) {
                            .tenant = cmd.tenant,
                            .priority = cmd.priority,
                            .requester = cmd.requester};
-  const Duration service = drives_[cmd.drive]->service_external(req, now);
+  Duration service = drives_[cmd.drive]->service_external(req, now);
+  if (!cmd.is_write && volume_.replicas() > 1 &&
+      !drives_[cmd.drive]->integrity_failed_lpns().empty()) {
+    repair_scratch_ = drives_[cmd.drive]->integrity_failed_lpns();
+    service += recover_corrupt_pages(cmd, repair_scratch_, now);
+  }
   if (!cmd.is_write &&
       config_.access_eval_scope == AccessEvalScope::kGlobal) {
     // Feed the replicated read's access statistics to the sibling copies:
@@ -384,6 +423,55 @@ Duration ArraySimulator::dispatch(const HostCommand& cmd, SimTime now) {
     }
   }
   return service;
+}
+
+Duration ArraySimulator::recover_corrupt_pages(
+    const HostCommand& cmd, const std::vector<std::uint64_t>& lpns,
+    SimTime now) {
+  Duration extra = 0;
+  const std::uint32_t group = cmd.drive / volume_.replicas();
+  for (const std::uint64_t dlpn : lpns) {
+    ++integrity_failovers_;
+    if (telemetry_) ++failover_metric_->value;
+    const Duration before = extra;
+    bool repaired = false;
+    // Siblings in drive order — deterministic, like every other fan-out.
+    for (std::uint32_t r = 0; r < volume_.replicas() && !repaired; ++r) {
+      const std::uint32_t sibling = volume_.drive_of(group, r);
+      if (sibling == cmd.drive) continue;
+      const trace::Request retry{
+          .arrival = now,
+          .is_write = false,
+          .lpn = dlpn,
+          .pages = 1,
+          .tenant = cmd.tenant,
+          .priority = cmd.priority,
+          .requester = cmd.requester};
+      extra += drives_[sibling]->service_external(retry, now);
+      // A sibling whose own copy is persistently corrupt cannot donate;
+      // try the next one (transient mismatches were cured in-drive).
+      if (!drives_[sibling]->integrity_failed_lpns().empty()) continue;
+      drives_[cmd.drive]->repair_page(dlpn, now);
+      ++read_repairs_;
+      repaired = true;
+      if (telemetry_) {
+        ++repair_metric_->value;
+        if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+          tracer->record({.name = "read_repair",
+                          .cat = "array",
+                          .pid = telemetry_->pid,
+                          .tid = telemetry::kHostTrack,
+                          .start = now,
+                          .dur = extra - before,
+                          .arg0_key = "lpn",
+                          .arg0 = static_cast<double>(dlpn),
+                          .arg1_key = "drive",
+                          .arg1 = static_cast<double>(cmd.drive)});
+        }
+      }
+    }
+  }
+  return extra;
 }
 
 void ArraySimulator::complete(const HostCommand& cmd,
@@ -500,6 +588,8 @@ void ArraySimulator::collect_results() {
   }
   results_.switch_fabric = interconnect_.switch_stats();
   results_.observe_feeds = observe_feeds_;
+  results_.integrity_failovers = integrity_failovers_;
+  results_.read_repairs = read_repairs_;
   results_.window = kernel_.now() - window_start_;
 }
 
@@ -521,6 +611,8 @@ void ArraySimulator::reset_measurements() {
   interconnect_.reset_stats();
   std::fill(replica_reads_.begin(), replica_reads_.end(), 0);
   observe_feeds_ = 0;
+  integrity_failovers_ = 0;
+  read_repairs_ = 0;
   window_start_ = kernel_.now();
   if (telemetry_) {
     telemetry_->metrics.zero();

@@ -121,6 +121,13 @@ struct ArrayResults {
   std::vector<std::uint64_t> replica_reads;
   /// Sibling hotness notifications under AccessEvalScope::kGlobal (pages).
   std::uint64_t observe_feeds = 0;
+  /// Persistent integrity failures a replicated read failed over to a
+  /// sibling copy for (SsdConfig::integrity on; page granularity).
+  std::uint64_t integrity_failovers = 0;
+  /// ... of which a clean sibling copy was found and written back to the
+  /// corrupt drive (read-repair). The gap to integrity_failovers counts
+  /// pages where every replica was corrupt.
+  std::uint64_t read_repairs = 0;
   /// Simulated time spanned by the measured window (throughput divisor).
   Duration window = 0;
   /// Host wall-clock seconds, stamped by the bench harness (never in
@@ -229,6 +236,14 @@ class ArraySimulator : private QueuePairSet::Transport,
   void drain_finalized();
   void finalize(std::uint64_t slot);
   void pump_open_loop();
+  /// Replica failover + read-repair for the persistent integrity failures
+  /// a read command just surfaced: re-reads each corrupt page from
+  /// sibling replicas (host-visible — returned Duration adds to the
+  /// command's service) and schedules a repair rewrite on the corrupt
+  /// drive when a clean copy exists (background — not host-visible).
+  Duration recover_corrupt_pages(const HostCommand& cmd,
+                                 const std::vector<std::uint64_t>& lpns,
+                                 SimTime now);
   void collect_results();
 
   ArrayConfig config_;
@@ -251,6 +266,11 @@ class ArraySimulator : private QueuePairSet::Transport,
   std::vector<std::uint32_t> replica_rr_;
   std::vector<std::uint64_t> replica_reads_;
   std::uint64_t observe_feeds_ = 0;
+  std::uint64_t integrity_failovers_ = 0;
+  std::uint64_t read_repairs_ = 0;
+  /// Copied-out failed-lpn list (the drive's scratch is invalidated by
+  /// the next service_external call).
+  std::vector<std::uint64_t> repair_scratch_;
   SimTime window_start_ = 0;
   ArrayResults results_;
   /// Open-loop pump state (mirrors SsdSimulator's).
@@ -263,6 +283,8 @@ class ArraySimulator : private QueuePairSet::Transport,
   telemetry::MetricsRegistry::Counter* writes_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* commands_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* observe_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* failover_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* repair_metric_ = nullptr;
 };
 
 }  // namespace flex::host

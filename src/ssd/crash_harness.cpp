@@ -14,6 +14,7 @@ CrashVerdict run_crash_point(SsdConfig config,
                              const reliability::BerModel& normal,
                              const reliability::BerModel& reduced) {
   config.faults.crash_salt = crash_salt;
+  const bool integrity = config.integrity.enabled;
   SsdSimulator sim(std::move(config), normal, reduced);
   sim.prefill(prefill_pages);
   sim.run_segment(requests);
@@ -48,6 +49,28 @@ CrashVerdict run_crash_point(SsdConfig config,
     if (!ftl.lookup(lpn).has_value() ||
         ftl.data_version(lpn) != ledger[lpn]) {
       ++verdict.lost_acknowledged;
+    }
+  }
+  // Data audit: for every surviving ledger entry, re-derive the payload
+  // the host was promised and compare it (and its seal) against what the
+  // medium actually holds. A crash may legitimately lose unacknowledged
+  // data; it must never *silently* corrupt acknowledged data.
+  if (integrity) {
+    for (std::uint64_t lpn = 0; lpn < ledger.size(); ++lpn) {
+      if (ledger[lpn] == 0) continue;
+      if (!ftl.lookup(lpn).has_value() ||
+          ftl.data_version(lpn) != ledger[lpn]) {
+        continue;  // already counted under lost_acknowledged
+      }
+      const ftl::DataAudit audit = ftl.audit_data(lpn, ledger[lpn]);
+      ++verdict.data_checked;
+      if (!audit.payload_ok) {
+        if (audit.seal_ok) {
+          ++verdict.data_corrupt_undetected;
+        } else {
+          ++verdict.data_corrupt_detected;
+        }
+      }
     }
   }
   // Invariant 2: recovery resolved every OOB conflict to one winner.

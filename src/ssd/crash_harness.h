@@ -56,10 +56,19 @@ struct CrashVerdict {
   std::uint64_t stale_records = 0;  ///< superseded OOB records skipped
   Duration mount_time = 0;          ///< simulated OOB-scan cost
   ftl::MountReport report;
+  /// Data-integrity audit over the mounted medium (SsdConfig::integrity
+  /// on; all zero otherwise): every durable-ledger entry's payload is
+  /// re-derived and checked against its seal. A corrupt payload under a
+  /// mismatching seal is *detected* (the read path would flag it); a
+  /// corrupt payload under a seal that still verifies is *undetected* —
+  /// the one failure mode the end-to-end design exists to rule out.
+  std::uint64_t data_checked = 0;
+  std::uint64_t data_corrupt_detected = 0;
+  std::uint64_t data_corrupt_undetected = 0;
 
   bool ok() const {
     return lost_acknowledged == 0 && double_mapped.empty() &&
-           retired_ledger_ok && consistent;
+           retired_ledger_ok && consistent && data_corrupt_undetected == 0;
   }
 };
 

@@ -396,7 +396,10 @@ class RecoveryPolicy final : public ReadPolicy {
 
   ReadCost read_cost(const ReadContext& ctx) override {
     ReadCost cost = inner_->read_cost(ctx);
-    if (!ctx.correctable) {
+    // One deepest-sensing re-read serves both recovery triggers: an
+    // undecodable page and a flagged integrity mismatch (the firmware
+    // retries the read either way before escalating).
+    if (!ctx.correctable || !ctx.integrity_ok) {
       const ReadCost retry = latency_.read_fixed_cost(max_levels_);
       cost.die += retry.die;
       cost.channel += retry.channel;
@@ -408,7 +411,7 @@ class RecoveryPolicy final : public ReadPolicy {
   void trace_attempts(const ReadContext& ctx,
                       std::vector<ReadAttempt>& out) const override {
     inner_->trace_attempts(ctx, out);
-    if (!ctx.correctable) {
+    if (!ctx.correctable || !ctx.integrity_ok) {
       out.push_back(ReadAttempt{
           .levels = max_levels_, .cost = latency_.read_fixed_cost(max_levels_)});
     }
@@ -416,6 +419,31 @@ class RecoveryPolicy final : public ReadPolicy {
 
   void on_read_complete(const ReadContext& ctx) override {
     inner_->on_read_complete(ctx);
+    if (!ctx.integrity_ok) {
+      // A transient post-ECC flip is gone on the re-read of the same
+      // cells; a persistent medium fault (misdirected write, torn
+      // relocation) survives any number of re-reads.
+      const bool cured = !ctx.integrity_persistent;
+      if (cured) {
+        ++integrity_recovered_reads_;
+      } else {
+        ++integrity_unrecovered_reads_;
+      }
+      if (telemetry_) {
+        ++(cured ? integrity_recovered_metric_ : integrity_unrecovered_metric_)
+              ->value;
+        if (telemetry::SpanRecorder* tracer = telemetry_->tracer()) {
+          tracer->record(
+              {.name = cured ? "integrity_recovered" : "integrity_unrecovered",
+               .cat = "policy",
+               .pid = telemetry_->pid,
+               .tid = telemetry::kFtlTrack,
+               .start = ctx.now,
+               .arg0_key = "lpn",
+               .arg0 = static_cast<double>(ctx.lpn)});
+        }
+      }
+    }
     if (ctx.correctable) return;
     const bool rescued = injector_.read_retry_rescues(ctx.ppn, ctx.block_reads);
     if (rescued) {
@@ -443,10 +471,16 @@ class RecoveryPolicy final : public ReadPolicy {
     if (!telemetry_) {
       recovered_metric_ = nullptr;
       data_loss_metric_ = nullptr;
+      integrity_recovered_metric_ = nullptr;
+      integrity_unrecovered_metric_ = nullptr;
       return;
     }
     recovered_metric_ = &telemetry_->metrics.counter("policy.recovered_reads");
     data_loss_metric_ = &telemetry_->metrics.counter("policy.data_loss_reads");
+    integrity_recovered_metric_ =
+        &telemetry_->metrics.counter("policy.integrity_recovered_reads");
+    integrity_unrecovered_metric_ =
+        &telemetry_->metrics.counter("policy.integrity_unrecovered_reads");
   }
 
   ftl::PageMode write_mode(std::uint64_t lpn) const override {
@@ -463,6 +497,8 @@ class RecoveryPolicy final : public ReadPolicy {
     ReadPolicyStats stats = inner_->stats();
     stats.recovered_reads = recovered_reads_;
     stats.data_loss_reads = data_loss_reads_;
+    stats.integrity_recovered_reads = integrity_recovered_reads_;
+    stats.integrity_unrecovered_reads = integrity_unrecovered_reads_;
     return stats;
   }
 
@@ -470,6 +506,8 @@ class RecoveryPolicy final : public ReadPolicy {
     inner_->reset_stats();
     recovered_reads_ = 0;
     data_loss_reads_ = 0;
+    integrity_recovered_reads_ = 0;
+    integrity_unrecovered_reads_ = 0;
   }
 
  private:
@@ -479,9 +517,14 @@ class RecoveryPolicy final : public ReadPolicy {
   const faults::FaultInjector& injector_;
   std::uint64_t recovered_reads_ = 0;
   std::uint64_t data_loss_reads_ = 0;
+  std::uint64_t integrity_recovered_reads_ = 0;
+  std::uint64_t integrity_unrecovered_reads_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::MetricsRegistry::Counter* recovered_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* data_loss_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* integrity_recovered_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* integrity_unrecovered_metric_ =
+      nullptr;
 };
 
 std::unique_ptr<ReadPolicy> make_progressive(

@@ -51,6 +51,14 @@ struct ReadContext {
   /// RecoveryPolicy decorator (fault injection on) charges and adjudicates
   /// the recovery re-read.
   bool correctable = true;
+  /// False when read-back seal verification flagged an integrity mismatch
+  /// (SsdConfig::integrity on): the RecoveryPolicy charges the same
+  /// deepest-sensing re-read it charges uncorrectable reads.
+  bool integrity_ok = true;
+  /// With `integrity_ok` false: the mismatch is in the cells (misdirected
+  /// write / torn relocation), so the re-read cannot cure it — only a
+  /// replica failover or repair rewrite can.
+  bool integrity_persistent = false;
   SimTime now = 0;
 };
 
@@ -73,6 +81,12 @@ struct ReadPolicyStats {
   /// nonzero only under the RecoveryPolicy decorator (fault injection).
   std::uint64_t recovered_reads = 0;
   std::uint64_t data_loss_reads = 0;
+  /// Integrity mismatches the deepest-sensing re-read cured (transient
+  /// post-ECC flips) vs. those it could not (persistent medium faults —
+  /// handed to the array's replica failover when one exists). Counters;
+  /// nonzero only under RecoveryPolicy with SsdConfig::integrity on.
+  std::uint64_t integrity_recovered_reads = 0;
+  std::uint64_t integrity_unrecovered_reads = 0;
 };
 
 class ReadPolicy {

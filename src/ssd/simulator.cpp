@@ -27,6 +27,15 @@ SsdConfig validated(SsdConfig config) {
   return config;
 }
 
+/// The FTL's integrity knobs live on SsdConfig (with the run seed); this
+/// folds them into the FtlConfig the ftl_ member is built from.
+ftl::FtlConfig with_integrity(ftl::FtlConfig ftl, const SsdConfig& config) {
+  ftl.integrity = config.integrity.enabled;
+  ftl.integrity_seed = config.seed;
+  ftl.integrity_payload_words = config.integrity.payload_words;
+  return ftl;
+}
+
 }  // namespace
 
 std::string scheme_name(Scheme scheme) {
@@ -117,12 +126,27 @@ Status SsdConfig::Validate() const {
       {"faults.grown_defect_rate", faults.grown_defect_rate},
       {"faults.read_retry_rescue", faults.read_retry_rescue},
       {"faults.crash_rate", faults.crash_rate},
+      {"faults.silent_corruption_rate", faults.silent_corruption_rate},
+      {"faults.misdirected_write_rate", faults.misdirected_write_rate},
+      {"faults.torn_relocation_rate", faults.torn_relocation_rate},
   };
   for (const auto& rate : rates) {
     if (!(rate.value >= 0.0 && rate.value <= 1.0)) {
       return Status::OutOfRange(std::string(rate.name) +
                                 " must be in [0, 1]");
     }
+  }
+  if (integrity.enabled && integrity.payload_words < 1) {
+    return Status::OutOfRange("integrity.payload_words must be >= 1");
+  }
+  if (!integrity.enabled && faults.enabled &&
+      (faults.silent_corruption_rate > 0.0 ||
+       faults.misdirected_write_rate > 0.0 ||
+       faults.torn_relocation_rate > 0.0)) {
+    return Status::InvalidArgument(
+        "silent-data corruption rates are armed but integrity.enabled is "
+        "false: without payload seals the corruptions are undetectable by "
+        "construction — enable integrity or clear the rates");
   }
   if (faults.crash_enabled && !faults.enabled) {
     return Status::InvalidArgument(
@@ -233,7 +257,7 @@ SsdSimulator::SsdSimulator(SsdConfig config,
                     static_cast<std::uint64_t>(config_.ftl.spec.chips) *
                     config_.ftl.spec.blocks_per_chip},
                normal_model_, reduced_model_),
-      ftl_(config_.ftl),
+      ftl_(with_integrity(config_.ftl, config_)),
       buffer_(config_.write_buffer_pages, config_.write_buffer_flush_batch),
       events_(kernel != nullptr ? *kernel : own_events_),
       external_kernel_(kernel != nullptr),
@@ -250,6 +274,7 @@ SsdSimulator::SsdSimulator(SsdConfig config,
       rng_(config_.seed) {
   ftl_.attach_fault_injector(injector_.get());
   durable_version_.assign(ftl_.logical_pages(), 0);
+  integrity_mode_ = config_.integrity.enabled;
   if (config_.channel.enabled &&
       config_.channel.decode_latency ==
           reliability::DecodeLatencyMode::kMeasured) {
@@ -325,6 +350,8 @@ void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
     acked_metric_ = nullptr;
     durable_metric_ = nullptr;
     crashes_metric_ = nullptr;
+    integrity_verified_metric_ = nullptr;
+    integrity_mismatch_metric_ = nullptr;
     tenant_reads_metrics_.clear();
     tenant_writes_metrics_.clear();
     tenant_rejected_metrics_.clear();
@@ -341,6 +368,10 @@ void SsdSimulator::attach_telemetry(telemetry::Telemetry* telemetry) {
   acked_metric_ = &registry.counter("ssd.writes_acked");
   durable_metric_ = &registry.counter("ssd.writes_durable");
   crashes_metric_ = &registry.counter("ssd.crashes");
+  integrity_verified_metric_ =
+      &registry.counter("ssd.integrity_verified_reads");
+  integrity_mismatch_metric_ =
+      &registry.counter("ssd.integrity_mismatch_reads");
   tenant_reads_metrics_.clear();
   tenant_writes_metrics_.clear();
   tenant_rejected_metrics_.clear();
@@ -400,6 +431,29 @@ int SsdSimulator::required_levels_cached(bool reduced, std::uint32_t pe,
   return assessment.required_levels;
 }
 
+std::pair<bool, bool> SsdSimulator::verify_read_page(
+    std::uint64_t lpn, const ftl::PageInfo& info) {
+  if (!integrity_mode_) return {true, false};
+  const ftl::SealVerdict verdict =
+      ftl_.verify_page(lpn, info.ppn, info.block_reads);
+  ++results_.integrity_verified_reads;
+  if (telemetry_) ++integrity_verified_metric_->value;
+  if (verdict.delivered_bad && !verdict.flagged) {
+    // The only way here is a genuine CRC64 collision between two distinct
+    // payload generations — the event the integrity bench asserts never
+    // happens.
+    ++results_.integrity_undetected_reads;
+  }
+  if (!verdict.flagged) return {true, false};
+  ++results_.integrity_mismatch_reads;
+  if (telemetry_) ++integrity_mismatch_metric_->value;
+  if (verdict.persistent && external_kernel_) {
+    // Hand the unservable lpn to the array layer for replica failover.
+    integrity_failed_lpns_.push_back(lpn);
+  }
+  return {false, verdict.persistent};
+}
+
 SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
                                                           SimTime now) {
   if (buffer_.contains(lpn)) {
@@ -433,12 +487,16 @@ SsdSimulator::PageService SsdSimulator::service_read_page(std::uint64_t lpn,
     if (telemetry_) ++uncorrectable_metric_->value;
   }
   ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
+  const auto [integrity_ok, integrity_persistent] =
+      verify_read_page(lpn, *info);
 
   const ReadContext ctx{.lpn = lpn,
                         .ppn = info->ppn,
                         .required_levels = required,
                         .block_reads = info->block_reads,
                         .correctable = correctable,
+                        .integrity_ok = integrity_ok,
+                        .integrity_persistent = integrity_persistent,
                         .now = now};
   telemetry::SpanRecorder* tracer =
       telemetry_ ? telemetry_->tracer() : nullptr;
@@ -710,7 +768,25 @@ Duration SsdSimulator::service_request(const trace::Request& request,
 Duration SsdSimulator::service_external(const trace::Request& request,
                                         SimTime now) {
   FLEX_EXPECTS(external_kernel_ && !qos_mode_ && !crashed_);
+  integrity_failed_lpns_.clear();
   return service_request(request, now);
+}
+
+void SsdSimulator::repair_page(std::uint64_t lpn, SimTime now) {
+  FLEX_EXPECTS(integrity_mode_);
+  const ftl::WriteResult result = ftl_.repair(lpn, now);
+  // The rewrite (and any GC it triggered) occupies the chips as
+  // background work, exactly like a buffer flush.
+  scheduler_.submit_background(now, result, config_.latency);
+}
+
+bool SsdSimulator::page_verifies(std::uint64_t lpn) const {
+  FLEX_EXPECTS(integrity_mode_);
+  if (buffer_.contains(lpn)) return true;
+  const auto info = ftl_.lookup(lpn);
+  if (!info.has_value()) return true;
+  const ftl::DataAudit audit = ftl_.audit_data(lpn, ftl_.data_version(lpn));
+  return audit.seal_ok && audit.payload_ok;
 }
 
 void SsdSimulator::observe_read_access(std::uint64_t lpn, SimTime now) {
@@ -870,12 +946,16 @@ void SsdSimulator::issue_read_page_qos(std::uint64_t lpn, std::uint64_t slot,
     if (telemetry_) ++uncorrectable_metric_->value;
   }
   ++results_.sensing_level_reads[static_cast<std::size_t>(required)];
+  const auto [integrity_ok, integrity_persistent] =
+      verify_read_page(lpn, *info);
 
   const ReadContext ctx{.lpn = lpn,
                         .ppn = info->ppn,
                         .required_levels = required,
                         .block_reads = info->block_reads,
                         .correctable = correctable,
+                        .integrity_ok = integrity_ok,
+                        .integrity_persistent = integrity_persistent,
                         .now = now};
   // The whole read cost (progressive ladder, recovery re-read) is
   // computed at arrival and travels with the queued command; per-attempt
@@ -1067,6 +1147,9 @@ void SsdSimulator::collect_results() {
   results_.pool_capacity_pages = policy_stats.pool_capacity_pages;
   results_.recovered_reads = policy_stats.recovered_reads;
   results_.data_loss_reads = policy_stats.data_loss_reads;
+  results_.integrity_recovered_reads = policy_stats.integrity_recovered_reads;
+  results_.integrity_unrecovered_reads =
+      policy_stats.integrity_unrecovered_reads;
   results_.retired_blocks = ftl_.retired_block_count();
   results_.chip_stats = scheduler_.stats();
   // Report trace-phase FTL activity only.
@@ -1098,6 +1181,11 @@ void SsdSimulator::collect_results() {
       total.mount_mappings_recovered - prefill_stats_.mount_mappings_recovered;
   results_.ftl.mount_stale_records =
       total.mount_stale_records - prefill_stats_.mount_stale_records;
+  results_.ftl.misdirected_writes =
+      total.misdirected_writes - prefill_stats_.misdirected_writes;
+  results_.ftl.torn_relocations =
+      total.torn_relocations - prefill_stats_.torn_relocations;
+  results_.ftl.repair_writes = total.repair_writes - prefill_stats_.repair_writes;
   results_.qos_request_slots_high_water = qos_slots_high_water_;
   results_.qos_pending_high_water = scheduler_.qos_pending_high_water();
   results_.background_deferrals = scheduler_.qos_background_deferrals();

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flat_hash_map.h"
@@ -149,6 +150,25 @@ struct QosConfig {
   bool slo_read_admission = false;
 };
 
+/// End-to-end data integrity. Off by default — the FTL then moves pure
+/// metadata and every seed figure is reproduced bit-identically. On,
+/// every page program carries a deterministic synthetic payload identity
+/// and a CRC64 seal {lpn, version, crc} (ftl/page_mapping SealRecord),
+/// and every NAND read-back recomputes the delivered bytes' CRC and
+/// cross-checks it against the seal and the durable-version ledger —
+/// raising an integrity mismatch (distinct from uncorrectable) that the
+/// RecoveryPolicy answers with a deepest-sensing re-read and, at the
+/// array layer, replica failover + read-repair. The silent-corruption
+/// fault kinds (faults.silent_corruption_rate / misdirected_write_rate /
+/// torn_relocation_rate) require this to be on: without seals they would
+/// be undetectable by construction (Validate() enforces it).
+struct IntegrityConfig {
+  bool enabled = false;
+  /// 8-byte payload words per modeled page body. More words model larger
+  /// pages; the CRC cost is O(words) per program/verify.
+  std::uint32_t payload_words = 8;
+};
+
 struct SsdConfig {
   Scheme scheme = Scheme::kLdpcInSsd;
   ftl::FtlConfig ftl;
@@ -199,6 +219,8 @@ struct SsdConfig {
   /// Multi-tenant QoS scheduling; off by default (bit-identical legacy
   /// path). Incompatible with crash injection.
   QosConfig qos;
+  /// End-to-end data integrity; off by default (bit-identical path).
+  IntegrityConfig integrity;
   std::uint64_t seed = 0x5EED;
 
   /// Range- and consistency-checks the whole configuration. The simulator
@@ -271,6 +293,17 @@ struct SsdResults {
   /// only): rescued by the deepest-sensing re-read vs. declared data loss.
   std::uint64_t recovered_reads = 0;
   std::uint64_t data_loss_reads = 0;
+  /// End-to-end integrity verification (SsdConfig::integrity on): NAND
+  /// reads whose seal was verified; reads flagged as integrity mismatch;
+  /// mismatches the recovery re-read cured (transient flips) vs. not
+  /// (persistent medium faults — replica failover territory); and reads
+  /// that delivered wrong bytes *without* being flagged (possible only
+  /// through a genuine CRC64 collision — the zero-undetected invariant).
+  std::uint64_t integrity_verified_reads = 0;
+  std::uint64_t integrity_mismatch_reads = 0;
+  std::uint64_t integrity_recovered_reads = 0;
+  std::uint64_t integrity_unrecovered_reads = 0;
+  std::uint64_t integrity_undetected_reads = 0;
   /// Durability accounting: host page writes acknowledged vs. programmed
   /// to NAND (durable). Under kWriteBack the difference rides in DRAM —
   /// exactly what a crash loses; dirty_buffer_pages is that gauge at the
@@ -426,6 +459,36 @@ class SsdSimulator : private QosSink {
   /// replica steering spreads across copies.
   std::uint64_t block_read_count(std::uint64_t lpn) const;
 
+  /// LPNs whose reads in the *last* service_external() call hit a
+  /// persistent integrity failure (misdirected write / torn relocation —
+  /// the re-read could not cure them). External-kernel mode only; the
+  /// array layer consults this right after dispatching a read command to
+  /// drive replica failover + read-repair. Cleared at every
+  /// service_external() entry.
+  const std::vector<std::uint64_t>& integrity_failed_lpns() const {
+    return integrity_failed_lpns_;
+  }
+
+  /// Read-repair write-back (array layer): rewrites `lpn` with fresh
+  /// current-generation payload + seal (ftl::PageMappingFtl::repair) and
+  /// schedules the program as background chip work. Requires
+  /// SsdConfig::integrity on and a mapped, unbuffered lpn.
+  void repair_page(std::uint64_t lpn, SimTime now);
+
+  /// Does `lpn`'s mapped copy currently verify clean at the medium level
+  /// (no transient roll)? Array read-repair uses it to decide whether a
+  /// repair pass converged. True for buffered/unmapped lpns (DRAM-served
+  /// reads bypass NAND seals entirely).
+  bool page_verifies(std::uint64_t lpn) const;
+
+  /// Is `lpn` currently dirty in the controller write buffer? Mirror
+  /// audits skip version comparison for buffered pages: flush timing is
+  /// drive-local, so sibling replicas legitimately disagree on how much
+  /// of the same acknowledged write stream has reached NAND.
+  bool page_buffered(std::uint64_t lpn) const {
+    return buffer_.contains(lpn);
+  }
+
   /// Folds policy/FTL/scheduler counters into results_ (the shared tail
   /// of run_segment and run_open_loop). Public so an external-kernel host
   /// can snapshot per-drive results after draining the shared kernel.
@@ -537,6 +600,12 @@ class SsdSimulator : private QosSink {
   void drain_events();
   PageService service_read_page(std::uint64_t lpn, SimTime now);
   Duration service_write_page(std::uint64_t lpn, SimTime now);
+  /// Shared read-back verification hook of both read paths (no-op values
+  /// when integrity is off): counts verified/mismatch/undetected reads
+  /// and records persistent failures for the array layer. Returns the
+  /// (integrity_ok, integrity_persistent) pair for the ReadContext.
+  std::pair<bool, bool> verify_read_page(std::uint64_t lpn,
+                                         const ftl::PageInfo& info);
   /// Programs one buffered page to NAND and records it durable.
   void flush_victim(std::uint64_t lpn, SimTime now);
   /// Marks lpn's *current* FTL version as the durable one.
@@ -586,6 +655,11 @@ class SsdSimulator : private QosSink {
   std::vector<std::uint64_t> durable_version_;
   bool crashed_ = false;
   std::uint64_t crash_ordinal_ = 0;
+  /// config_.integrity.enabled, hoisted for the read hot path.
+  bool integrity_mode_ = false;
+  /// Persistent integrity failures of the last service_external() call
+  /// (see integrity_failed_lpns()).
+  std::vector<std::uint64_t> integrity_failed_lpns_;
   /// kFlushBarrier: acked host page writes since the last barrier.
   std::uint64_t acked_since_barrier_ = 0;
   /// QoS mode (config_.qos.enabled) state: request slot pool + free list,
@@ -620,6 +694,8 @@ class SsdSimulator : private QosSink {
   telemetry::MetricsRegistry::Counter* acked_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* durable_metric_ = nullptr;
   telemetry::MetricsRegistry::Counter* crashes_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* integrity_verified_metric_ = nullptr;
+  telemetry::MetricsRegistry::Counter* integrity_mismatch_metric_ = nullptr;
   /// Per-tenant counters (tenant.<i>.reads/.writes/.rejected), sized
   /// tenant_count_ when telemetry is attached.
   std::vector<telemetry::MetricsRegistry::Counter*> tenant_reads_metrics_;

@@ -171,12 +171,88 @@ TEST(FaultInjectorTest, CrashSaltSelectsDistinctCrashPoints) {
   EXPECT_GE(distinct, 7);  // ~1/1000 odds of any one collision
 }
 
+TEST(FaultInjectorTest, CorruptionKindsAtRateExtremes) {
+  FaultConfig config;
+  config.enabled = true;
+  const FaultInjector never(config, 0x5EED);
+  config.silent_corruption_rate = 1.0;
+  config.misdirected_write_rate = 1.0;
+  config.torn_relocation_rate = 1.0;
+  const FaultInjector always(config, 0x5EED);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(never.silent_corruption(i, i * 3));
+    EXPECT_FALSE(never.misdirected_write(i, static_cast<std::uint32_t>(i)));
+    EXPECT_FALSE(never.torn_relocation(i, static_cast<std::uint32_t>(i)));
+    EXPECT_TRUE(always.silent_corruption(i, i * 3));
+    EXPECT_TRUE(always.misdirected_write(i, static_cast<std::uint32_t>(i)));
+    EXPECT_TRUE(always.torn_relocation(i, static_cast<std::uint32_t>(i)));
+  }
+}
+
+TEST(FaultInjectorTest, CorruptionKindsAreIndependentStreams) {
+  // The three corruption kinds hash distinct kind tags, so at the same
+  // rate and identity they fire on different (ppn, generation) subsets —
+  // and none of them aliases the pre-existing kinds.
+  FaultConfig config;
+  config.enabled = true;
+  config.silent_corruption_rate = 0.5;
+  config.misdirected_write_rate = 0.5;
+  config.torn_relocation_rate = 0.5;
+  config.program_fail_rate = 0.5;
+  const FaultInjector injector(config, 99);
+  int silent_vs_misdirect = 0;
+  int misdirect_vs_torn = 0;
+  int misdirect_vs_program = 0;
+  for (std::uint64_t ppn = 0; ppn < 1000; ++ppn) {
+    const auto gen = static_cast<std::uint32_t>(ppn % 7);
+    if (injector.silent_corruption(ppn, gen) !=
+        injector.misdirected_write(ppn, gen)) {
+      ++silent_vs_misdirect;
+    }
+    if (injector.misdirected_write(ppn, gen) !=
+        injector.torn_relocation(ppn, gen)) {
+      ++misdirect_vs_torn;
+    }
+    if (injector.misdirected_write(ppn, gen) !=
+        injector.program_fails(ppn, gen)) {
+      ++misdirect_vs_program;
+    }
+  }
+  EXPECT_GT(silent_vs_misdirect, 350);
+  EXPECT_GT(misdirect_vs_torn, 350);
+  EXPECT_GT(misdirect_vs_program, 350);
+}
+
+TEST(FaultInjectorTest, CorruptionDecisionsAreStateless) {
+  FaultConfig config;
+  config.enabled = true;
+  config.silent_corruption_rate = 0.5;
+  config.misdirected_write_rate = 0.5;
+  config.torn_relocation_rate = 0.5;
+  const FaultInjector a(config, 4242);
+  const FaultInjector b(config, 4242);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.silent_corruption(i, 11), b.silent_corruption(i, 11));
+    EXPECT_EQ(a.misdirected_write(i, 3), b.misdirected_write(i, 3));
+    EXPECT_EQ(a.torn_relocation(i, 3), a.torn_relocation(i, 3));
+  }
+}
+
 TEST(FaultInjectorDeathTest, RejectsOutOfRangeRates) {
   FaultConfig config;
   config.program_fail_rate = 1.5;
   EXPECT_DEATH(FaultInjector(config, 0), "");
   config = FaultConfig{};
   config.read_retry_rescue = -0.1;
+  EXPECT_DEATH(FaultInjector(config, 0), "");
+  config = FaultConfig{};
+  config.silent_corruption_rate = 1.01;
+  EXPECT_DEATH(FaultInjector(config, 0), "");
+  config = FaultConfig{};
+  config.misdirected_write_rate = -0.5;
+  EXPECT_DEATH(FaultInjector(config, 0), "");
+  config = FaultConfig{};
+  config.torn_relocation_rate = 2.0;
   EXPECT_DEATH(FaultInjector(config, 0), "");
 }
 

@@ -176,6 +176,7 @@ TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
       {"ftl.gc_runs", 0},
       {"ftl.grown_defects", 0},
       {"ftl.host_writes", 1568},
+      {"ftl.misdirected_writes", 0},
       {"ftl.mode_migrations", 533},
       {"ftl.mount_mappings_recovered", 0},
       {"ftl.mount_pages_scanned", 0},
@@ -186,12 +187,16 @@ TEST_F(GoldenRegression, FlexLevelMetricsSnapshot) {
       {"ftl.program_fails", 0},
       {"ftl.refresh_page_moves", 0},
       {"ftl.refresh_runs", 0},
+      {"ftl.repair_writes", 0},
       {"ftl.retire_page_moves", 0},
       {"ftl.retired_blocks", 0},
+      {"ftl.torn_relocations", 0},
       {"policy.migrations_to_normal", 0},
       {"policy.migrations_to_reduced", 533},
       {"ssd.buffer_hits", 1971},
       {"ssd.crashes", 0},
+      {"ssd.integrity_mismatch_reads", 0},
+      {"ssd.integrity_verified_reads", 0},
       {"ssd.reads", 8521},
       {"ssd.requests", 10000},
       {"ssd.uncorrectable_reads", 0},
